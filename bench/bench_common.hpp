@@ -1,0 +1,36 @@
+// Shared helpers for the experiment harnesses (DESIGN.md §4).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/universe.hpp"
+#include "exact/brute_force.hpp"
+#include "util/table.hpp"
+
+namespace treesched::bench {
+
+/// Prints the experiment banner: id, the paper claim being regenerated and
+/// what shape the numbers must have to count as reproduced.
+inline void banner(const std::string& id, const std::string& claim,
+                   const std::string& expectation) {
+  std::cout << "\n=== Experiment " << id << " ===\n"
+            << "claim:       " << claim << "\n"
+            << "expectation: " << expectation << "\n\n";
+}
+
+/// Best available estimate of OPT: exact when branch-and-bound finishes in
+/// budget, otherwise the max of the incumbent and nothing better — callers
+/// then fall back to the dual upper bound for the ratio.
+struct OptEstimate {
+  double lowerBound = 0;  ///< best feasible solution found
+  bool exact = false;
+};
+
+inline OptEstimate estimateOpt(const InstanceUniverse& universe,
+                               std::int64_t nodeBudget = 5'000'000) {
+  const ExactResult result = bruteForceExact(universe, nodeBudget);
+  return {result.profit, result.provedOptimal};
+}
+
+}  // namespace treesched::bench

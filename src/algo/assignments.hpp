@@ -1,0 +1,42 @@
+// Problem-level solution representation shared by all solvers.
+//
+// Solvers return *assignments* — which demand runs where — rather than
+// internal instance ids, so callers never need the instance universe. For
+// tree networks an assignment is (demand, network); paths are unique in
+// trees (§1). For line networks it is (demand, resource, start slot)
+// because windows make the execution segment a choice (§7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/line_problem.hpp"
+#include "core/tree_problem.hpp"
+
+namespace treesched {
+
+struct TreeAssignment {
+  DemandId demand = 0;
+  TreeId network = 0;
+};
+
+struct LineAssignment {
+  DemandId demand = 0;
+  ResourceId resource = 0;
+  std::int32_t start = 0;  ///< first slot of the execution segment
+};
+
+/// Total profit of the assigned demands.
+double assignmentProfit(const TreeProblem& problem,
+                        const std::vector<TreeAssignment>& assignments);
+double assignmentProfit(const LineProblem& problem,
+                        const std::vector<LineAssignment>& assignments);
+
+/// Checks feasibility at the problem level (accessibility, one assignment
+/// per demand, edge/slot capacity). Empty string when feasible.
+std::string checkAssignments(const TreeProblem& problem,
+                             const std::vector<TreeAssignment>& assignments);
+std::string checkAssignments(const LineProblem& problem,
+                             const std::vector<LineAssignment>& assignments);
+
+}  // namespace treesched

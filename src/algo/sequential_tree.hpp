@@ -1,0 +1,32 @@
+// Sequential two-phase algorithm for unit-height tree-networks
+// (paper Appendix A, pseudocode Figure 8).
+//
+// Uses the root-fixing decomposition: each instance is captured at the
+// least-deep vertex mu(d) of its path; pi(d) is the (<= 2) wings of mu(d).
+// Networks are processed one at a time; within a network the instances are
+// raised one by one in descending capture depth, so the interference
+// property holds with Delta = 2 and lambda = 1 (Observation A.1) — a
+// 3-approximation by Lemma 3.1, improving to 2 when there is a single
+// network (no alpha variables needed).
+#pragma once
+
+#include <vector>
+
+#include "algo/assignments.hpp"
+#include "core/tree_problem.hpp"
+
+namespace treesched {
+
+struct SequentialTreeResult {
+  std::vector<TreeAssignment> assignments;
+  double profit = 0;
+  double dualUpperBound = 0;  ///< val(alpha,beta) — lambda = 1 exactly
+  double certifiedBound = 0;  ///< 3, or 2 for a single network
+  std::int64_t iterations = 0;
+  std::int32_t delta = 0;  ///< measured max |pi(d)| (<= 2)
+};
+
+/// Requires a unit-height problem.
+SequentialTreeResult solveSequentialTree(const TreeProblem& problem);
+
+}  // namespace treesched

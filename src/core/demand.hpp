@@ -1,0 +1,52 @@
+// Demand types (paper §1, §2, §7).
+//
+// A demand is owned by exactly one processor; the paper identifies
+// processors with their demands (one demand per processor, §2), so the
+// library indexes processors by DemandId throughout.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/tree_network.hpp"
+
+namespace treesched {
+
+using DemandId = std::int32_t;    ///< Demand == processor index in [0, m).
+using InstanceId = std::int32_t;  ///< Demand-instance index in [0, |D|).
+
+/// Global edge index across all tree-networks / resources. Edge e of tree
+/// T maps to edgeOffset[T] + e; dual variables beta are vectors over this
+/// index space.
+using GlobalEdgeId = std::int32_t;
+
+inline constexpr InstanceId kNoInstance = -1;
+
+/// A point-to-point demand on tree-networks (§2): endpoints, profit and —
+/// in the arbitrary-height case (§6) — a bandwidth requirement h in (0, 1].
+/// The unit-height case (§2-§5) is h == 1.
+struct Demand {
+  DemandId id = 0;
+  VertexId u = 0;
+  VertexId v = 0;
+  double profit = 1.0;
+  double height = 1.0;
+};
+
+/// A windowed demand on line-networks (§1 "Line-Networks", §7): may be
+/// executed on any segment of `processing` consecutive timeslots inside
+/// [release, deadline] (slot indices are 0-based and inclusive).
+struct WindowDemand {
+  DemandId id = 0;
+  std::int32_t release = 0;     ///< First admissible timeslot.
+  std::int32_t deadline = 0;    ///< Last admissible timeslot (inclusive).
+  std::int32_t processing = 1;  ///< Number of consecutive slots required.
+  double profit = 1.0;
+  double height = 1.0;
+};
+
+/// Narrow/wide classification of §6: narrow means h <= 1/2. Two wide
+/// instances can never share an edge, which is why the unit-height
+/// algorithm applies to them unchanged.
+inline bool isNarrow(double height) { return height <= 0.5; }
+
+}  // namespace treesched

@@ -1,0 +1,52 @@
+// Plain-text (de)serialization of problem instances.
+//
+// A stable, versioned, human-diffable format so workloads can be saved,
+// shared and replayed — "treesched-tree v1" / "treesched-line v1". Parsing
+// validates the reconstructed problem, so a loaded instance is always
+// well-formed or an exception.
+//
+// Tree format:
+//   treesched-tree v1
+//   vertices <n>
+//   networks <r>
+//   network            # r times, n-1 edges each
+//   <u> <v>
+//   ...
+//   demands <m>
+//   <u> <v> <profit> <height> <k> <t_1> ... <t_k>    # m times
+//
+// Line format:
+//   treesched-line v1
+//   slots <n>
+//   resources <r>
+//   demands <m>
+//   <release> <deadline> <processing> <profit> <height> <k> <r_1> ... <r_k>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/line_problem.hpp"
+#include "core/tree_problem.hpp"
+
+namespace treesched {
+
+void writeTreeProblem(std::ostream& os, const TreeProblem& problem);
+TreeProblem readTreeProblem(std::istream& is);
+
+void writeLineProblem(std::ostream& os, const LineProblem& problem);
+LineProblem readLineProblem(std::istream& is);
+
+/// String convenience wrappers.
+std::string serializeTreeProblem(const TreeProblem& problem);
+TreeProblem parseTreeProblem(const std::string& text);
+std::string serializeLineProblem(const LineProblem& problem);
+LineProblem parseLineProblem(const std::string& text);
+
+/// File convenience wrappers; throw CheckError on I/O failure.
+void saveTreeProblem(const std::string& path, const TreeProblem& problem);
+TreeProblem loadTreeProblem(const std::string& path);
+void saveLineProblem(const std::string& path, const LineProblem& problem);
+LineProblem loadLineProblem(const std::string& path);
+
+}  // namespace treesched

@@ -1,0 +1,110 @@
+#include "core/solution.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/tolerances.hpp"
+#include "util/check.hpp"
+
+namespace treesched {
+
+double solutionProfit(const InstanceUniverse& universe, const Solution& sol) {
+  double total = 0;
+  for (const InstanceId i : sol.instances) {
+    total += universe.instance(i).profit;
+  }
+  return total;
+}
+
+ValidationReport validateSolution(const InstanceUniverse& universe,
+                                  const Solution& sol) {
+  ValidationReport report;
+  std::vector<bool> demandUsed(static_cast<std::size_t>(universe.numDemands()),
+                               false);
+  std::vector<double> edgeLoad(static_cast<std::size_t>(universe.numGlobalEdges()),
+                               0.0);
+  for (const InstanceId i : sol.instances) {
+    const InstanceRecord& rec = universe.instance(i);
+    if (demandUsed[static_cast<std::size_t>(rec.demand)]) {
+      report.feasible = false;
+      std::ostringstream os;
+      os << "demand " << rec.demand << " selected more than once";
+      report.firstViolation = os.str();
+      return report;
+    }
+    demandUsed[static_cast<std::size_t>(rec.demand)] = true;
+    for (const GlobalEdgeId e : universe.path(i)) {
+      edgeLoad[static_cast<std::size_t>(e)] += rec.height;
+      if (edgeLoad[static_cast<std::size_t>(e)] > 1.0 + kCapacityTolerance) {
+        report.feasible = false;
+        std::ostringstream os;
+        os << "edge " << e << " over capacity ("
+           << edgeLoad[static_cast<std::size_t>(e)] << " > 1)";
+        report.firstViolation = os.str();
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+void requireFeasible(const InstanceUniverse& universe, const Solution& sol) {
+  const ValidationReport report = validateSolution(universe, sol);
+  checkThat(report.feasible, "solution feasible: " + report.firstViolation,
+            __FILE__, __LINE__);
+}
+
+std::vector<double> profitByNetwork(const InstanceUniverse& universe,
+                                    const Solution& sol) {
+  std::vector<double> result(static_cast<std::size_t>(universe.numNetworks()),
+                             0.0);
+  for (const InstanceId i : sol.instances) {
+    const InstanceRecord& rec = universe.instance(i);
+    result[static_cast<std::size_t>(rec.network)] += rec.profit;
+  }
+  return result;
+}
+
+FeasibilityOracle::FeasibilityOracle(const InstanceUniverse& universe)
+    : universe_(universe),
+      edgeLoad_(static_cast<std::size_t>(universe.numGlobalEdges()), 0.0),
+      demandUsed_(static_cast<std::size_t>(universe.numDemands()), false) {}
+
+bool FeasibilityOracle::canAdd(InstanceId i) const {
+  const InstanceRecord& rec = universe_.instance(i);
+  if (demandUsed_[static_cast<std::size_t>(rec.demand)]) return false;
+  for (const GlobalEdgeId e : universe_.path(i)) {
+    if (edgeLoad_[static_cast<std::size_t>(e)] + rec.height >
+        1.0 + kCapacityTolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FeasibilityOracle::add(InstanceId i) {
+  checkThat(canAdd(i), "FeasibilityOracle::add requires canAdd", __FILE__,
+            __LINE__);
+  const InstanceRecord& rec = universe_.instance(i);
+  demandUsed_[static_cast<std::size_t>(rec.demand)] = true;
+  for (const GlobalEdgeId e : universe_.path(i)) {
+    edgeLoad_[static_cast<std::size_t>(e)] += rec.height;
+  }
+  solution_.instances.push_back(i);
+  profit_ += rec.profit;
+}
+
+void FeasibilityOracle::remove(InstanceId i) {
+  auto it = std::find(solution_.instances.begin(), solution_.instances.end(), i);
+  checkThat(it != solution_.instances.end(),
+            "FeasibilityOracle::remove of member", __FILE__, __LINE__);
+  solution_.instances.erase(it);
+  const InstanceRecord& rec = universe_.instance(i);
+  demandUsed_[static_cast<std::size_t>(rec.demand)] = false;
+  for (const GlobalEdgeId e : universe_.path(i)) {
+    edgeLoad_[static_cast<std::size_t>(e)] -= rec.height;
+  }
+  profit_ -= rec.profit;
+}
+
+}  // namespace treesched

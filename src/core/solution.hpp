@@ -1,0 +1,73 @@
+// Feasible solutions and their validation (paper §2).
+//
+// A solution is a set of demand instances. Feasibility requires:
+//  (i)  at most one instance per demand;
+//  (ii) per network edge, the selected instances through it have total
+//       height <= 1 (unit-height case: edge-disjoint paths).
+// Accessibility is enforced structurally: instances only exist for
+// accessible networks (see InstanceUniverse builders).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/universe.hpp"
+
+namespace treesched {
+
+/// A (candidate) solution over a universe: instance ids, unordered.
+struct Solution {
+  std::vector<InstanceId> instances;
+
+  std::int32_t size() const {
+    return static_cast<std::int32_t>(instances.size());
+  }
+};
+
+/// Result of validating a solution.
+struct ValidationReport {
+  bool feasible = true;
+  std::string firstViolation;  ///< Empty when feasible.
+};
+
+/// Sum of instance profits.
+double solutionProfit(const InstanceUniverse& universe, const Solution& sol);
+
+/// Checks feasibility; reports the first violation found.
+ValidationReport validateSolution(const InstanceUniverse& universe,
+                                  const Solution& sol);
+
+/// Throws CheckError when infeasible — used by algorithm postconditions.
+void requireFeasible(const InstanceUniverse& universe, const Solution& sol);
+
+/// Per-network profit split (used by the §6 wide/narrow combine step).
+std::vector<double> profitByNetwork(const InstanceUniverse& universe,
+                                    const Solution& sol);
+
+/// Incremental feasibility oracle used by phase 2 of the framework and by
+/// exact solvers: maintains per-edge residual capacity and per-demand use.
+class FeasibilityOracle {
+ public:
+  explicit FeasibilityOracle(const InstanceUniverse& universe);
+
+  /// True iff `i` can be added without violating feasibility.
+  bool canAdd(InstanceId i) const;
+
+  /// Adds `i`; requires canAdd(i).
+  void add(InstanceId i);
+
+  /// Removes a previously added instance.
+  void remove(InstanceId i);
+
+  const Solution& solution() const { return solution_; }
+  double profit() const { return profit_; }
+
+ private:
+  const InstanceUniverse& universe_;
+  std::vector<double> edgeLoad_;    ///< per global edge
+  std::vector<bool> demandUsed_;    ///< per demand
+  Solution solution_;
+  double profit_ = 0;
+};
+
+}  // namespace treesched

@@ -1,0 +1,19 @@
+// Shared numeric tolerances.
+//
+// The centralized engine and the distributed protocol must make *identical*
+// floating-point decisions to be bit-equivalent (experiment E11), so the
+// constants live here rather than in per-module anonymous namespaces.
+#pragma once
+
+namespace treesched {
+
+/// Relative slack when testing "lhs >= target * p". A raise makes a
+/// constraint exactly tight up to rounding and targets are < 1, so this
+/// cannot flip a legitimately unsatisfied instance.
+inline constexpr double kSatisfyTolerance = 1e-9;
+
+/// Absolute slack when testing edge capacity "load + h <= 1". Heights are
+/// user doubles; sums that mathematically equal 1 must not be rejected.
+inline constexpr double kCapacityTolerance = 1e-9;
+
+}  // namespace treesched

@@ -1,0 +1,260 @@
+#include "core/universe.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace treesched {
+
+InstanceUniverse InstanceUniverse::fromTreeProblem(const TreeProblem& problem) {
+  problem.validate();
+  InstanceUniverse u;
+  u.kind_ = Kind::Tree;
+  u.numDemands_ = problem.numDemands();
+  u.numNetworks_ = problem.numNetworks();
+  u.edgeOffset_.resize(static_cast<std::size_t>(u.numNetworks_) + 1, 0);
+  for (TreeId t = 0; t < u.numNetworks_; ++t) {
+    u.edgeOffset_[static_cast<std::size_t>(t) + 1] =
+        u.edgeOffset_[static_cast<std::size_t>(t)] +
+        problem.networks[static_cast<std::size_t>(t)].numEdges();
+  }
+  u.numGlobalEdges_ = u.edgeOffset_.back();
+
+  for (DemandId d = 0; d < u.numDemands_; ++d) {
+    const Demand& dem = problem.demands[static_cast<std::size_t>(d)];
+    for (const TreeId t : problem.access[static_cast<std::size_t>(d)]) {
+      const TreeNetwork& net = problem.networks[static_cast<std::size_t>(t)];
+      InstanceRecord rec;
+      rec.id = static_cast<InstanceId>(u.instances_.size());
+      rec.demand = d;
+      rec.network = t;
+      rec.u = dem.u;
+      rec.v = dem.v;
+      rec.profit = dem.profit;
+      rec.height = dem.height;
+      rec.pathBegin = static_cast<std::int32_t>(u.pathPool_.size());
+      for (const EdgeId e : net.pathEdges(dem.u, dem.v)) {
+        u.pathPool_.push_back(u.edgeOffset_[static_cast<std::size_t>(t)] + e);
+      }
+      rec.pathEnd = static_cast<std::int32_t>(u.pathPool_.size());
+      checkThat(rec.pathLength() >= 1, "instance path non-empty", __FILE__,
+                __LINE__);
+      u.instances_.push_back(rec);
+    }
+  }
+  u.finalize();
+  return u;
+}
+
+InstanceUniverse InstanceUniverse::fromLineProblem(const LineProblem& problem) {
+  problem.validate();
+  InstanceUniverse u;
+  u.kind_ = Kind::Line;
+  u.numDemands_ = problem.numDemands();
+  u.numNetworks_ = problem.numResources;
+  u.lineSlots_ = problem.numSlots;
+  u.edgeOffset_.resize(static_cast<std::size_t>(u.numNetworks_) + 1, 0);
+  for (ResourceId r = 0; r < u.numNetworks_; ++r) {
+    u.edgeOffset_[static_cast<std::size_t>(r) + 1] =
+        u.edgeOffset_[static_cast<std::size_t>(r)] + problem.numSlots;
+  }
+  u.numGlobalEdges_ = u.edgeOffset_.back();
+
+  for (DemandId d = 0; d < u.numDemands_; ++d) {
+    const WindowDemand& dem = problem.demands[static_cast<std::size_t>(d)];
+    for (const ResourceId r : problem.access[static_cast<std::size_t>(d)]) {
+      const std::int32_t lastStart = dem.deadline - dem.processing + 1;
+      for (std::int32_t start = dem.release; start <= lastStart; ++start) {
+        InstanceRecord rec;
+        rec.id = static_cast<InstanceId>(u.instances_.size());
+        rec.demand = d;
+        rec.network = r;
+        rec.u = start;
+        rec.v = start + dem.processing - 1;
+        rec.profit = dem.profit;
+        rec.height = dem.height;
+        rec.pathBegin = static_cast<std::int32_t>(u.pathPool_.size());
+        for (std::int32_t slot = rec.u; slot <= rec.v; ++slot) {
+          u.pathPool_.push_back(u.edgeOffset_[static_cast<std::size_t>(r)] +
+                                slot);
+        }
+        rec.pathEnd = static_cast<std::int32_t>(u.pathPool_.size());
+        u.instances_.push_back(rec);
+      }
+    }
+  }
+  u.finalize();
+  return u;
+}
+
+void InstanceUniverse::finalize() {
+  // Demand -> instances CSR. Instances were appended in ascending demand
+  // order, so a counting pass suffices.
+  demandOffset_.assign(static_cast<std::size_t>(numDemands_) + 1, 0);
+  for (const InstanceRecord& rec : instances_) {
+    ++demandOffset_[static_cast<std::size_t>(rec.demand) + 1];
+  }
+  for (std::size_t d = 0; d < static_cast<std::size_t>(numDemands_); ++d) {
+    demandOffset_[d + 1] += demandOffset_[d];
+  }
+  demandInstances_.resize(instances_.size());
+  {
+    std::vector<std::int32_t> cursor(demandOffset_.begin(),
+                                     demandOffset_.end() - 1);
+    for (const InstanceRecord& rec : instances_) {
+      demandInstances_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(rec.demand)]++)] = rec.id;
+    }
+  }
+
+  // Global edge -> instances CSR.
+  edgeInstOffset_.assign(static_cast<std::size_t>(numGlobalEdges_) + 1, 0);
+  for (const GlobalEdgeId e : pathPool_) {
+    ++edgeInstOffset_[static_cast<std::size_t>(e) + 1];
+  }
+  for (std::size_t e = 0; e < static_cast<std::size_t>(numGlobalEdges_); ++e) {
+    edgeInstOffset_[e + 1] += edgeInstOffset_[e];
+  }
+  edgeInstances_.resize(pathPool_.size());
+  {
+    std::vector<std::int32_t> cursor(edgeInstOffset_.begin(),
+                                     edgeInstOffset_.end() - 1);
+    for (const InstanceRecord& rec : instances_) {
+      for (std::int32_t p = rec.pathBegin; p < rec.pathEnd; ++p) {
+        const GlobalEdgeId e = pathPool_[static_cast<std::size_t>(p)];
+        edgeInstances_[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(e)]++)] = rec.id;
+      }
+    }
+  }
+
+  if (!instances_.empty()) {
+    profitMax_ = profitMin_ = instances_.front().profit;
+    for (const InstanceRecord& rec : instances_) {
+      profitMax_ = std::max(profitMax_, rec.profit);
+      profitMin_ = std::min(profitMin_, rec.profit);
+    }
+  }
+}
+
+const InstanceRecord& InstanceUniverse::instance(InstanceId i) const {
+  checkIndex(i, numInstances(), "instance id");
+  return instances_[static_cast<std::size_t>(i)];
+}
+
+std::span<const GlobalEdgeId> InstanceUniverse::path(InstanceId i) const {
+  const InstanceRecord& rec = instance(i);
+  return {pathPool_.data() + rec.pathBegin,
+          static_cast<std::size_t>(rec.pathLength())};
+}
+
+std::span<const InstanceId> InstanceUniverse::instancesOfDemand(
+    DemandId d) const {
+  checkIndex(d, numDemands_, "demand id");
+  const auto begin = demandOffset_[static_cast<std::size_t>(d)];
+  const auto end = demandOffset_[static_cast<std::size_t>(d) + 1];
+  return {demandInstances_.data() + begin, static_cast<std::size_t>(end - begin)};
+}
+
+GlobalEdgeId InstanceUniverse::globalEdge(TreeId network, EdgeId e) const {
+  checkIndex(network, numNetworks_, "network id");
+  const GlobalEdgeId g = edgeOffset_[static_cast<std::size_t>(network)] + e;
+  checkThat(g < edgeOffset_[static_cast<std::size_t>(network) + 1],
+            "edge id within network", __FILE__, __LINE__);
+  return g;
+}
+
+std::span<const InstanceId> InstanceUniverse::instancesOnEdge(
+    GlobalEdgeId e) const {
+  checkIndex(e, numGlobalEdges_, "global edge id");
+  const auto begin = edgeInstOffset_[static_cast<std::size_t>(e)];
+  const auto end = edgeInstOffset_[static_cast<std::size_t>(e) + 1];
+  return {edgeInstances_.data() + begin, static_cast<std::size_t>(end - begin)};
+}
+
+bool InstanceUniverse::overlapping(InstanceId a, InstanceId b) const {
+  const InstanceRecord& ra = instance(a);
+  const InstanceRecord& rb = instance(b);
+  if (ra.network != rb.network) return false;
+  // Scan the shorter path against a membership test on the longer one.
+  // Line paths are contiguous slot ranges, so compare ranges directly.
+  if (kind_ == Kind::Line) {
+    return ra.u <= rb.v && rb.u <= ra.v;
+  }
+  const auto pa = path(a);
+  const auto pb = path(b);
+  const auto& shorter = pa.size() <= pb.size() ? pa : pb;
+  const auto& longer = pa.size() <= pb.size() ? pb : pa;
+  for (const GlobalEdgeId e : shorter) {
+    if (std::find(longer.begin(), longer.end(), e) != longer.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool InstanceUniverse::conflicting(InstanceId a, InstanceId b) const {
+  if (a == b) return false;
+  if (instance(a).demand == instance(b).demand) return true;
+  return overlapping(a, b);
+}
+
+void InstanceUniverse::buildConflicts() {
+  if (conflictsBuilt_) return;
+  conflictOffset_.assign(static_cast<std::size_t>(numInstances()) + 1, 0);
+  std::vector<InstanceId> buffer;
+  // Two passes: count then fill, so conflictAdj_ is allocated exactly once.
+  std::vector<std::vector<InstanceId>> rows(
+      static_cast<std::size_t>(numInstances()));
+  for (InstanceId i = 0; i < numInstances(); ++i) {
+    buffer.clear();
+    for (const GlobalEdgeId e : path(i)) {
+      const auto onEdge = instancesOnEdge(e);
+      buffer.insert(buffer.end(), onEdge.begin(), onEdge.end());
+    }
+    const auto sameDemand = instancesOfDemand(instance(i).demand);
+    buffer.insert(buffer.end(), sameDemand.begin(), sameDemand.end());
+    std::sort(buffer.begin(), buffer.end());
+    buffer.erase(std::unique(buffer.begin(), buffer.end()), buffer.end());
+    buffer.erase(std::remove(buffer.begin(), buffer.end(), i), buffer.end());
+    rows[static_cast<std::size_t>(i)] = buffer;
+  }
+  std::int64_t total = 0;
+  for (InstanceId i = 0; i < numInstances(); ++i) {
+    conflictOffset_[static_cast<std::size_t>(i)] = total;
+    total += static_cast<std::int64_t>(rows[static_cast<std::size_t>(i)].size());
+  }
+  conflictOffset_[static_cast<std::size_t>(numInstances())] = total;
+  conflictAdj_.resize(static_cast<std::size_t>(total));
+  for (InstanceId i = 0; i < numInstances(); ++i) {
+    std::copy(rows[static_cast<std::size_t>(i)].begin(),
+              rows[static_cast<std::size_t>(i)].end(),
+              conflictAdj_.begin() + conflictOffset_[static_cast<std::size_t>(i)]);
+  }
+  conflictsBuilt_ = true;
+}
+
+std::span<const InstanceId> InstanceUniverse::conflictsOf(InstanceId i) const {
+  checkThat(conflictsBuilt_, "buildConflicts() called", __FILE__, __LINE__);
+  checkIndex(i, numInstances(), "instance id");
+  const auto begin = conflictOffset_[static_cast<std::size_t>(i)];
+  const auto end = conflictOffset_[static_cast<std::size_t>(i) + 1];
+  return {conflictAdj_.data() + begin, static_cast<std::size_t>(end - begin)};
+}
+
+std::int32_t InstanceUniverse::maxConflictDegree() const {
+  checkThat(conflictsBuilt_, "buildConflicts() called", __FILE__, __LINE__);
+  std::int64_t best = 0;
+  for (InstanceId i = 0; i < numInstances(); ++i) {
+    best = std::max(best, conflictOffset_[static_cast<std::size_t>(i) + 1] -
+                              conflictOffset_[static_cast<std::size_t>(i)]);
+  }
+  return static_cast<std::int32_t>(best);
+}
+
+std::int32_t InstanceUniverse::lineSlots() const {
+  checkThat(kind_ == Kind::Line, "line universe", __FILE__, __LINE__);
+  return lineSlots_;
+}
+
+}  // namespace treesched

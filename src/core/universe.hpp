@@ -1,0 +1,133 @@
+// Demand-instance universe (paper §2 reformulation).
+//
+// For each demand a and each network T in Acc(owner(a)) the paper creates a
+// *demand instance* — a copy of the demand pinned to T (for line networks
+// with windows, additionally pinned to one execution segment, §7). This
+// class materializes the full instance set D with:
+//   * a global edge index space across all networks (dual variables beta
+//     live on it);
+//   * per-instance edge paths;
+//   * the conflict relation (same demand, or same network + shared edge);
+// The primal-dual framework and the distributed simulator operate purely on
+// this structure; tree-vs-line differences are confined to the builders.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/demand.hpp"
+#include "core/line_problem.hpp"
+#include "core/tree_problem.hpp"
+
+namespace treesched {
+
+/// One demand instance: the demand's data plus the network it is pinned to
+/// and its edge path on that network.
+struct InstanceRecord {
+  InstanceId id = kNoInstance;
+  DemandId demand = 0;
+  TreeId network = 0;  ///< TreeId or ResourceId depending on universe kind.
+  /// Endpoints. Tree universes: the demand's vertices. Line universes:
+  /// u = first slot, v = last slot of the execution segment.
+  VertexId u = 0;
+  VertexId v = 0;
+  double profit = 1.0;
+  double height = 1.0;
+  std::int32_t pathBegin = 0;  ///< [pathBegin, pathEnd) into the path pool.
+  std::int32_t pathEnd = 0;
+
+  std::int32_t pathLength() const { return pathEnd - pathBegin; }
+};
+
+class InstanceUniverse {
+ public:
+  enum class Kind { Tree, Line };
+
+  /// Enumerates instances of a tree problem: one per (demand, accessible
+  /// network). `problem.validate()` is called first.
+  static InstanceUniverse fromTreeProblem(const TreeProblem& problem);
+
+  /// Enumerates instances of a line problem: one per (demand, accessible
+  /// resource, admissible start slot). `problem.validate()` is called first.
+  static InstanceUniverse fromLineProblem(const LineProblem& problem);
+
+  Kind kind() const { return kind_; }
+  std::int32_t numInstances() const {
+    return static_cast<std::int32_t>(instances_.size());
+  }
+  std::int32_t numDemands() const { return numDemands_; }
+  std::int32_t numNetworks() const { return numNetworks_; }
+  std::int32_t numGlobalEdges() const { return numGlobalEdges_; }
+
+  const InstanceRecord& instance(InstanceId i) const;
+
+  /// Edge path of instance `i` as global edge ids, in path order.
+  std::span<const GlobalEdgeId> path(InstanceId i) const;
+
+  /// All instances of one demand (ascending instance id).
+  std::span<const InstanceId> instancesOfDemand(DemandId d) const;
+
+  /// Maps (network, local edge) to the global edge index.
+  GlobalEdgeId globalEdge(TreeId network, EdgeId e) const;
+
+  /// All instances whose path contains global edge `e` (ascending id).
+  std::span<const InstanceId> instancesOnEdge(GlobalEdgeId e) const;
+
+  /// True iff a and b are on the same network and share an edge (§2
+  /// "overlapping").
+  bool overlapping(InstanceId a, InstanceId b) const;
+
+  /// True iff a and b overlap or belong to the same demand (§2
+  /// "conflicting"); a pair is schedulable together iff NOT conflicting.
+  bool conflicting(InstanceId a, InstanceId b) const;
+
+  /// Builds the conflict adjacency (idempotent). Cost is
+  /// sum over edges e of |instancesOnEdge(e)|^2; fine at simulation scale.
+  void buildConflicts();
+  bool conflictsBuilt() const { return conflictsBuilt_; }
+
+  /// Conflict neighbours of `i` (excluding `i`), ascending. Requires
+  /// buildConflicts() to have run.
+  std::span<const InstanceId> conflictsOf(InstanceId i) const;
+
+  /// Max conflict degree (requires buildConflicts()).
+  std::int32_t maxConflictDegree() const;
+
+  double profitMax() const { return profitMax_; }
+  double profitMin() const { return profitMin_; }
+
+  /// Line universes only: number of timeslots.
+  std::int32_t lineSlots() const;
+
+ private:
+  InstanceUniverse() = default;
+
+  void finalize();  // builds demand and edge indexes + profit range
+
+  Kind kind_ = Kind::Tree;
+  std::int32_t numDemands_ = 0;
+  std::int32_t numNetworks_ = 0;
+  std::int32_t numGlobalEdges_ = 0;
+  std::int32_t lineSlots_ = 0;
+  std::vector<std::int32_t> edgeOffset_;  ///< per network, into global edges
+  std::vector<InstanceRecord> instances_;
+  std::vector<GlobalEdgeId> pathPool_;
+
+  // CSR: instances grouped by demand.
+  std::vector<std::int32_t> demandOffset_;
+  std::vector<InstanceId> demandInstances_;
+
+  // CSR: instances grouped by global edge.
+  std::vector<std::int32_t> edgeInstOffset_;
+  std::vector<InstanceId> edgeInstances_;
+
+  // CSR conflict adjacency.
+  bool conflictsBuilt_ = false;
+  std::vector<std::int64_t> conflictOffset_;
+  std::vector<InstanceId> conflictAdj_;
+
+  double profitMax_ = 1.0;
+  double profitMin_ = 1.0;
+};
+
+}  // namespace treesched

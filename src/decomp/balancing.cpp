@@ -1,0 +1,103 @@
+// Balancing (centroid) tree decomposition — paper §4.2.
+
+#include <utility>
+#include <vector>
+
+#include "decomp/centroid_internal.hpp"
+#include "decomp/tree_decomposition.hpp"
+#include "util/check.hpp"
+
+namespace treesched {
+
+namespace detail {
+
+CentroidContext::CentroidContext(const TreeNetwork& tree)
+    : tree_(tree),
+      removed_(static_cast<std::size_t>(tree.numVertices()), 0),
+      dfsParent_(static_cast<std::size_t>(tree.numVertices()), kNoVertex),
+      size_(static_cast<std::size_t>(tree.numVertices()), 0) {
+  order_.reserve(static_cast<std::size_t>(tree.numVertices()));
+}
+
+std::span<const VertexId> CentroidContext::collectComponent(VertexId rep) {
+  checkThat(!removed(rep), "component representative not removed", __FILE__,
+            __LINE__);
+  order_.clear();
+  dfsParent_[static_cast<std::size_t>(rep)] = kNoVertex;
+  order_.push_back(rep);
+  for (std::size_t head = 0; head < order_.size(); ++head) {
+    const VertexId v = order_[head];
+    for (const AdjEntry& a : tree_.neighbors(v)) {
+      if (!removed(a.to) && a.to != dfsParent_[static_cast<std::size_t>(v)]) {
+        dfsParent_[static_cast<std::size_t>(a.to)] = v;
+        order_.push_back(a.to);
+      }
+    }
+  }
+  return order_;
+}
+
+VertexId CentroidContext::findBalancer(std::span<const VertexId> component) {
+  const auto total = static_cast<std::int32_t>(component.size());
+  checkThat(total >= 1, "non-empty component", __FILE__, __LINE__);
+  // Subtree sizes in reverse DFS order (children precede parents).
+  for (const VertexId v : component) {
+    size_[static_cast<std::size_t>(v)] = 1;
+  }
+  for (std::size_t i = component.size(); i-- > 1;) {
+    const VertexId v = component[i];
+    const VertexId p = dfsParent_[static_cast<std::size_t>(v)];
+    size_[static_cast<std::size_t>(p)] += size_[static_cast<std::size_t>(v)];
+  }
+  // The balancer minimizes the largest split part; the minimum is always
+  // <= floor(total/2).
+  VertexId best = component.front();
+  std::int32_t bestWorst = total;  // worst part when removing `best`
+  for (const VertexId v : component) {
+    std::int32_t worst = total - size_[static_cast<std::size_t>(v)];
+    for (const AdjEntry& a : tree_.neighbors(v)) {
+      if (!removed(a.to) && dfsParent_[static_cast<std::size_t>(a.to)] == v) {
+        worst = std::max(worst, size_[static_cast<std::size_t>(a.to)]);
+      }
+    }
+    if (worst < bestWorst) {
+      bestWorst = worst;
+      best = v;
+    }
+  }
+  checkThat(bestWorst <= total / 2, "balancer splits into halves", __FILE__,
+            __LINE__);
+  return best;
+}
+
+}  // namespace detail
+
+TreeDecomposition balancingDecomposition(const TreeNetwork& tree) {
+  const std::int32_t n = tree.numVertices();
+  std::vector<VertexId> parent(static_cast<std::size_t>(n), kNoVertex);
+  detail::CentroidContext ctx(tree);
+
+  // Iterative recursion: (representative vertex, H-parent to attach to).
+  std::vector<std::pair<VertexId, VertexId>> stack;
+  stack.emplace_back(0, kNoVertex);
+  VertexId root = kNoVertex;
+  while (!stack.empty()) {
+    const auto [rep, hParent] = stack.back();
+    stack.pop_back();
+    const auto component = ctx.collectComponent(rep);
+    const VertexId z = ctx.findBalancer(component);
+    parent[static_cast<std::size_t>(z)] = hParent;
+    if (hParent == kNoVertex) {
+      root = z;
+    }
+    ctx.markRemoved(z);
+    for (const AdjEntry& a : tree.neighbors(z)) {
+      if (!ctx.removed(a.to)) {
+        stack.emplace_back(a.to, z);
+      }
+    }
+  }
+  return finalizeDecomposition(tree.id(), root, std::move(parent));
+}
+
+}  // namespace treesched

@@ -1,0 +1,46 @@
+// Shared machinery for the balancing and ideal decompositions: component
+// traversal over a removal mask and balancer (centroid) search.
+//
+// Both constructions repeatedly split components by "balancers" — vertices
+// whose removal leaves parts of size <= floor(|C|/2) (§4.2). The context
+// object owns scratch arrays sized once, so a full construction runs in
+// O(n log n) without per-component allocation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/tree_network.hpp"
+
+namespace treesched::detail {
+
+class CentroidContext {
+ public:
+  explicit CentroidContext(const TreeNetwork& tree);
+
+  /// True when v has been removed (chosen as balancer/junction earlier).
+  bool removed(VertexId v) const {
+    return removed_[static_cast<std::size_t>(v)] != 0;
+  }
+  void markRemoved(VertexId v) { removed_[static_cast<std::size_t>(v)] = 1; }
+
+  /// Collects the component of `rep` in T minus removed vertices.
+  /// The result view is valid until the next collect() call.
+  std::span<const VertexId> collectComponent(VertexId rep);
+
+  /// Finds a balancer of the most recently collected component: every part
+  /// of component - {balancer} has size <= floor(|component|/2). The paper
+  /// notes every component has one.
+  VertexId findBalancer(std::span<const VertexId> component);
+
+  const TreeNetwork& tree() const { return tree_; }
+
+ private:
+  const TreeNetwork& tree_;
+  std::vector<char> removed_;
+  std::vector<VertexId> order_;     ///< DFS order of the current component.
+  std::vector<VertexId> dfsParent_; ///< parent within the current component.
+  std::vector<std::int32_t> size_;  ///< subtree sizes for balancer search.
+};
+
+}  // namespace treesched::detail

@@ -1,0 +1,164 @@
+// Ideal tree decomposition — paper §4.3 (Lemma 4.1).
+//
+// Recursive construction over components C with at most two outside
+// neighbours ("anchors"). Each level picks a balancer z; if both anchors
+// attach inside the same child component C1 (the paper's Case 2(b)), the
+// junction j — the median of (u1, u2, z) in T — is inserted above z so
+// that every component handed to recursion again has <= 2 neighbours.
+// Depth grows by at most 2 per halving: depth <= 2*ceil(lg n) + 1 and
+// pivot size theta <= 2.
+//
+// Components are represented implicitly by a removal mask: a vertex's
+// unremoved T-neighbours are exactly the representatives of the child
+// components, because every outside neighbour of a component is a
+// previously removed balancer/junction. Component-membership questions
+// ("which part of C - z contains x?") reduce to first-step queries
+// stepToward(z, x) on T, so the whole construction is O(n log^2 n).
+
+#include <array>
+#include <vector>
+
+#include "decomp/centroid_internal.hpp"
+#include "decomp/tree_decomposition.hpp"
+#include "util/check.hpp"
+
+namespace treesched {
+
+namespace {
+
+/// Up to two anchors; kNoVertex marks unused slots.
+using Anchors = std::array<VertexId, 2>;
+
+constexpr Anchors kNoAnchors{kNoVertex, kNoVertex};
+
+Anchors makeAnchors(VertexId a, VertexId b = kNoVertex) { return {a, b}; }
+
+int anchorCount(const Anchors& anchors) {
+  int c = 0;
+  for (const VertexId a : anchors) {
+    if (a != kNoVertex) ++c;
+  }
+  return c;
+}
+
+struct WorkItem {
+  VertexId rep;      ///< any vertex of the component
+  VertexId hParent;  ///< node the component's H-root attaches to
+  Anchors anchors;   ///< outside neighbours of the component (<= 2)
+};
+
+}  // namespace
+
+TreeDecomposition idealDecomposition(const TreeNetwork& tree) {
+  const std::int32_t n = tree.numVertices();
+  std::vector<VertexId> parent(static_cast<std::size_t>(n), kNoVertex);
+  detail::CentroidContext ctx(tree);
+
+  std::vector<WorkItem> stack;
+  stack.push_back({0, kNoVertex, kNoAnchors});
+  VertexId root = kNoVertex;
+
+  while (!stack.empty()) {
+    const WorkItem item = stack.back();
+    stack.pop_back();
+    const auto component = ctx.collectComponent(item.rep);
+    const VertexId z = ctx.findBalancer(component);
+
+    // Attachment vertices u'_i: the unique neighbour of each anchor inside
+    // the component; it is the first step from the anchor toward any
+    // component vertex.
+    Anchors attach = kNoAnchors;
+    for (int i = 0; i < 2; ++i) {
+      if (item.anchors[static_cast<std::size_t>(i)] != kNoVertex) {
+        attach[static_cast<std::size_t>(i)] = tree.stepToward(
+            item.anchors[static_cast<std::size_t>(i)], item.rep);
+      }
+    }
+
+    // key_i identifies the component of C - z holding u'_i via z's
+    // neighbour in its direction; kNoVertex when the anchor attaches to z
+    // itself (and is thereby "consumed" by this split).
+    Anchors key = kNoAnchors;
+    for (int i = 0; i < 2; ++i) {
+      const VertexId a = attach[static_cast<std::size_t>(i)];
+      if (a != kNoVertex && a != z) {
+        key[static_cast<std::size_t>(i)] = tree.stepToward(z, a);
+      }
+    }
+
+    const bool caseJunction = anchorCount(item.anchors) == 2 &&
+                              key[0] != kNoVertex && key[0] == key[1];
+
+    if (!caseJunction) {
+      // Cases 1 / 2(a) / root: plain balancer split. Each child component
+      // keeps z as a neighbour plus at most one original anchor.
+      parent[static_cast<std::size_t>(z)] = item.hParent;
+      if (item.hParent == kNoVertex) root = z;
+      ctx.markRemoved(z);
+      for (const AdjEntry& a : tree.neighbors(z)) {
+        if (ctx.removed(a.to)) continue;
+        Anchors childAnchors = makeAnchors(z);
+        for (int i = 0; i < 2; ++i) {
+          if (key[static_cast<std::size_t>(i)] == a.to) {
+            childAnchors[1] = item.anchors[static_cast<std::size_t>(i)];
+          }
+        }
+        checkThat(anchorCount(childAnchors) <= 2, "child has <= 2 anchors",
+                  __FILE__, __LINE__);
+        stack.push_back({a.to, z, childAnchors});
+      }
+      continue;
+    }
+
+    // Case 2(b): both anchors attach inside the same child component C1.
+    // The junction j is the unique vertex of C1 where the paths
+    // u1~u2, u1~z and u2~z meet; it becomes the H-root of this level and
+    // z its child.
+    const VertexId u1 = item.anchors[0];
+    const VertexId u2 = item.anchors[1];
+    const VertexId j = tree.meetingPoint(u1, u2, z);
+    checkThat(j != z && !ctx.removed(j), "junction lies inside C1", __FILE__,
+              __LINE__);
+    // z' = z's neighbour inside C1 (first step from z toward j).
+    const VertexId zPrime = tree.stepToward(z, j);
+
+    parent[static_cast<std::size_t>(j)] = item.hParent;
+    if (item.hParent == kNoVertex) root = j;
+    parent[static_cast<std::size_t>(z)] = j;
+    ctx.markRemoved(z);
+    ctx.markRemoved(j);
+
+    // Children of z: the components C_i (i >= 2) of C - z (anchors {z})
+    // and — when z' survives — the component C'_1 of C1 - j containing z'
+    // (anchors {j, z}).
+    for (const AdjEntry& a : tree.neighbors(z)) {
+      if (ctx.removed(a.to)) continue;
+      if (a.to == zPrime) {
+        stack.push_back({a.to, z, makeAnchors(j, z)});
+      } else {
+        stack.push_back({a.to, z, makeAnchors(z)});
+      }
+    }
+    // Children of j: the remaining components of C1 - j. The one holding
+    // z' (direction stepToward(j, z')) was already attached under z above.
+    const VertexId towardZ = (zPrime == j) ? kNoVertex : tree.stepToward(j, zPrime);
+    for (const AdjEntry& a : tree.neighbors(j)) {
+      if (ctx.removed(a.to)) continue;
+      if (a.to == towardZ) continue;  // C'_1, handled from z's side
+      Anchors childAnchors = makeAnchors(j);
+      for (int i = 0; i < 2; ++i) {
+        const VertexId at = attach[static_cast<std::size_t>(i)];
+        if (at != kNoVertex && at != j && tree.stepToward(j, at) == a.to) {
+          checkThat(childAnchors[1] == kNoVertex,
+                    "at most one anchor per junction child", __FILE__, __LINE__);
+          childAnchors[1] = item.anchors[static_cast<std::size_t>(i)];
+        }
+      }
+      stack.push_back({a.to, j, childAnchors});
+    }
+  }
+
+  return finalizeDecomposition(tree.id(), root, std::move(parent));
+}
+
+}  // namespace treesched

@@ -1,0 +1,183 @@
+#include "decomp/layering.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace treesched {
+
+namespace {
+
+/// Appends the wings of vertex y on the path u--v of `tree` (the path
+/// edges adjacent to y, §4.4) as global edge ids. y must lie on the path.
+void appendWings(const TreeNetwork& tree, const InstanceUniverse& universe,
+                 TreeId network, VertexId y, VertexId u, VertexId v,
+                 std::vector<GlobalEdgeId>& out) {
+  if (y != u) {
+    const EdgeId e = tree.edgeBetween(y, tree.stepToward(y, u));
+    checkThat(e != kNoEdge, "wing toward u exists", __FILE__, __LINE__);
+    out.push_back(universe.globalEdge(network, e));
+  }
+  if (y != v) {
+    const EdgeId e = tree.edgeBetween(y, tree.stepToward(y, v));
+    checkThat(e != kNoEdge, "wing toward v exists", __FILE__, __LINE__);
+    out.push_back(universe.globalEdge(network, e));
+  }
+}
+
+}  // namespace
+
+TreeLayeringResult buildTreeLayering(const TreeProblem& problem,
+                                     const InstanceUniverse& universe,
+                                     DecompositionKind kind) {
+  checkThat(universe.kind() == InstanceUniverse::Kind::Tree, "tree universe",
+            __FILE__, __LINE__);
+  TreeLayeringResult result;
+  result.decompositions.reserve(static_cast<std::size_t>(problem.numNetworks()));
+  std::vector<std::vector<std::vector<VertexId>>> pivotSets;
+  pivotSets.reserve(static_cast<std::size_t>(problem.numNetworks()));
+  std::int32_t maxLen = 0;
+  for (TreeId t = 0; t < problem.numNetworks(); ++t) {
+    const TreeNetwork& tree = problem.networks[static_cast<std::size_t>(t)];
+    result.decompositions.push_back(buildDecomposition(tree, kind));
+    pivotSets.push_back(computePivotSets(tree, result.decompositions.back()));
+    maxLen = std::max(maxLen, result.decompositions.back().maxDepth());
+  }
+
+  Layering& lay = result.layering;
+  lay.numGroups = maxLen;
+  const std::int32_t numInst = universe.numInstances();
+  lay.group.resize(static_cast<std::size_t>(numInst));
+  lay.criticalOffset.assign(static_cast<std::size_t>(numInst) + 1, 0);
+  result.captureNodes.resize(static_cast<std::size_t>(numInst));
+
+  std::vector<GlobalEdgeId> buffer;
+  for (InstanceId i = 0; i < numInst; ++i) {
+    const InstanceRecord& rec = universe.instance(i);
+    const TreeNetwork& tree =
+        problem.networks[static_cast<std::size_t>(rec.network)];
+    const TreeDecomposition& h =
+        result.decompositions[static_cast<std::size_t>(rec.network)];
+
+    // Group: instances captured deepest go first (paper's sigma reverses
+    // the depth order, §4.4). 0-based: group = localDepth(max) - depth(mu).
+    const VertexId mu = captureNode(tree, h, rec.u, rec.v);
+    result.captureNodes[static_cast<std::size_t>(i)] = mu;
+    const std::int32_t localMax = h.maxDepth();
+    lay.group[static_cast<std::size_t>(i)] =
+        localMax - h.depth[static_cast<std::size_t>(mu)];
+
+    // Critical edges pi(d): wings of mu, plus wings of the bending point
+    // of path(d) with respect to every pivot of C(mu).
+    buffer.clear();
+    appendWings(tree, universe, rec.network, mu, rec.u, rec.v, buffer);
+    for (const VertexId w :
+         pivotSets[static_cast<std::size_t>(rec.network)]
+                  [static_cast<std::size_t>(mu)]) {
+      const VertexId bend = tree.meetingPoint(rec.u, rec.v, w);
+      appendWings(tree, universe, rec.network, bend, rec.u, rec.v, buffer);
+    }
+    std::sort(buffer.begin(), buffer.end());
+    buffer.erase(std::unique(buffer.begin(), buffer.end()), buffer.end());
+    lay.criticalPool.insert(lay.criticalPool.end(), buffer.begin(), buffer.end());
+    lay.criticalOffset[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::int32_t>(lay.criticalPool.size());
+    lay.maxCriticalSize = std::max(lay.maxCriticalSize,
+                                   static_cast<std::int32_t>(buffer.size()));
+  }
+  return result;
+}
+
+Layering buildLineLayering(const InstanceUniverse& universe) {
+  checkThat(universe.kind() == InstanceUniverse::Kind::Line, "line universe",
+            __FILE__, __LINE__);
+  Layering lay;
+  const std::int32_t numInst = universe.numInstances();
+  lay.group.resize(static_cast<std::size_t>(numInst));
+  lay.criticalOffset.assign(static_cast<std::size_t>(numInst) + 1, 0);
+  if (numInst == 0) {
+    lay.numGroups = 0;
+    return lay;
+  }
+
+  std::int32_t minLen = universe.instance(0).pathLength();
+  for (InstanceId i = 0; i < numInst; ++i) {
+    minLen = std::min(minLen, universe.instance(i).pathLength());
+  }
+
+  for (InstanceId i = 0; i < numInst; ++i) {
+    const InstanceRecord& rec = universe.instance(i);
+    // Factor-2 length buckets, shortest first: len in
+    // [2^g * Lmin, 2^(g+1) * Lmin).
+    const std::int32_t len = rec.pathLength();
+    std::int32_t g = 0;
+    while ((static_cast<std::int64_t>(minLen) << (g + 1)) <= len) ++g;
+    lay.group[static_cast<std::size_t>(i)] = g;
+    lay.numGroups = std::max(lay.numGroups, g + 1);
+
+    // pi(d) = slots {start, mid, end} of the execution segment.
+    const std::int32_t network = rec.network;
+    const std::int32_t mid = (rec.u + rec.v) / 2;
+    GlobalEdgeId wings[3] = {universe.globalEdge(network, rec.u),
+                             universe.globalEdge(network, mid),
+                             universe.globalEdge(network, rec.v)};
+    std::sort(std::begin(wings), std::end(wings));
+    const auto* end = std::unique(std::begin(wings), std::end(wings));
+    for (const auto* p = std::begin(wings); p != end; ++p) {
+      lay.criticalPool.push_back(*p);
+    }
+    lay.criticalOffset[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::int32_t>(lay.criticalPool.size());
+    lay.maxCriticalSize =
+        std::max(lay.maxCriticalSize,
+                 static_cast<std::int32_t>(end - std::begin(wings)));
+  }
+  return lay;
+}
+
+std::string checkLayering(const InstanceUniverse& universe,
+                          const Layering& layering) {
+  const std::int32_t numInst = universe.numInstances();
+  checkThat(static_cast<std::int32_t>(layering.group.size()) == numInst,
+            "layering covers universe", __FILE__, __LINE__);
+  for (InstanceId d1 = 0; d1 < numInst; ++d1) {
+    // Critical edges must lie on the instance's own path.
+    const auto p1 = universe.path(d1);
+    for (const GlobalEdgeId e : layering.critical(d1)) {
+      if (std::find(p1.begin(), p1.end(), e) == p1.end()) {
+        std::ostringstream os;
+        os << "critical edge " << e << " of instance " << d1
+           << " is not on its path";
+        return os.str();
+      }
+    }
+    for (InstanceId d2 = 0; d2 < numInst; ++d2) {
+      if (d1 == d2) continue;
+      if (layering.group[static_cast<std::size_t>(d1)] >
+          layering.group[static_cast<std::size_t>(d2)]) {
+        continue;
+      }
+      if (!universe.overlapping(d1, d2)) continue;
+      const auto p2 = universe.path(d2);
+      bool hit = false;
+      for (const GlobalEdgeId e : layering.critical(d1)) {
+        if (std::find(p2.begin(), p2.end(), e) != p2.end()) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) {
+        std::ostringstream os;
+        os << "interference property violated: instance " << d1 << " (group "
+           << layering.group[static_cast<std::size_t>(d1)] << ") vs instance "
+           << d2 << " (group " << layering.group[static_cast<std::size_t>(d2)]
+           << ")";
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace treesched

@@ -1,0 +1,232 @@
+#include "decomp/tree_decomposition.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace treesched {
+
+std::int32_t TreeDecomposition::maxDepth() const {
+  std::int32_t best = 0;
+  for (const std::int32_t d : depth) {
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+VertexId TreeDecomposition::lca(VertexId x, VertexId y) const {
+  checkIndex(x, numVertices(), "H vertex x");
+  checkIndex(y, numVertices(), "H vertex y");
+  while (x != y) {
+    if (depth[static_cast<std::size_t>(x)] >= depth[static_cast<std::size_t>(y)]) {
+      x = parent[static_cast<std::size_t>(x)];
+    } else {
+      y = parent[static_cast<std::size_t>(y)];
+    }
+  }
+  return x;
+}
+
+bool TreeDecomposition::isAncestorOrSelf(VertexId anc, VertexId v) const {
+  while (v != kNoVertex &&
+         depth[static_cast<std::size_t>(v)] >= depth[static_cast<std::size_t>(anc)]) {
+    if (v == anc) return true;
+    v = parent[static_cast<std::size_t>(v)];
+  }
+  return false;
+}
+
+TreeDecomposition finalizeDecomposition(TreeId network, VertexId root,
+                                        std::vector<VertexId> parent) {
+  TreeDecomposition h;
+  h.network = network;
+  h.root = root;
+  h.parent = std::move(parent);
+  const std::int32_t n = h.numVertices();
+  checkIndex(root, n, "decomposition root");
+  checkThat(h.parent[static_cast<std::size_t>(root)] == kNoVertex,
+            "root has no parent", __FILE__, __LINE__);
+
+  // Depth by BFS over children lists; verifies single root & acyclicity.
+  std::vector<std::vector<VertexId>> children(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId p = h.parent[static_cast<std::size_t>(v)];
+    if (v == root) continue;
+    checkThat(p != kNoVertex, "non-root has a parent", __FILE__, __LINE__);
+    checkIndex(p, n, "H parent");
+    children[static_cast<std::size_t>(p)].push_back(v);
+  }
+  h.depth.assign(static_cast<std::size_t>(n), 0);
+  std::queue<VertexId> frontier;
+  frontier.push(root);
+  h.depth[static_cast<std::size_t>(root)] = 1;  // paper convention
+  std::int32_t reached = 0;
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    ++reached;
+    for (const VertexId c : children[static_cast<std::size_t>(v)]) {
+      h.depth[static_cast<std::size_t>(c)] = h.depth[static_cast<std::size_t>(v)] + 1;
+      frontier.push(c);
+    }
+  }
+  checkThat(reached == n, "decomposition is a single rooted tree", __FILE__,
+            __LINE__);
+  return h;
+}
+
+std::vector<std::vector<VertexId>> computePivotSets(const TreeNetwork& tree,
+                                                    const TreeDecomposition& h) {
+  const std::int32_t n = tree.numVertices();
+  checkThat(h.numVertices() == n, "decomposition covers the tree", __FILE__,
+            __LINE__);
+  std::vector<std::vector<VertexId>> pivots(static_cast<std::size_t>(n));
+  // For each T-edge (v, w): w neighbours C(z) exactly when v is in C(z) and
+  // w is not, i.e. z lies on v's H-root-path strictly below H-lca(v, w).
+  for (EdgeId e = 0; e < tree.numEdges(); ++e) {
+    const auto [a, b] = tree.edge(e);
+    const VertexId meet = h.lca(a, b);
+    for (const auto& [v, w] : {std::pair{a, b}, std::pair{b, a}}) {
+      for (VertexId z = v; z != meet; z = h.parent[static_cast<std::size_t>(z)]) {
+        pivots[static_cast<std::size_t>(z)].push_back(w);
+      }
+    }
+  }
+  for (auto& p : pivots) {
+    std::sort(p.begin(), p.end());
+    p.erase(std::unique(p.begin(), p.end()), p.end());
+  }
+  return pivots;
+}
+
+std::int32_t pivotSize(const TreeNetwork& tree, const TreeDecomposition& h) {
+  std::int32_t best = 0;
+  for (const auto& p : computePivotSets(tree, h)) {
+    best = std::max(best, static_cast<std::int32_t>(p.size()));
+  }
+  return best;
+}
+
+VertexId captureNode(const TreeNetwork& tree, const TreeDecomposition& h,
+                     VertexId u, VertexId v) {
+  VertexId best = kNoVertex;
+  for (const VertexId x : tree.pathVertices(u, v)) {
+    if (best == kNoVertex ||
+        h.depth[static_cast<std::size_t>(x)] < h.depth[static_cast<std::size_t>(best)]) {
+      best = x;
+    }
+  }
+  return best;
+}
+
+std::string checkTreeDecomposition(const TreeNetwork& tree,
+                                   const TreeDecomposition& h) {
+  const std::int32_t n = tree.numVertices();
+  if (h.numVertices() != n) {
+    return "vertex count mismatch";
+  }
+
+  // Property (ii): every C(z) induces a connected subtree. Equivalent
+  // local form: for every non-root z, the H-parent edge direction must be
+  // a T-neighbour of the component C(z) — we check the global form
+  // directly by BFS inside each C(z).
+  for (VertexId z = 0; z < n; ++z) {
+    std::vector<bool> inComp(static_cast<std::size_t>(n), false);
+    std::int32_t compSize = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (h.isAncestorOrSelf(z, v)) {
+        inComp[static_cast<std::size_t>(v)] = true;
+        ++compSize;
+      }
+    }
+    // BFS in T restricted to the component.
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    std::queue<VertexId> frontier;
+    frontier.push(z);
+    seen[static_cast<std::size_t>(z)] = true;
+    std::int32_t reached = 0;
+    while (!frontier.empty()) {
+      const VertexId v = frontier.front();
+      frontier.pop();
+      ++reached;
+      for (const AdjEntry& a : tree.neighbors(v)) {
+        if (inComp[static_cast<std::size_t>(a.to)] &&
+            !seen[static_cast<std::size_t>(a.to)]) {
+          seen[static_cast<std::size_t>(a.to)] = true;
+          frontier.push(a.to);
+        }
+      }
+    }
+    if (reached != compSize) {
+      std::ostringstream os;
+      os << "C(" << z << ") is not connected in T";
+      return os.str();
+    }
+  }
+
+  // Property (i): for every vertex pair (x, y), the T-path between them
+  // contains H-lca(x, y).
+  for (VertexId x = 0; x < n; ++x) {
+    for (VertexId y = x + 1; y < n; ++y) {
+      const VertexId meet = h.lca(x, y);
+      if (!tree.onPath(meet, x, y)) {
+        std::ostringstream os;
+        os << "T-path " << x << "--" << y << " misses H-lca " << meet;
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+TreeDecomposition rootFixingDecomposition(const TreeNetwork& tree,
+                                          VertexId root) {
+  const std::int32_t n = tree.numVertices();
+  std::vector<VertexId> parent(static_cast<std::size_t>(n), kNoVertex);
+  // BFS from the chosen root along T edges.
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::queue<VertexId> frontier;
+  frontier.push(root);
+  seen[static_cast<std::size_t>(root)] = true;
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    for (const AdjEntry& a : tree.neighbors(v)) {
+      if (!seen[static_cast<std::size_t>(a.to)]) {
+        seen[static_cast<std::size_t>(a.to)] = true;
+        parent[static_cast<std::size_t>(a.to)] = v;
+        frontier.push(a.to);
+      }
+    }
+  }
+  return finalizeDecomposition(tree.id(), root, std::move(parent));
+}
+
+TreeDecomposition buildDecomposition(const TreeNetwork& tree,
+                                     DecompositionKind kind) {
+  switch (kind) {
+    case DecompositionKind::RootFixing:
+      return rootFixingDecomposition(tree);
+    case DecompositionKind::Balancing:
+      return balancingDecomposition(tree);
+    case DecompositionKind::Ideal:
+      return idealDecomposition(tree);
+  }
+  throw CheckError("unknown DecompositionKind");
+}
+
+std::string decompositionKindName(DecompositionKind kind) {
+  switch (kind) {
+    case DecompositionKind::RootFixing:
+      return "root-fixing";
+    case DecompositionKind::Balancing:
+      return "balancing";
+    case DecompositionKind::Ideal:
+      return "ideal";
+  }
+  return "?";
+}
+
+}  // namespace treesched

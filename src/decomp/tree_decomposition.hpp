@@ -1,0 +1,96 @@
+// Tree decompositions (paper §4).
+//
+// A tree decomposition of a tree-network T is a rooted tree H over the same
+// vertex set such that
+//   (i)  every T-path through vertices x and y also passes through their
+//        H-LCA ("LCA property");
+//   (ii) for every node z, C(z) = {z} + H-descendants(z) induces a
+//        connected subtree of T.
+// Its *pivot set* chi(z) is the T-neighbourhood of C(z); the decomposition
+// is measured by its depth and its pivot size theta = max |chi(z)|.
+//
+// Three constructions are provided (paper §4.2-§4.3):
+//   * rootFixingDecomposition  — depth <= n,          theta = 1;
+//   * balancingDecomposition   — depth <= ceil(lg n)+1, theta <= depth;
+//   * idealDecomposition       — depth <= 2 ceil(lg n)+1, theta <= 2
+//     (Lemma 4.1 — the paper's first main technical contribution).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/tree_network.hpp"
+
+namespace treesched {
+
+/// A rooted tree H over the vertex set of one tree-network.
+/// depth() follows the paper's convention: the root has depth 1.
+struct TreeDecomposition {
+  TreeId network = 0;
+  VertexId root = 0;
+  std::vector<VertexId> parent;       ///< H-parent; kNoVertex for the root.
+  std::vector<std::int32_t> depth;    ///< H-depth, root == 1.
+
+  std::int32_t numVertices() const {
+    return static_cast<std::int32_t>(parent.size());
+  }
+  /// Maximum depth over all nodes.
+  std::int32_t maxDepth() const;
+
+  /// H-LCA by parent walking (O(depth)).
+  VertexId lca(VertexId x, VertexId y) const;
+
+  /// True iff `anc` is an ancestor of `v` in H (or anc == v).
+  bool isAncestorOrSelf(VertexId anc, VertexId v) const;
+};
+
+/// Builds parent/depth arrays into a decomposition and validates basic
+/// shape (single root, acyclic, depths consistent).
+TreeDecomposition finalizeDecomposition(TreeId network, VertexId root,
+                                        std::vector<VertexId> parent);
+
+/// chi(z) for every z: the T-neighbours of C(z). theta is the max size.
+/// O(n * depth) using the ancestor characterization: for a T-edge (v, w),
+/// w is a neighbour of C(z) exactly for the z on v's H-root-path that are
+/// not on w's H-root-path.
+std::vector<std::vector<VertexId>> computePivotSets(const TreeNetwork& tree,
+                                                    const TreeDecomposition& h);
+
+/// Max |chi(z)|.
+std::int32_t pivotSize(const TreeNetwork& tree, const TreeDecomposition& h);
+
+/// The capture node mu(d) of the T-path u--v: the path vertex with the
+/// least H-depth; unique by the LCA property (§4.4).
+VertexId captureNode(const TreeNetwork& tree, const TreeDecomposition& h,
+                     VertexId u, VertexId v);
+
+/// Exhaustively checks both decomposition properties. O(n^2 log n); meant
+/// for tests and small instances. Returns an empty string when valid, else
+/// a description of the first violation.
+std::string checkTreeDecomposition(const TreeNetwork& tree,
+                                   const TreeDecomposition& h);
+
+/// §4.2: H := T rooted at `root`. Pivot size 1, depth up to n.
+TreeDecomposition rootFixingDecomposition(const TreeNetwork& tree,
+                                          VertexId root = 0);
+
+/// §4.2: recursive balancer (centroid) decomposition. Depth <=
+/// ceil(lg n)+1, pivot size up to the depth.
+TreeDecomposition balancingDecomposition(const TreeNetwork& tree);
+
+/// §4.3: the ideal decomposition — balancers plus junction nodes keep every
+/// component's neighbourhood at size <= 2. Depth <= 2 ceil(lg n)+1,
+/// pivot size <= 2 (Lemma 4.1).
+TreeDecomposition idealDecomposition(const TreeNetwork& tree);
+
+/// Selector used by ablation experiments (E10).
+enum class DecompositionKind { RootFixing, Balancing, Ideal };
+
+TreeDecomposition buildDecomposition(const TreeNetwork& tree,
+                                     DecompositionKind kind);
+
+/// Human-readable name for tables.
+std::string decompositionKindName(DecompositionKind kind);
+
+}  // namespace treesched

@@ -1,0 +1,91 @@
+#include "exact/brute_force.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace treesched {
+
+namespace {
+
+class Searcher {
+ public:
+  Searcher(const InstanceUniverse& universe, std::int64_t nodeBudget)
+      : universe_(universe), oracle_(universe), budget_(nodeBudget) {
+    order_.resize(static_cast<std::size_t>(universe.numDemands()));
+    for (DemandId d = 0; d < universe.numDemands(); ++d) {
+      order_[static_cast<std::size_t>(d)] = d;
+    }
+    // Descending profit improves pruning: big contributors are fixed early.
+    std::sort(order_.begin(), order_.end(), [&](DemandId a, DemandId b) {
+      const double pa = demandProfit(a);
+      const double pb = demandProfit(b);
+      if (pa != pb) return pa > pb;
+      return a < b;
+    });
+    suffixProfit_.assign(order_.size() + 1, 0.0);
+    for (std::size_t i = order_.size(); i-- > 0;) {
+      suffixProfit_[i] = suffixProfit_[i + 1] + demandProfit(order_[i]);
+    }
+  }
+
+  ExactResult run() {
+    dfs(0);
+    result_.provedOptimal = !budgetExhausted_;
+    return result_;
+  }
+
+ private:
+  double demandProfit(DemandId d) const {
+    const auto instances = universe_.instancesOfDemand(d);
+    // All instances of a demand share its profit; a demand with no
+    // instance contributes nothing.
+    return instances.empty() ? 0.0 : universe_.instance(instances[0]).profit;
+  }
+
+  void dfs(std::size_t level) {
+    if (budgetExhausted_) return;
+    if (++result_.nodesExplored > budget_) {
+      budgetExhausted_ = true;
+      return;
+    }
+    if (oracle_.profit() + suffixProfit_[level] <= result_.profit) {
+      return;  // bound: cannot beat the incumbent
+    }
+    if (level == order_.size()) {
+      if (oracle_.profit() > result_.profit) {
+        result_.profit = oracle_.profit();
+        result_.solution = oracle_.solution();
+      }
+      return;
+    }
+    const DemandId d = order_[level];
+    // Branch 1..k: take one feasible instance of d.
+    for (const InstanceId i : universe_.instancesOfDemand(d)) {
+      if (oracle_.canAdd(i)) {
+        oracle_.add(i);
+        dfs(level + 1);
+        oracle_.remove(i);
+        if (budgetExhausted_) return;
+      }
+    }
+    // Branch 0: skip d.
+    dfs(level + 1);
+  }
+
+  const InstanceUniverse& universe_;
+  FeasibilityOracle oracle_;
+  std::int64_t budget_;
+  bool budgetExhausted_ = false;
+  std::vector<DemandId> order_;
+  std::vector<double> suffixProfit_;
+  ExactResult result_;
+};
+
+}  // namespace
+
+ExactResult bruteForceExact(const InstanceUniverse& universe,
+                            std::int64_t nodeBudget) {
+  return Searcher(universe, nodeBudget).run();
+}
+
+}  // namespace treesched

@@ -1,0 +1,33 @@
+// Exact solver by branch-and-bound over demand assignments.
+//
+// Needed to *measure* approximation ratios (the paper proves bounds but
+// reports no optima — experiments E3, E5-E8 compare against this on small
+// instances and against the LP-dual upper bound at scale).
+//
+// Search tree: demands in descending-profit order; each level either skips
+// the demand or adds one of its feasible instances. Pruning: current
+// profit + sum of remaining demands' profits <= incumbent.
+#pragma once
+
+#include <cstdint>
+
+#include "core/solution.hpp"
+#include "core/universe.hpp"
+
+namespace treesched {
+
+struct ExactResult {
+  Solution solution;
+  double profit = 0;
+  /// False if the node budget expired; `solution` is then only the best
+  /// found (a valid lower bound on OPT).
+  bool provedOptimal = true;
+  std::int64_t nodesExplored = 0;
+};
+
+/// Runs branch-and-bound. Exponential in the number of demands; intended
+/// for instances with <= ~30 demands (budget guards the rest).
+ExactResult bruteForceExact(const InstanceUniverse& universe,
+                            std::int64_t nodeBudget = 20'000'000);
+
+}  // namespace treesched

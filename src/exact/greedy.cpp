@@ -1,0 +1,31 @@
+#include "exact/greedy.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace treesched {
+
+GreedyResult greedyByProfit(const InstanceUniverse& universe) {
+  std::vector<InstanceId> order(static_cast<std::size_t>(universe.numInstances()));
+  for (InstanceId i = 0; i < universe.numInstances(); ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](InstanceId a, InstanceId b) {
+    const double pa = universe.instance(a).profit;
+    const double pb = universe.instance(b).profit;
+    if (pa != pb) return pa > pb;
+    return a < b;
+  });
+  FeasibilityOracle oracle(universe);
+  for (const InstanceId i : order) {
+    if (oracle.canAdd(i)) {
+      oracle.add(i);
+    }
+  }
+  GreedyResult result;
+  result.solution = oracle.solution();
+  result.profit = oracle.profit();
+  return result;
+}
+
+}  // namespace treesched

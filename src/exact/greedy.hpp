@@ -1,0 +1,18 @@
+// Profit-greedy baseline: instances in descending profit order, added when
+// feasible. No approximation guarantee on these problems; serves as the
+// "naive" comparator in the benchmark tables.
+#pragma once
+
+#include "core/solution.hpp"
+#include "core/universe.hpp"
+
+namespace treesched {
+
+struct GreedyResult {
+  Solution solution;
+  double profit = 0;
+};
+
+GreedyResult greedyByProfit(const InstanceUniverse& universe);
+
+}  // namespace treesched

@@ -1,0 +1,79 @@
+#include "exact/line_dp.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace treesched {
+
+LineDpResult lineDpExact(const LineProblem& problem) {
+  problem.validate();
+  checkThat(problem.numResources == 1, "lineDpExact: single resource",
+            __FILE__, __LINE__);
+  checkThat(problem.isUnitHeight(), "lineDpExact: unit heights", __FILE__,
+            __LINE__);
+  for (const WindowDemand& d : problem.demands) {
+    checkThat(d.release + d.processing - 1 == d.deadline,
+              "lineDpExact: tight windows (no slack)", __FILE__, __LINE__);
+  }
+
+  // Sort demands by interval end.
+  std::vector<DemandId> order(static_cast<std::size_t>(problem.numDemands()));
+  for (DemandId d = 0; d < problem.numDemands(); ++d) {
+    order[static_cast<std::size_t>(d)] = d;
+  }
+  std::sort(order.begin(), order.end(), [&](DemandId a, DemandId b) {
+    return problem.demands[static_cast<std::size_t>(a)].deadline <
+           problem.demands[static_cast<std::size_t>(b)].deadline;
+  });
+
+  const std::size_t m = order.size();
+  // pred[i]: largest j < i whose interval ends before order[i] starts.
+  std::vector<std::int32_t> pred(m, -1);
+  std::vector<std::int32_t> ends(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    ends[i] = problem.demands[static_cast<std::size_t>(order[i])].deadline;
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::int32_t start =
+        problem.demands[static_cast<std::size_t>(order[i])].release;
+    // Last interval with end < start.
+    const auto it = std::lower_bound(ends.begin(), ends.begin() +
+                                     static_cast<std::ptrdiff_t>(i), start);
+    pred[i] = static_cast<std::int32_t>(it - ends.begin()) - 1;
+  }
+
+  std::vector<double> dp(m + 1, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double take =
+        problem.demands[static_cast<std::size_t>(order[i])].profit +
+        dp[static_cast<std::size_t>(pred[i] + 1)];
+    dp[i + 1] = std::max(dp[i], take);
+  }
+
+  LineDpResult result;
+  result.profit = dp[m];
+  // Traceback.
+  std::size_t i = m;
+  while (i > 0) {
+    const double take =
+        problem.demands[static_cast<std::size_t>(order[i - 1])].profit +
+        dp[static_cast<std::size_t>(pred[i - 1] + 1)];
+    // dp[i] = max(dp[i-1], take); select when taking achieves the optimum.
+    if (take >= dp[i] - 1e-9 * std::max(1.0, dp[i])) {
+      const WindowDemand& d =
+          problem.demands[static_cast<std::size_t>(order[i - 1])];
+      result.assignments.push_back({d.id, 0, d.release});
+      i = static_cast<std::size_t>(pred[i - 1] + 1);
+    } else {
+      --i;
+    }
+  }
+  std::sort(result.assignments.begin(), result.assignments.end(),
+            [](const LineAssignment& a, const LineAssignment& b) {
+              return a.demand < b.demand;
+            });
+  return result;
+}
+
+}  // namespace treesched

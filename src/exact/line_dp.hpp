@@ -1,0 +1,25 @@
+// Exact dynamic program for the single-resource, unit-height, windowless
+// line problem (the Figure 1 setting): classic weighted interval
+// scheduling in O(m log m).
+//
+// Preconditions (checked): numResources == 1, all heights == 1, all
+// windows tight (release + processing - 1 == deadline), so every demand
+// has exactly one instance and "one instance per demand" is vacuous.
+#pragma once
+
+#include <vector>
+
+#include "algo/assignments.hpp"
+#include "core/line_problem.hpp"
+
+namespace treesched {
+
+struct LineDpResult {
+  std::vector<LineAssignment> assignments;
+  double profit = 0;
+};
+
+/// Throws CheckError when the preconditions fail.
+LineDpResult lineDpExact(const LineProblem& problem);
+
+}  // namespace treesched

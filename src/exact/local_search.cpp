@@ -1,0 +1,107 @@
+#include "exact/local_search.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace treesched {
+
+namespace {
+
+/// Candidate instances ordered by (profit desc, id asc).
+std::vector<InstanceId> candidateOrder(const InstanceUniverse& universe) {
+  std::vector<InstanceId> order(static_cast<std::size_t>(universe.numInstances()));
+  for (InstanceId i = 0; i < universe.numInstances(); ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](InstanceId a, InstanceId b) {
+    const double pa = universe.instance(a).profit;
+    const double pb = universe.instance(b).profit;
+    if (pa != pb) return pa > pb;
+    return a < b;
+  });
+  return order;
+}
+
+/// Greedily adds every fitting candidate; returns profit gained.
+double greedyFill(const InstanceUniverse& universe,
+                  const std::vector<InstanceId>& order,
+                  FeasibilityOracle& oracle, std::int32_t* added) {
+  double gained = 0;
+  for (const InstanceId i : order) {
+    if (oracle.canAdd(i)) {
+      oracle.add(i);
+      gained += universe.instance(i).profit;
+      if (added != nullptr) ++*added;
+    }
+  }
+  return gained;
+}
+
+}  // namespace
+
+LocalSearchResult improveSolution(const InstanceUniverse& universe,
+                                  const Solution& start,
+                                  std::int32_t maxPasses) {
+  requireFeasible(universe, start);
+  const std::vector<InstanceId> order = candidateOrder(universe);
+
+  FeasibilityOracle oracle(universe);
+  for (const InstanceId i : start.instances) {
+    oracle.add(i);
+  }
+
+  LocalSearchResult result;
+  bool improved = true;
+  while (improved && result.passes < maxPasses) {
+    improved = false;
+    ++result.passes;
+
+    // ADD moves: pure gain, always accepted.
+    std::int32_t added = 0;
+    if (greedyFill(universe, order, oracle, &added) > 0) {
+      improved = true;
+      result.addMoves += added;
+    }
+
+    // SWAP moves: for each member (ascending id for determinism), try
+    // removing it and refilling; keep iff strictly better.
+    const std::vector<InstanceId> members = [&] {
+      std::vector<InstanceId> m = oracle.solution().instances;
+      std::sort(m.begin(), m.end());
+      return m;
+    }();
+    for (const InstanceId victim : members) {
+      const double before = oracle.profit();
+      oracle.remove(victim);
+      std::vector<InstanceId> refill;
+      for (const InstanceId i : order) {
+        if (i == victim) continue;  // else the refill just re-adds it
+        if (oracle.canAdd(i)) {
+          oracle.add(i);
+          refill.push_back(i);
+        }
+      }
+      if (oracle.profit() > before + 1e-12) {
+        improved = true;
+        ++result.swapMoves;
+      } else {
+        // Revert: drop the refill, restore the victim.
+        for (const InstanceId i : refill) {
+          oracle.remove(i);
+        }
+        oracle.add(victim);
+      }
+    }
+  }
+
+  result.solution = oracle.solution();
+  std::sort(result.solution.instances.begin(), result.solution.instances.end());
+  result.profit = oracle.profit();
+  checkThat(result.profit >= solutionProfit(universe, start) - 1e-9,
+            "local search never degrades", __FILE__, __LINE__);
+  return result;
+}
+
+}  // namespace treesched

@@ -1,0 +1,36 @@
+// Local-search post-processing for schedules.
+//
+// The paper's algorithms leave value on the table by design (phase 2 is a
+// single greedy pass over the stack). This improver closes part of the gap
+// with two deterministic moves, iterated to a fixed point:
+//   * ADD: insert any instance that still fits (descending profit);
+//   * SWAP: remove one selected instance and greedily refill; keep the
+//     result iff total profit strictly improves.
+// The result is always feasible and never worse than the input, so the
+// theoretical guarantees carry over unchanged. Used by the E13 benchmark
+// to quantify how much a cheap sequential cleanup adds on top of each
+// algorithm (it is NOT part of the distributed protocol).
+#pragma once
+
+#include <cstdint>
+
+#include "core/solution.hpp"
+#include "core/universe.hpp"
+
+namespace treesched {
+
+struct LocalSearchResult {
+  Solution solution;
+  double profit = 0;
+  std::int32_t passes = 0;       ///< improvement passes executed
+  std::int32_t addMoves = 0;     ///< instances inserted by ADD
+  std::int32_t swapMoves = 0;    ///< accepted SWAP moves
+};
+
+/// Improves `start` (must be feasible) until a local optimum or
+/// `maxPasses`. Deterministic: candidate order is (profit desc, id asc).
+LocalSearchResult improveSolution(const InstanceUniverse& universe,
+                                  const Solution& start,
+                                  std::int32_t maxPasses = 16);
+
+}  // namespace treesched

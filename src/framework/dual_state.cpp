@@ -1,0 +1,12 @@
+#include "framework/dual_state.hpp"
+
+namespace treesched {
+
+double DualState::objective() const {
+  double total = 0;
+  for (const double a : alpha_) total += a;
+  for (const double b : beta_) total += b;
+  return total;
+}
+
+}  // namespace treesched

@@ -1,0 +1,54 @@
+// Incrementally maintained dual-constraint LHS per instance.
+//
+// A raise touches only the instances that share the raised demand or a
+// raised critical edge; the universe indexes both, so updating costs
+// O(|Inst(a)| + sum over raised edges of |instancesOnEdge|) instead of a
+// full rescan. Used by the two-phase engine and the sequential algorithm.
+#pragma once
+
+#include <vector>
+
+#include "core/universe.hpp"
+#include "framework/raise_policy.hpp"
+
+namespace treesched {
+
+class LhsTracker {
+ public:
+  LhsTracker(const InstanceUniverse& universe, RaiseRule rule)
+      : universe_(universe),
+        rule_(rule),
+        lhs_(static_cast<std::size_t>(universe.numInstances()), 0.0) {}
+
+  double lhs(InstanceId i) const { return lhs_[static_cast<std::size_t>(i)]; }
+
+  void onAlphaRaise(DemandId d, double by) {
+    for (const InstanceId i : universe_.instancesOfDemand(d)) {
+      lhs_[static_cast<std::size_t>(i)] += by;
+    }
+  }
+
+  void onBetaRaise(GlobalEdgeId e, double by) {
+    for (const InstanceId i : universe_.instancesOnEdge(e)) {
+      const double factor =
+          rule_ == RaiseRule::Narrow ? universe_.instance(i).height : 1.0;
+      lhs_[static_cast<std::size_t>(i)] += factor * by;
+    }
+  }
+
+  /// Applies a computed raise of instance `i` (alpha + its critical edges).
+  void onRaise(InstanceId i, std::span<const GlobalEdgeId> critical,
+               const RaiseAmounts& amounts) {
+    onAlphaRaise(universe_.instance(i).demand, amounts.alphaIncrement);
+    for (const GlobalEdgeId e : critical) {
+      onBetaRaise(e, amounts.betaIncrement);
+    }
+  }
+
+ private:
+  const InstanceUniverse& universe_;
+  RaiseRule rule_;
+  std::vector<double> lhs_;
+};
+
+}  // namespace treesched

@@ -1,0 +1,58 @@
+#include "framework/raise_policy.hpp"
+
+#include "util/check.hpp"
+
+namespace treesched {
+
+double dualLhs(RaiseRule rule, const InstanceUniverse& universe,
+               const DualState& dual, InstanceId i) {
+  const InstanceRecord& rec = universe.instance(i);
+  double betaSum = 0;
+  for (const GlobalEdgeId e : universe.path(i)) {
+    betaSum += dual.beta(e);
+  }
+  switch (rule) {
+    case RaiseRule::Unit:
+      return dual.alpha(rec.demand) + betaSum;
+    case RaiseRule::Narrow:
+      return dual.alpha(rec.demand) + rec.height * betaSum;
+  }
+  throw CheckError("unknown RaiseRule");
+}
+
+RaiseAmounts computeRaise(RaiseRule rule, const InstanceUniverse& universe,
+                          InstanceId i, std::span<const GlobalEdgeId> critical,
+                          double slack) {
+  checkThat(slack > 0, "raise requires positive slack", __FILE__, __LINE__);
+  const double piSize = static_cast<double>(critical.size());
+  RaiseAmounts amounts;
+  switch (rule) {
+    case RaiseRule::Unit: {
+      const double delta = slack / (piSize + 1.0);
+      amounts.alphaIncrement = delta;
+      amounts.betaIncrement = delta;
+      return amounts;
+    }
+    case RaiseRule::Narrow: {
+      const double h = universe.instance(i).height;
+      checkThat(isNarrow(h), "narrow rule applied to narrow instance",
+                __FILE__, __LINE__);
+      const double delta = slack / (1.0 + 2.0 * h * piSize * piSize);
+      amounts.alphaIncrement = delta;
+      amounts.betaIncrement = 2.0 * piSize * delta;
+      return amounts;
+    }
+  }
+  throw CheckError("unknown RaiseRule");
+}
+
+void applyRaise(DualState& dual, const InstanceUniverse& universe, InstanceId i,
+                std::span<const GlobalEdgeId> critical,
+                const RaiseAmounts& amounts) {
+  dual.raiseAlpha(universe.instance(i).demand, amounts.alphaIncrement);
+  for (const GlobalEdgeId e : critical) {
+    dual.raiseBeta(e, amounts.betaIncrement);
+  }
+}
+
+}  // namespace treesched

@@ -1,0 +1,48 @@
+// Dual-raising rules of the two-phase framework.
+//
+// Unit rule (paper §3.2, used for unit-height and wide instances):
+//   dual constraint  alpha(a_d) + sum_{e ~ d} beta(e) >= p(d)
+//   slack            s = p(d) - lhs
+//   raise            delta = s / (|pi(d)| + 1);
+//                    alpha += delta, beta(e) += delta  for e in pi(d).
+//
+// Narrow rule (paper §6.1, for heights <= 1/2):
+//   dual constraint  alpha(a_d) + h(d) * sum_{e ~ d} beta(e) >= p(d)
+//   slack            s = p(d) - lhs
+//   raise            delta = s / (1 + 2 h(d) |pi(d)|^2);
+//                    alpha += delta, beta(e) += 2 |pi(d)| delta for e in pi(d).
+//
+// Both make the constraint exactly tight.
+#pragma once
+
+#include <span>
+
+#include "core/universe.hpp"
+#include "framework/dual_state.hpp"
+
+namespace treesched {
+
+enum class RaiseRule { Unit, Narrow };
+
+/// LHS of the dual constraint of instance `i` under the given rule.
+double dualLhs(RaiseRule rule, const InstanceUniverse& universe,
+               const DualState& dual, InstanceId i);
+
+/// Amounts by which one raise of `i` changes the duals.
+struct RaiseAmounts {
+  double alphaIncrement = 0;  ///< added to alpha(a_d)
+  double betaIncrement = 0;   ///< added to beta(e) for every e in pi(d)
+};
+
+/// Computes the raise that tightens i's dual constraint. `critical` is
+/// pi(i); `slack` must be the current positive slack p(i) - lhs(i).
+RaiseAmounts computeRaise(RaiseRule rule, const InstanceUniverse& universe,
+                          InstanceId i, std::span<const GlobalEdgeId> critical,
+                          double slack);
+
+/// Applies the raise to the dual state.
+void applyRaise(DualState& dual, const InstanceUniverse& universe, InstanceId i,
+                std::span<const GlobalEdgeId> critical,
+                const RaiseAmounts& amounts);
+
+}  // namespace treesched

@@ -1,0 +1,46 @@
+// Stage scheduling for phase 1 (paper §5, §6, §7 + PS baseline remark).
+//
+// Staged (this paper): epoch k processes group G_k in stages j = 1..b;
+// stage j loops MIS+raise steps until every member is (1 - xi^j)-satisfied.
+// After stage b >= log_xi(eps), all members are (1 - eps)-satisfied, so the
+// framework's slackness is lambda = 1 - eps.
+//   * Unit rule (§5):   xi = 2*Delta' / (2*Delta' + 1),  Delta' = Delta + 1
+//     (Delta = 6 -> xi = 14/15; Delta = 3 -> xi = 8/9, exactly §5/§7).
+//   * Narrow rule (§6): xi = K / (K + hmin) "for a suitable constant" — we
+//     re-derive Claim 5.2 under the narrow raise: a kill contributes
+//     >= 2*hmin*|pi|*delta >= 2*hmin*delta to the victim's LHS while
+//     delta >= xi^j * p / (1 + 2*Delta^2); requiring the killer/victim
+//     profit ratio >= 2 gives xi/(1-xi) >= (1 + 2*Delta^2)/hmin, i.e.
+//     K = 1 + 2*Delta^2 (73 for trees, 19 for lines).
+//
+// Threshold (Panconesi–Sozio baseline, §5 Remark): one stage per epoch with
+// the fixed target lambda = 1/(5 + eps); an instance that reaches it is
+// ignored for the rest of phase 1.
+#pragma once
+
+#include <cstdint>
+
+#include "framework/raise_policy.hpp"
+
+namespace treesched {
+
+enum class SchedulePolicy { Staged, Threshold };
+
+/// Per-epoch stage plan: number of stages and each stage's satisfaction
+/// target in [0, 1].
+struct StagePlan {
+  SchedulePolicy policy = SchedulePolicy::Staged;
+  double xi = 0;                ///< staged decay factor (unused by Threshold)
+  std::int32_t numStages = 1;   ///< b
+  double lambdaTarget = 0;      ///< slackness guaranteed at end of phase 1
+
+  /// Satisfaction target of stage j (1-based).
+  double stageTarget(std::int32_t j) const;
+};
+
+/// Builds the plan. `delta` is the layering's critical-set size; `hmin`
+/// is only read for RaiseRule::Narrow.
+StagePlan makeStagePlan(SchedulePolicy policy, RaiseRule rule, double epsilon,
+                        std::int32_t delta, double hmin);
+
+}  // namespace treesched

@@ -1,0 +1,154 @@
+#include "framework/two_phase.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/tolerances.hpp"
+#include "framework/lhs_tracker.hpp"
+#include "framework/mis.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace treesched {
+
+double approximationBound(RaiseRule rule, std::int32_t delta, double lambda) {
+  checkThat(lambda > 0, "lambda positive", __FILE__, __LINE__);
+  switch (rule) {
+    case RaiseRule::Unit:
+      return (static_cast<double>(delta) + 1.0) / lambda;
+    case RaiseRule::Narrow:
+      return (2.0 * static_cast<double>(delta) * static_cast<double>(delta) +
+              1.0) /
+             lambda;
+  }
+  throw CheckError("unknown RaiseRule");
+}
+
+TwoPhaseResult runTwoPhase(const InstanceUniverse& universe,
+                           const Layering& layering,
+                           const FrameworkConfig& config) {
+  checkThat(universe.conflictsBuilt(), "conflicts built before runTwoPhase",
+            __FILE__, __LINE__);
+  TwoPhaseResult result;
+  const std::int32_t numInst = universe.numInstances();
+  result.stats.delta = layering.maxCriticalSize;
+  if (numInst == 0) {
+    result.stats.lambdaTarget = 1.0;
+    result.stats.lambdaMeasured = 1.0;
+    return result;
+  }
+
+  const StagePlan plan =
+      makeStagePlan(config.schedule, config.raise, config.epsilon,
+                    std::max<std::int32_t>(1, layering.maxCriticalSize),
+                    config.hmin);
+  result.stats.lambdaTarget = plan.lambdaTarget;
+
+  // Group membership lists (epoch k processes group k).
+  std::vector<std::vector<InstanceId>> members(
+      static_cast<std::size_t>(layering.numGroups));
+  for (InstanceId i = 0; i < numInst; ++i) {
+    members[static_cast<std::size_t>(layering.group[static_cast<std::size_t>(i)])]
+        .push_back(i);
+  }
+
+  DualState dual(universe);
+  LhsTracker lhs(universe, config.raise);
+
+  std::int32_t stepsPerStage = config.stepsPerStage;
+  if (config.fixedSchedule && stepsPerStage == 0) {
+    // c * log(pmax/pmin) with generous constants; Lemma 5.1 shows the
+    // while-loop needs at most 1 + log2(pmax/pmin) maximal-MIS steps.
+    const double spread =
+        std::max(2.0, universe.profitMax() / universe.profitMin());
+    stepsPerStage = 4 + 2 * static_cast<std::int32_t>(std::ceil(std::log2(spread)));
+  }
+
+  std::vector<InstanceId> unsatisfied;
+  // ---- Phase 1 ----
+  for (std::int32_t epoch = 0; epoch < layering.numGroups; ++epoch) {
+    ++result.stats.epochs;
+    const auto& group = members[static_cast<std::size_t>(epoch)];
+    for (std::int32_t stage = 1; stage <= plan.numStages; ++stage) {
+      ++result.stats.stages;
+      const double target = plan.stageTarget(stage);
+      std::int32_t stepsThisStage = 0;
+      for (std::int32_t step = 1;; ++step) {
+        if (config.fixedSchedule && step > stepsPerStage) break;
+        checkThat(step <= config.stepCap,
+                  "stage exceeded step cap (non-termination bug?)", __FILE__,
+                  __LINE__);
+        unsatisfied.clear();
+        for (const InstanceId i : group) {
+          const double p = universe.instance(i).profit;
+          if (lhs.lhs(i) < target * p - kSatisfyTolerance * p) {
+            unsatisfied.push_back(i);
+          }
+        }
+        if (unsatisfied.empty()) {
+          if (!config.fixedSchedule) break;
+          // Fixed schedule: the step happens (and costs rounds in the
+          // simulator) but contributes nothing; skip the MIS locally.
+          continue;
+        }
+        ++stepsThisStage;
+        ++result.stats.steps;
+        const std::uint64_t stepSeed =
+            keyedHash(config.seed, static_cast<std::uint64_t>(epoch),
+                      static_cast<std::uint64_t>(stage),
+                      static_cast<std::uint64_t>(step));
+        const MisResult mis = lubyMis(universe, unsatisfied, stepSeed,
+                                      config.misRoundBudget);
+        result.stats.misRounds += mis.rounds;
+        for (const InstanceId i : mis.independent) {
+          const InstanceRecord& rec = universe.instance(i);
+          const double slack = rec.profit - lhs.lhs(i);
+          checkThat(slack > 0, "raised instance had positive slack", __FILE__,
+                    __LINE__);
+          const auto critical = layering.critical(i);
+          const RaiseAmounts amounts =
+              computeRaise(config.raise, universe, i, critical, slack);
+          applyRaise(dual, universe, i, critical, amounts);
+          lhs.onAlphaRaise(rec.demand, amounts.alphaIncrement);
+          for (const GlobalEdgeId e : critical) {
+            lhs.onBetaRaise(e, amounts.betaIncrement);
+          }
+          ++result.stats.raises;
+        }
+        if (!mis.independent.empty()) {
+          result.stack.push_back(mis.independent);
+        }
+      }
+      result.stats.maxStepsInStage =
+          std::max(result.stats.maxStepsInStage, stepsThisStage);
+    }
+  }
+
+  // Measured slackness: min over all instances of lhs / p.
+  double lambdaMeasured = std::numeric_limits<double>::infinity();
+  for (InstanceId i = 0; i < numInst; ++i) {
+    lambdaMeasured =
+        std::min(lambdaMeasured, lhs.lhs(i) / universe.instance(i).profit);
+  }
+  result.stats.lambdaMeasured = lambdaMeasured;
+  result.dualObjective = dual.objective();
+  result.dualUpperBound =
+      lambdaMeasured > 0 ? result.dualObjective / lambdaMeasured
+                         : std::numeric_limits<double>::infinity();
+
+  // ---- Phase 2 ----
+  FeasibilityOracle oracle(universe);
+  for (auto it = result.stack.rbegin(); it != result.stack.rend(); ++it) {
+    for (const InstanceId i : *it) {
+      if (oracle.canAdd(i)) {
+        oracle.add(i);
+      }
+    }
+  }
+  result.solution = oracle.solution();
+  result.profit = oracle.profit();
+  return result;
+}
+
+}  // namespace treesched

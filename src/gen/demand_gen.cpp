@@ -1,0 +1,136 @@
+#include "gen/demand_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace treesched {
+
+double drawProfit(ProfitDistribution dist, double pmin, double pmax, Rng& rng) {
+  checkThat(pmin > 0 && pmax >= pmin, "profit range valid", __FILE__, __LINE__);
+  switch (dist) {
+    case ProfitDistribution::Uniform:
+      return rng.nextDouble(pmin, pmax);
+    case ProfitDistribution::PowerLaw: {
+      const double u = rng.nextDouble();
+      return pmin * std::pow(pmax / pmin, u * u * u);
+    }
+    case ProfitDistribution::TwoPoint:
+      return rng.nextBool() ? pmin : pmax;
+  }
+  throw CheckError("unknown ProfitDistribution");
+}
+
+double drawHeight(HeightMode mode, double hmin, Rng& rng) {
+  switch (mode) {
+    case HeightMode::Unit:
+      return 1.0;
+    case HeightMode::Narrow:
+      return rng.nextDouble(hmin, 0.5);
+    case HeightMode::Wide:
+      return rng.nextDouble(std::nextafter(0.5, 1.0), 1.0);
+    case HeightMode::Mixed:
+      return rng.nextBool() ? rng.nextDouble(hmin, 0.5)
+                            : rng.nextDouble(std::nextafter(0.5, 1.0), 1.0);
+  }
+  throw CheckError("unknown HeightMode");
+}
+
+namespace {
+
+std::vector<TreeId> drawAccess(std::int32_t numNetworks, double probability,
+                               Rng& rng) {
+  std::vector<TreeId> access;
+  for (TreeId t = 0; t < numNetworks; ++t) {
+    if (rng.nextBool(probability)) {
+      access.push_back(t);
+    }
+  }
+  if (access.empty()) {
+    access.push_back(static_cast<TreeId>(
+        rng.nextBounded(static_cast<std::uint64_t>(numNetworks))));
+  }
+  return access;
+}
+
+}  // namespace
+
+void generateTreeDemands(TreeProblem& problem, const DemandGenConfig& config,
+                         Rng& rng) {
+  checkThat(problem.numVertices >= 2, "problem vertices set", __FILE__,
+            __LINE__);
+  checkThat(!problem.networks.empty(), "problem networks set", __FILE__,
+            __LINE__);
+  problem.demands.clear();
+  problem.access.clear();
+  const std::int32_t n = problem.numVertices;
+  for (DemandId d = 0; d < config.numDemands; ++d) {
+    Demand dem;
+    dem.id = d;
+    dem.u = static_cast<VertexId>(rng.nextBounded(static_cast<std::uint64_t>(n)));
+    if (config.walkLength > 0) {
+      // Locality: random walk from u on the first network.
+      const TreeNetwork& net = problem.networks.front();
+      VertexId v = dem.u;
+      for (std::int32_t s = 0; s < config.walkLength || v == dem.u; ++s) {
+        const auto nbrs = net.neighbors(v);
+        v = nbrs[rng.nextBounded(nbrs.size())].to;
+      }
+      dem.v = v;
+    } else {
+      do {
+        dem.v = static_cast<VertexId>(
+            rng.nextBounded(static_cast<std::uint64_t>(n)));
+      } while (dem.v == dem.u);
+    }
+    dem.profit = drawProfit(config.profits, config.profitMin, config.profitMax,
+                            rng);
+    dem.height = drawHeight(config.heights, config.hmin, rng);
+    problem.demands.push_back(dem);
+    problem.access.push_back(
+        drawAccess(problem.numNetworks(), config.accessProbability, rng));
+  }
+}
+
+void generateLineDemands(LineProblem& problem, const LineDemandGenConfig& config,
+                         Rng& rng) {
+  checkThat(problem.numSlots >= 1, "problem slots set", __FILE__, __LINE__);
+  checkThat(problem.numResources >= 1, "problem resources set", __FILE__,
+            __LINE__);
+  problem.demands.clear();
+  problem.access.clear();
+  for (DemandId d = 0; d < config.numDemands; ++d) {
+    WindowDemand dem;
+    dem.id = d;
+    const std::int32_t maxProcessing =
+        std::min(config.processingMax, problem.numSlots);
+    dem.processing = static_cast<std::int32_t>(
+        rng.nextInt(std::min(config.processingMin, maxProcessing),
+                    maxProcessing));
+    std::int32_t windowLen = static_cast<std::int32_t>(
+        std::lround(dem.processing * (1.0 + config.windowSlack)));
+    windowLen = std::clamp(windowLen, dem.processing, problem.numSlots);
+    dem.release = static_cast<std::int32_t>(
+        rng.nextInt(0, problem.numSlots - windowLen));
+    dem.deadline = dem.release + windowLen - 1;
+    dem.profit = drawProfit(config.profits, config.profitMin, config.profitMax,
+                            rng);
+    dem.height = drawHeight(config.heights, config.hmin, rng);
+    problem.demands.push_back(dem);
+    // Resource accessibility follows the same Bernoulli scheme as trees.
+    std::vector<ResourceId> access;
+    for (ResourceId r = 0; r < problem.numResources; ++r) {
+      if (rng.nextBool(config.accessProbability)) {
+        access.push_back(r);
+      }
+    }
+    if (access.empty()) {
+      access.push_back(static_cast<ResourceId>(rng.nextBounded(
+          static_cast<std::uint64_t>(problem.numResources))));
+    }
+    problem.access.push_back(std::move(access));
+  }
+}
+
+}  // namespace treesched

@@ -1,0 +1,76 @@
+// Random demand generators for trees and lines.
+//
+// Knobs mirror the quantities in the paper's round/ratio bounds: profit
+// spread pmax/pmin, height range (hmin), window slack and processing-time
+// spread Lmax/Lmin, and the accessibility density connecting the
+// communication graph.
+#pragma once
+
+#include <vector>
+
+#include "core/line_problem.hpp"
+#include "core/tree_problem.hpp"
+#include "util/rng.hpp"
+
+namespace treesched {
+
+enum class ProfitDistribution {
+  Uniform,   ///< uniform in [pmin, pmax]
+  PowerLaw,  ///< heavy-tailed: pmin * (pmax/pmin)^u^3
+  TwoPoint,  ///< pmin or pmax (adversarial for profit-greedy)
+};
+
+enum class HeightMode {
+  Unit,    ///< all 1 (the §2-§5 setting)
+  Narrow,  ///< uniform in [hmin, 1/2]
+  Wide,    ///< uniform in (1/2, 1]
+  Mixed,   ///< half narrow, half wide (the §6 setting)
+};
+
+struct DemandGenConfig {
+  std::int32_t numDemands = 64;
+  double profitMin = 1.0;
+  double profitMax = 10.0;
+  ProfitDistribution profits = ProfitDistribution::Uniform;
+  HeightMode heights = HeightMode::Unit;
+  double hmin = 0.1;  ///< lower bound for Narrow/Mixed heights
+  /// Endpoint locality: 0 = uniform pairs; k > 0 = second endpoint found
+  /// by a k-step random walk on the first network (short paths).
+  std::int32_t walkLength = 0;
+  /// Each demand can access each network independently with this
+  /// probability (at least one access is forced).
+  double accessProbability = 1.0;
+};
+
+/// Fills `demands` and `access` of a tree problem whose `numVertices` and
+/// `networks` are already set.
+void generateTreeDemands(TreeProblem& problem, const DemandGenConfig& config,
+                         Rng& rng);
+
+struct LineDemandGenConfig {
+  std::int32_t numDemands = 64;
+  double profitMin = 1.0;
+  double profitMax = 10.0;
+  ProfitDistribution profits = ProfitDistribution::Uniform;
+  HeightMode heights = HeightMode::Unit;
+  double hmin = 0.1;
+  std::int32_t processingMin = 1;
+  std::int32_t processingMax = 8;
+  /// Window slack as a multiple of processing time: window length =
+  /// processing * (1 + slack). 0 = tight windows (no scheduling choice).
+  double windowSlack = 0.0;
+  double accessProbability = 1.0;
+};
+
+/// Fills `demands` and `access` of a line problem whose `numSlots` and
+/// `numResources` are already set.
+void generateLineDemands(LineProblem& problem, const LineDemandGenConfig& config,
+                         Rng& rng);
+
+/// Draws one profit from the distribution.
+double drawProfit(ProfitDistribution dist, double pmin, double pmax, Rng& rng);
+
+/// Draws one height for the mode.
+double drawHeight(HeightMode mode, double hmin, Rng& rng);
+
+}  // namespace treesched

@@ -1,0 +1,32 @@
+#include "gen/scenario.hpp"
+
+namespace treesched {
+
+TreeProblem makeTreeScenario(const TreeScenarioConfig& config) {
+  Rng rng(config.seed);
+  TreeProblem problem;
+  problem.numVertices = config.numVertices;
+  problem.networks.reserve(static_cast<std::size_t>(config.numNetworks));
+  for (TreeId t = 0; t < config.numNetworks; ++t) {
+    Rng treeRng = rng.fork(static_cast<std::uint64_t>(t));
+    problem.networks.push_back(
+        generateTree(config.shape, t, config.numVertices, treeRng));
+  }
+  Rng demandRng = rng.fork(0xdeedULL);
+  generateTreeDemands(problem, config.demands, demandRng);
+  problem.validate();
+  return problem;
+}
+
+LineProblem makeLineScenario(const LineScenarioConfig& config) {
+  Rng rng(config.seed);
+  LineProblem problem;
+  problem.numSlots = config.numSlots;
+  problem.numResources = config.numResources;
+  Rng demandRng = rng.fork(0xfeedULL);
+  generateLineDemands(problem, config.demands, demandRng);
+  problem.validate();
+  return problem;
+}
+
+}  // namespace treesched

@@ -1,0 +1,35 @@
+// Named scenario presets: one call builds a complete, validated problem.
+// Used by the benchmark harnesses, the examples and the property tests so
+// that every consumer sees identical workloads for a given seed.
+#pragma once
+
+#include "core/line_problem.hpp"
+#include "core/tree_problem.hpp"
+#include "gen/demand_gen.hpp"
+#include "gen/tree_gen.hpp"
+
+namespace treesched {
+
+struct TreeScenarioConfig {
+  std::uint64_t seed = 1;
+  std::int32_t numVertices = 64;
+  std::int32_t numNetworks = 3;
+  TreeShape shape = TreeShape::UniformRandom;
+  DemandGenConfig demands;
+};
+
+/// Builds and validates a tree problem: `numNetworks` independent trees of
+/// the given shape over a shared vertex set plus random demands.
+TreeProblem makeTreeScenario(const TreeScenarioConfig& config);
+
+struct LineScenarioConfig {
+  std::uint64_t seed = 1;
+  std::int32_t numSlots = 128;
+  std::int32_t numResources = 3;
+  LineDemandGenConfig demands;
+};
+
+/// Builds and validates a line problem.
+LineProblem makeLineScenario(const LineScenarioConfig& config);
+
+}  // namespace treesched

@@ -1,0 +1,136 @@
+#include "gen/tree_gen.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace treesched {
+
+namespace {
+
+using EdgeList = std::vector<std::pair<VertexId, VertexId>>;
+
+EdgeList pruferDecode(std::int32_t n, Rng& rng) {
+  // Uniform labelled tree: draw a random Prüfer sequence and decode.
+  if (n == 1) return {};
+  if (n == 2) return {{0, 1}};
+  std::vector<VertexId> seq(static_cast<std::size_t>(n - 2));
+  for (auto& s : seq) {
+    s = static_cast<VertexId>(rng.nextBounded(static_cast<std::uint64_t>(n)));
+  }
+  std::vector<std::int32_t> degree(static_cast<std::size_t>(n), 1);
+  for (const VertexId s : seq) {
+    ++degree[static_cast<std::size_t>(s)];
+  }
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n - 1));
+  // Standard O(n log n)-free decode with a moving leaf pointer.
+  std::int32_t ptr = 0;
+  while (degree[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+  std::int32_t leaf = ptr;
+  for (const VertexId s : seq) {
+    edges.emplace_back(leaf, s);
+    if (--degree[static_cast<std::size_t>(s)] == 1 && s < ptr) {
+      leaf = s;
+    } else {
+      ++ptr;
+      while (degree[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  edges.emplace_back(leaf, n - 1);
+  return edges;
+}
+
+EdgeList randomAttachment(std::int32_t n, Rng& rng) {
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
+  for (VertexId v = 1; v < n; ++v) {
+    edges.emplace_back(
+        v, static_cast<VertexId>(rng.nextBounded(static_cast<std::uint64_t>(v))));
+  }
+  return edges;
+}
+
+EdgeList caterpillar(std::int32_t n) {
+  // Spine of ceil(n/2) vertices; remaining vertices hang off the spine.
+  EdgeList edges;
+  const std::int32_t spine = (n + 1) / 2;
+  for (VertexId v = 1; v < spine; ++v) {
+    edges.emplace_back(v - 1, v);
+  }
+  for (VertexId v = spine; v < n; ++v) {
+    edges.emplace_back(v, v - spine);
+  }
+  return edges;
+}
+
+EdgeList spider(std::int32_t n) {
+  // 4 legs (or fewer for tiny n) of nearly equal length from hub 0.
+  EdgeList edges;
+  const std::int32_t legs = std::min<std::int32_t>(4, n - 1);
+  if (legs <= 0) return edges;
+  for (std::int32_t leg = 0; leg < legs; ++leg) {
+    VertexId prev = 0;
+    // Legs get every legs-th remaining vertex.
+    for (VertexId v = 1 + leg; v < n; v += legs) {
+      edges.emplace_back(prev, v);
+      prev = v;
+    }
+  }
+  return edges;
+}
+
+EdgeList balancedBinary(std::int32_t n) {
+  EdgeList edges;
+  for (VertexId v = 1; v < n; ++v) {
+    edges.emplace_back(v, (v - 1) / 2);
+  }
+  return edges;
+}
+
+}  // namespace
+
+TreeNetwork generateTree(TreeShape shape, TreeId id, std::int32_t numVertices,
+                         Rng& rng) {
+  checkThat(numVertices >= 1, "tree size >= 1", __FILE__, __LINE__);
+  switch (shape) {
+    case TreeShape::UniformRandom:
+      return TreeNetwork(id, numVertices, pruferDecode(numVertices, rng));
+    case TreeShape::RandomAttachment:
+      return TreeNetwork(id, numVertices, randomAttachment(numVertices, rng));
+    case TreeShape::Path:
+      return makePathTree(id, numVertices);
+    case TreeShape::Star:
+      return makeStarTree(id, numVertices);
+    case TreeShape::Caterpillar:
+      return TreeNetwork(id, numVertices, caterpillar(numVertices));
+    case TreeShape::Spider:
+      return TreeNetwork(id, numVertices, spider(numVertices));
+    case TreeShape::BalancedBinary:
+      return TreeNetwork(id, numVertices, balancedBinary(numVertices));
+  }
+  throw CheckError("unknown TreeShape");
+}
+
+std::string treeShapeName(TreeShape shape) {
+  switch (shape) {
+    case TreeShape::UniformRandom:
+      return "uniform";
+    case TreeShape::RandomAttachment:
+      return "attachment";
+    case TreeShape::Path:
+      return "path";
+    case TreeShape::Star:
+      return "star";
+    case TreeShape::Caterpillar:
+      return "caterpillar";
+    case TreeShape::Spider:
+      return "spider";
+    case TreeShape::BalancedBinary:
+      return "binary";
+  }
+  return "?";
+}
+
+}  // namespace treesched

@@ -1,0 +1,40 @@
+// Random and structured tree generators.
+//
+// The paper's bounds are worst-case over tree shapes, so the experiment
+// suite sweeps a shape gallery: uniform random trees (Prüfer decode),
+// random attachment trees (low diameter), paths (the line-network shape),
+// stars, caterpillars, spiders and balanced binary trees.
+#pragma once
+
+#include <string>
+
+#include "graph/tree_network.hpp"
+#include "util/rng.hpp"
+
+namespace treesched {
+
+enum class TreeShape {
+  UniformRandom,     ///< uniform over labelled trees (Prüfer sequence)
+  RandomAttachment,  ///< vertex i attaches to uniform j < i
+  Path,
+  Star,
+  Caterpillar,  ///< path spine with alternating leaves
+  Spider,       ///< few long legs from a hub
+  BalancedBinary,
+};
+
+/// Generates a tree of `numVertices` vertices with the given shape.
+/// Randomized shapes draw from `rng`; deterministic shapes ignore it.
+TreeNetwork generateTree(TreeShape shape, TreeId id, std::int32_t numVertices,
+                         Rng& rng);
+
+/// All shapes, for sweep loops.
+inline constexpr TreeShape kAllTreeShapes[] = {
+    TreeShape::UniformRandom, TreeShape::RandomAttachment,
+    TreeShape::Path,          TreeShape::Star,
+    TreeShape::Caterpillar,   TreeShape::Spider,
+    TreeShape::BalancedBinary};
+
+std::string treeShapeName(TreeShape shape);
+
+}  // namespace treesched

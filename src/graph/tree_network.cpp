@@ -1,0 +1,215 @@
+#include "graph/tree_network.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace treesched {
+
+TreeNetwork::TreeNetwork(TreeId id, std::int32_t numVertices,
+                         std::vector<std::pair<VertexId, VertexId>> edges)
+    : id_(id), n_(numVertices), edges_(std::move(edges)) {
+  checkThat(n_ >= 1, "tree has at least one vertex", __FILE__, __LINE__);
+  checkThat(static_cast<std::int32_t>(edges_.size()) == n_ - 1,
+            "tree has exactly n-1 edges", __FILE__, __LINE__);
+  adj_.assign(static_cast<std::size_t>(n_), {});
+  for (EdgeId e = 0; e < n_ - 1; ++e) {
+    const auto [u, v] = edges_[static_cast<std::size_t>(e)];
+    checkIndex(u, n_, "edge endpoint u");
+    checkIndex(v, n_, "edge endpoint v");
+    checkThat(u != v, "no self loops", __FILE__, __LINE__);
+    adj_[static_cast<std::size_t>(u)].push_back({v, e});
+    adj_[static_cast<std::size_t>(v)].push_back({u, e});
+  }
+
+  // Root at vertex 0: BFS gives parent/depth and verifies connectivity.
+  parent_.assign(static_cast<std::size_t>(n_), kNoVertex);
+  parentEdge_.assign(static_cast<std::size_t>(n_), kNoEdge);
+  depth_.assign(static_cast<std::size_t>(n_), -1);
+  std::queue<VertexId> frontier;
+  frontier.push(0);
+  depth_[0] = 0;
+  std::int32_t reached = 0;
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    ++reached;
+    for (const AdjEntry& a : adj_[static_cast<std::size_t>(v)]) {
+      if (depth_[static_cast<std::size_t>(a.to)] == -1) {
+        depth_[static_cast<std::size_t>(a.to)] =
+            depth_[static_cast<std::size_t>(v)] + 1;
+        parent_[static_cast<std::size_t>(a.to)] = v;
+        parentEdge_[static_cast<std::size_t>(a.to)] = a.edge;
+        frontier.push(a.to);
+      }
+    }
+  }
+  checkThat(reached == n_, "tree is connected", __FILE__, __LINE__);
+
+  // Binary lifting table.
+  std::int32_t levels = 1;
+  while ((1 << levels) < n_) ++levels;
+  up_.assign(static_cast<std::size_t>(levels), parent_);
+  for (std::int32_t k = 1; k < levels; ++k) {
+    for (VertexId v = 0; v < n_; ++v) {
+      const VertexId mid = up_[static_cast<std::size_t>(k - 1)]
+                              [static_cast<std::size_t>(v)];
+      up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)] =
+          (mid == kNoVertex)
+              ? kNoVertex
+              : up_[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(mid)];
+    }
+  }
+}
+
+void TreeNetwork::checkVertex(VertexId v) const { checkIndex(v, n_, "vertex"); }
+
+std::pair<VertexId, VertexId> TreeNetwork::edge(EdgeId e) const {
+  checkIndex(e, n_ - 1, "edge");
+  return edges_[static_cast<std::size_t>(e)];
+}
+
+std::span<const AdjEntry> TreeNetwork::neighbors(VertexId v) const {
+  checkVertex(v);
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+std::int32_t TreeNetwork::degree(VertexId v) const {
+  checkVertex(v);
+  return static_cast<std::int32_t>(adj_[static_cast<std::size_t>(v)].size());
+}
+
+std::int32_t TreeNetwork::depth(VertexId v) const {
+  checkVertex(v);
+  return depth_[static_cast<std::size_t>(v)];
+}
+
+VertexId TreeNetwork::parent(VertexId v) const {
+  checkVertex(v);
+  return parent_[static_cast<std::size_t>(v)];
+}
+
+EdgeId TreeNetwork::parentEdge(VertexId v) const {
+  checkVertex(v);
+  return parentEdge_[static_cast<std::size_t>(v)];
+}
+
+VertexId TreeNetwork::ancestor(VertexId v, std::int32_t k) const {
+  checkVertex(v);
+  checkThat(k <= depth(v), "ancestor level within depth", __FILE__, __LINE__);
+  for (std::size_t bit = 0; k != 0; ++bit, k >>= 1) {
+    if (k & 1) {
+      v = up_[bit][static_cast<std::size_t>(v)];
+    }
+  }
+  return v;
+}
+
+VertexId TreeNetwork::lca(VertexId u, VertexId v) const {
+  checkVertex(u);
+  checkVertex(v);
+  if (depth(u) < depth(v)) std::swap(u, v);
+  u = ancestor(u, depth(u) - depth(v));
+  if (u == v) return u;
+  for (std::int32_t k = static_cast<std::int32_t>(up_.size()) - 1; k >= 0; --k) {
+    const VertexId uu = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(u)];
+    const VertexId vv = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)];
+    if (uu != vv) {
+      u = uu;
+      v = vv;
+    }
+  }
+  return parent_[static_cast<std::size_t>(u)];
+}
+
+std::int32_t TreeNetwork::distance(VertexId u, VertexId v) const {
+  const VertexId w = lca(u, v);
+  return depth(u) + depth(v) - 2 * depth(w);
+}
+
+std::vector<EdgeId> TreeNetwork::pathEdges(VertexId u, VertexId v) const {
+  const VertexId w = lca(u, v);
+  std::vector<EdgeId> result;
+  result.reserve(static_cast<std::size_t>(distance(u, v)));
+  for (VertexId x = u; x != w; x = parent(x)) {
+    result.push_back(parentEdge(x));
+  }
+  std::vector<EdgeId> down;
+  for (VertexId x = v; x != w; x = parent(x)) {
+    down.push_back(parentEdge(x));
+  }
+  result.insert(result.end(), down.rbegin(), down.rend());
+  return result;
+}
+
+std::vector<VertexId> TreeNetwork::pathVertices(VertexId u, VertexId v) const {
+  const VertexId w = lca(u, v);
+  std::vector<VertexId> result;
+  result.reserve(static_cast<std::size_t>(distance(u, v)) + 1);
+  for (VertexId x = u; x != w; x = parent(x)) {
+    result.push_back(x);
+  }
+  result.push_back(w);
+  std::vector<VertexId> down;
+  for (VertexId x = v; x != w; x = parent(x)) {
+    down.push_back(x);
+  }
+  result.insert(result.end(), down.rbegin(), down.rend());
+  return result;
+}
+
+bool TreeNetwork::onPath(VertexId x, VertexId u, VertexId v) const {
+  return distance(u, x) + distance(x, v) == distance(u, v);
+}
+
+VertexId TreeNetwork::meetingPoint(VertexId a, VertexId b, VertexId c) const {
+  // The median of three vertices in a tree is the deepest of the three
+  // pairwise LCAs (two of them always coincide).
+  const VertexId ab = lca(a, b);
+  const VertexId ac = lca(a, c);
+  const VertexId bc = lca(b, c);
+  VertexId best = ab;
+  if (depth(ac) > depth(best)) best = ac;
+  if (depth(bc) > depth(best)) best = bc;
+  return best;
+}
+
+EdgeId TreeNetwork::edgeBetween(VertexId u, VertexId v) const {
+  checkVertex(u);
+  checkVertex(v);
+  for (const AdjEntry& a : adj_[static_cast<std::size_t>(u)]) {
+    if (a.to == v) return a.edge;
+  }
+  return kNoEdge;
+}
+
+VertexId TreeNetwork::stepToward(VertexId from, VertexId to) const {
+  checkThat(from != to, "stepToward needs distinct vertices", __FILE__, __LINE__);
+  const VertexId w = lca(from, to);
+  if (from == w) {
+    // `to` is below `from`: step down by lifting `to` to depth(from)+1.
+    return ancestor(to, depth(to) - depth(from) - 1);
+  }
+  return parent(from);
+}
+
+TreeNetwork makePathTree(TreeId id, std::int32_t numVertices) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<std::size_t>(numVertices > 0 ? numVertices - 1 : 0));
+  for (VertexId v = 0; v + 1 < numVertices; ++v) {
+    edges.emplace_back(v, v + 1);
+  }
+  return TreeNetwork(id, numVertices, std::move(edges));
+}
+
+TreeNetwork makeStarTree(TreeId id, std::int32_t numVertices) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<std::size_t>(numVertices > 0 ? numVertices - 1 : 0));
+  for (VertexId v = 1; v < numVertices; ++v) {
+    edges.emplace_back(0, v);
+  }
+  return TreeNetwork(id, numVertices, std::move(edges));
+}
+
+}  // namespace treesched

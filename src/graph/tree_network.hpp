@@ -1,0 +1,113 @@
+// Tree-network substrate (paper §1, §2).
+//
+// A tree-network is a connected, undirected tree over the shared vertex set
+// V; the paper's demand paths, tree decompositions and layered
+// decompositions are all built on the queries provided here:
+//   * LCA / distance / path extraction (binary lifting, O(log n) queries);
+//   * meetingPoint(a, b, c): the unique vertex lying on all three pairwise
+//     paths — this computes the paper's "bending point" of a demand path
+//     with respect to an external vertex (§4.4);
+//   * onPath / edgeBetween / stepToward helpers used by the decomposition
+//     constructions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace treesched {
+
+using VertexId = std::int32_t;  ///< Vertex index in [0, n).
+using EdgeId = std::int32_t;    ///< Edge index in [0, n-1) within one tree.
+using TreeId = std::int32_t;    ///< Index of a tree-network in the input set.
+
+inline constexpr VertexId kNoVertex = -1;
+inline constexpr EdgeId kNoEdge = -1;
+
+/// Adjacency record: neighbour vertex plus the id of the connecting edge.
+struct AdjEntry {
+  VertexId to;
+  EdgeId edge;
+};
+
+/// An immutable tree over vertices 0..n-1.
+///
+/// Construction validates treeness (exactly n-1 edges, connected, no self
+/// loops) and precomputes a rooting at vertex 0 with binary-lifting LCA
+/// tables. All queries are const and thread-compatible.
+class TreeNetwork {
+ public:
+  /// Builds a tree-network. Throws CheckError if `edges` do not form a
+  /// tree over `numVertices` vertices.
+  TreeNetwork(TreeId id, std::int32_t numVertices,
+              std::vector<std::pair<VertexId, VertexId>> edges);
+
+  TreeId id() const { return id_; }
+  std::int32_t numVertices() const { return n_; }
+  std::int32_t numEdges() const { return n_ - 1; }
+
+  /// Endpoints of edge `e` as given at construction.
+  std::pair<VertexId, VertexId> edge(EdgeId e) const;
+
+  std::span<const AdjEntry> neighbors(VertexId v) const;
+  std::int32_t degree(VertexId v) const;
+
+  /// Depth of `v` in the (internal) rooting at vertex 0; root has depth 0.
+  std::int32_t depth(VertexId v) const;
+  /// Parent of `v` under the internal rooting; kNoVertex for the root.
+  VertexId parent(VertexId v) const;
+  /// Edge to the parent; kNoEdge for the root.
+  EdgeId parentEdge(VertexId v) const;
+
+  /// Least common ancestor under the internal rooting.
+  VertexId lca(VertexId u, VertexId v) const;
+
+  /// Number of edges on the unique u--v path.
+  std::int32_t distance(VertexId u, VertexId v) const;
+
+  /// Edge ids along the unique u--v path, ordered from u to v.
+  std::vector<EdgeId> pathEdges(VertexId u, VertexId v) const;
+
+  /// Vertices along the unique u--v path, ordered from u to v (inclusive).
+  std::vector<VertexId> pathVertices(VertexId u, VertexId v) const;
+
+  /// True iff x lies on the unique u--v path (endpoints included).
+  bool onPath(VertexId x, VertexId u, VertexId v) const;
+
+  /// The unique vertex on all three pairwise paths among {a, b, c}.
+  /// For a demand path (a, b) and an external vertex c, this is the
+  /// paper's bending point of the path with respect to c (§4.4).
+  VertexId meetingPoint(VertexId a, VertexId b, VertexId c) const;
+
+  /// Id of the edge joining u and v, or kNoEdge if not adjacent.
+  EdgeId edgeBetween(VertexId u, VertexId v) const;
+
+  /// First vertex after `from` on the path toward `to`; requires from != to.
+  VertexId stepToward(VertexId from, VertexId to) const;
+
+  /// The k-th ancestor of v (k <= depth(v)).
+  VertexId ancestor(VertexId v, std::int32_t k) const;
+
+ private:
+  void checkVertex(VertexId v) const;
+
+  TreeId id_;
+  std::int32_t n_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::vector<std::vector<AdjEntry>> adj_;
+  std::vector<VertexId> parent_;
+  std::vector<EdgeId> parentEdge_;
+  std::vector<std::int32_t> depth_;
+  // up_[k][v] = 2^k-th ancestor of v (kNoVertex above the root).
+  std::vector<std::vector<VertexId>> up_;
+};
+
+/// Convenience: builds a path-graph tree 0-1-2-...-(n-1). Line networks are
+/// exactly this shape (§1 "Line-Networks", §7).
+TreeNetwork makePathTree(TreeId id, std::int32_t numVertices);
+
+/// Convenience: builds a star with center 0 and leaves 1..n-1.
+TreeNetwork makeStarTree(TreeId id, std::int32_t numVertices);
+
+}  // namespace treesched

@@ -1,0 +1,66 @@
+// Lightweight runtime-check helpers.
+//
+// The library validates its invariants aggressively (decomposition
+// properties, dual-constraint tightness, solution feasibility). These
+// checks are cheap relative to the algorithms and stay on in release
+// builds; violations indicate a logic bug, so they throw
+// `treesched::CheckError` with a descriptive message rather than abort.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace treesched {
+
+/// Thrown when an internal invariant or a caller-supplied precondition is
+/// violated. The message names the failing condition and its location.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void failCheck(std::string_view expr, std::string_view file,
+                                   int line, std::string_view message) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+
+/// Checks `cond`; on failure throws CheckError naming `what` and `where`.
+/// Used instead of a macro so call sites stay macro-free per the style
+/// guide; callers pass __FILE__/__LINE__ via the TS_CHECK wrapper below
+/// or the contextual overloads.
+inline void checkThat(bool cond, std::string_view what,
+                      std::string_view where = "", int line = 0) {
+  if (!cond) {
+    detail::failCheck(what, where.empty() ? "<unknown>" : where, line, "");
+  }
+}
+
+/// Variant carrying an extra human-readable message.
+inline void checkThat(bool cond, std::string_view what, std::string_view msg,
+                      std::string_view where, int line) {
+  if (!cond) {
+    detail::failCheck(what, where, line, msg);
+  }
+}
+
+/// Checks that `index` is a valid position in a container of size `size`.
+inline void checkIndex(long long index, long long size, std::string_view what) {
+  if (index < 0 || index >= size) {
+    std::ostringstream os;
+    os << what << ": index " << index << " out of range [0," << size << ")";
+    throw CheckError(os.str());
+  }
+}
+
+}  // namespace treesched

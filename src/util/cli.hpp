@@ -1,0 +1,56 @@
+// Minimal command-line flag parser for example and benchmark binaries.
+//
+// Supports `--name=value` and `--name value` forms plus boolean switches.
+// Unrecognized flags raise CheckError listing the known flags, so every
+// binary is self-describing with --help.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace treesched {
+
+/// Declarative flag registry + parser.
+class CliFlags {
+ public:
+  /// Registers a flag with a default value and help text; returns *this for
+  /// chaining. Types supported: int64, double, bool, string.
+  CliFlags& intFlag(const std::string& name, std::int64_t def,
+                    const std::string& help);
+  CliFlags& doubleFlag(const std::string& name, double def,
+                       const std::string& help);
+  CliFlags& boolFlag(const std::string& name, bool def, const std::string& help);
+  CliFlags& stringFlag(const std::string& name, const std::string& def,
+                       const std::string& help);
+
+  /// Parses argv; returns false if --help was requested (after printing
+  /// usage to stdout). Throws CheckError on unknown flags or bad values.
+  bool parse(int argc, const char* const* argv);
+
+  std::int64_t getInt(const std::string& name) const;
+  double getDouble(const std::string& name) const;
+  bool getBool(const std::string& name) const;
+  const std::string& getString(const std::string& name) const;
+
+  /// Renders the usage text.
+  std::string usage(const std::string& program) const;
+
+ private:
+  enum class Kind { Int, Double, Bool, String };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::int64_t intValue = 0;
+    double doubleValue = 0;
+    bool boolValue = false;
+    std::string stringValue;
+  };
+
+  const Flag& find(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace treesched

@@ -1,0 +1,75 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+namespace treesched {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t keyedHash(std::uint64_t seed, std::uint64_t a) {
+  return splitmix64(splitmix64(seed) ^ a);
+}
+
+std::uint64_t keyedHash(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  return splitmix64(keyedHash(seed, a) ^ b);
+}
+
+std::uint64_t keyedHash(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                        std::uint64_t c) {
+  return splitmix64(keyedHash(seed, a, b) ^ c);
+}
+
+std::uint64_t keyedHash(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                        std::uint64_t c, std::uint64_t d) {
+  return splitmix64(keyedHash(seed, a, b, c) ^ d);
+}
+
+std::uint64_t keyedHash(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                        std::uint64_t c, std::uint64_t d, std::uint64_t e) {
+  return splitmix64(keyedHash(seed, a, b, c, d) ^ e);
+}
+
+std::uint64_t Rng::nextBounded(std::uint64_t bound) {
+  checkThat(bound > 0, "Rng::nextBounded bound > 0", __FILE__, __LINE__);
+  // Rejection sampling to avoid modulo bias; the loop almost never iterates
+  // because bound << 2^64 in all our uses.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::int64_t Rng::nextInt(std::int64_t lo, std::int64_t hi) {
+  checkThat(lo <= hi, "Rng::nextInt lo <= hi", __FILE__, __LINE__);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+double Rng::nextDouble() {
+  // 53 random mantissa bits -> uniform in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::nextDouble(double lo, double hi) {
+  return lo + (hi - lo) * nextDouble();
+}
+
+bool Rng::nextBool(double p) { return nextDouble() < p; }
+
+Rng Rng::fork(std::uint64_t salt) const {
+  return Rng(keyedHash(state_, 0x5eedf0c4ULL, salt));
+}
+
+}  // namespace treesched

@@ -1,0 +1,83 @@
+// Deterministic random numbers and stable hashing.
+//
+// All randomness in the library flows through these functions so that every
+// algorithm run is reproducible from a single 64-bit seed, and so that the
+// centralized two-phase engine and the message-passing simulator can make
+// *identical* random choices: MIS priorities are pure functions of
+// (seed, schedule position, instance id) — see framework/mis.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace treesched {
+
+/// One round of the splitmix64 output function. Passes BigCrush; used both
+/// as the Rng state transition and as the avalanche stage of keyedHash.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Combines an arbitrary number of 64-bit words into one well-mixed word.
+/// Stable across platforms and runs (no ASLR-dependent inputs).
+std::uint64_t keyedHash(std::uint64_t seed, std::uint64_t a);
+std::uint64_t keyedHash(std::uint64_t seed, std::uint64_t a, std::uint64_t b);
+std::uint64_t keyedHash(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                        std::uint64_t c);
+std::uint64_t keyedHash(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                        std::uint64_t c, std::uint64_t d);
+std::uint64_t keyedHash(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                        std::uint64_t c, std::uint64_t d, std::uint64_t e);
+
+/// Small, fast, deterministic PRNG (splitmix64 stream).
+///
+/// Satisfies UniformRandomBitGenerator, so it can be handed to <random>
+/// distributions, although the bounded helpers below are preferred because
+/// their results are identical on every platform (std:: distributions are
+/// not guaranteed to be).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return splitmix64(state_);
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t nextBounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t nextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Uniform double in [lo, hi).
+  double nextDouble(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool nextBool(double p = 0.5);
+
+  /// Fisher–Yates shuffle, deterministic given the stream position.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(nextBounded(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Forks an independent, deterministic child stream. Used to give each
+  /// workload generator / experiment repetition its own stream without
+  /// coupling their consumption patterns.
+  Rng fork(std::uint64_t salt) const;
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace treesched

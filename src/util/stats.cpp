@@ -1,0 +1,55 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace treesched {
+
+void Summary::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::min() const {
+  checkThat(count_ > 0, "Summary::min needs samples", __FILE__, __LINE__);
+  return min_;
+}
+
+double Summary::max() const {
+  checkThat(count_ > 0, "Summary::max needs samples", __FILE__, __LINE__);
+  return max_;
+}
+
+double Summary::mean() const {
+  checkThat(count_ > 0, "Summary::mean needs samples", __FILE__, __LINE__);
+  return mean_;
+}
+
+double Summary::variance() const {
+  if (count_ < 2) return 0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+std::string Summary::describe(int precision) const {
+  if (count_ == 0) return "(no samples)";
+  std::ostringstream os;
+  os << formatDouble(mean_, precision) << " ± " << formatDouble(stddev(), precision)
+     << " [" << formatDouble(min_, precision) << "," << formatDouble(max_, precision)
+     << "] (n=" << count_ << ")";
+  return os.str();
+}
+
+}  // namespace treesched

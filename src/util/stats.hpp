@@ -1,0 +1,34 @@
+// Streaming summary statistics used by benchmarks and tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace treesched {
+
+/// Accumulates count/min/max/mean/variance of a stream of doubles without
+/// storing samples (Welford's algorithm).
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Unbiased sample variance; 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+  /// "mean ± stddev [min,max] (n)" — handy in bench output.
+  std::string describe(int precision = 3) const;
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+}  // namespace treesched

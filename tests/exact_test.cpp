@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "core/universe.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/greedy.hpp"
+#include "exact/line_dp.hpp"
+#include "gen/scenario.hpp"
+#include "util/check.hpp"
+
+namespace treesched {
+namespace {
+
+// Figure 1's scenario: A=[~0.5 region], B, C with heights 0.5/0.7/0.4 —
+// {A,C} and {B,C} fit, {A,B} does not.
+LineProblem figureOneProblem() {
+  LineProblem problem;
+  problem.numSlots = 10;
+  problem.numResources = 1;
+  // A: slots 0..5 h=0.5; B: slots 2..7 h=0.7; C: slots 8..9 h=0.4.
+  // {A,C} and {B,C} are feasible; {A,B} overlaps with 0.5+0.7 > 1.
+  problem.demands = {makeIntervalDemand(0, 0, 5, 5.0, 0.5),
+                     makeIntervalDemand(1, 2, 7, 4.0, 0.7),
+                     makeIntervalDemand(2, 8, 9, 3.0, 0.4)};
+  problem.access = fullLineAccess(3, 1);
+  problem.validate();
+  return problem;
+}
+
+TEST(BruteForce, FigureOneOptimum) {
+  const LineProblem problem = figureOneProblem();
+  InstanceUniverse u = InstanceUniverse::fromLineProblem(problem);
+  const ExactResult result = bruteForceExact(u);
+  EXPECT_TRUE(result.provedOptimal);
+  // Best: {A, C} with profit 8 (A+B violates capacity on slots 2..5).
+  EXPECT_DOUBLE_EQ(result.profit, 8.0);
+  requireFeasible(u, result.solution);
+}
+
+TEST(BruteForce, UnitHeightTreeSmall) {
+  TreeScenarioConfig cfg;
+  cfg.seed = 3;
+  cfg.numVertices = 10;
+  cfg.numNetworks = 2;
+  cfg.demands.numDemands = 8;
+  const TreeProblem problem = makeTreeScenario(cfg);
+  InstanceUniverse u = InstanceUniverse::fromTreeProblem(problem);
+  const ExactResult result = bruteForceExact(u);
+  EXPECT_TRUE(result.provedOptimal);
+  requireFeasible(u, result.solution);
+  EXPECT_GT(result.profit, 0);
+}
+
+TEST(BruteForce, OptimumDominatesGreedy) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    TreeScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.numVertices = 12;
+    cfg.numNetworks = 2;
+    cfg.demands.numDemands = 10;
+    cfg.demands.heights = HeightMode::Mixed;
+    cfg.demands.hmin = 0.2;
+    const TreeProblem problem = makeTreeScenario(cfg);
+    InstanceUniverse u = InstanceUniverse::fromTreeProblem(problem);
+    const ExactResult exact = bruteForceExact(u);
+    const GreedyResult greedy = greedyByProfit(u);
+    ASSERT_TRUE(exact.provedOptimal);
+    EXPECT_GE(exact.profit, greedy.profit - 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(BruteForce, BudgetExhaustionFlagged) {
+  TreeScenarioConfig cfg;
+  cfg.seed = 4;
+  cfg.numVertices = 16;
+  cfg.numNetworks = 3;
+  cfg.demands.numDemands = 20;
+  const TreeProblem problem = makeTreeScenario(cfg);
+  InstanceUniverse u = InstanceUniverse::fromTreeProblem(problem);
+  const ExactResult result = bruteForceExact(u, /*nodeBudget=*/50);
+  EXPECT_FALSE(result.provedOptimal);
+  // Best-so-far must still be feasible.
+  requireFeasible(u, result.solution);
+}
+
+TEST(LineDp, MatchesBruteForce) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    LineScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.numSlots = 30;
+    cfg.numResources = 1;
+    cfg.demands.numDemands = 12;
+    cfg.demands.processingMax = 8;
+    cfg.demands.windowSlack = 0.0;
+    const LineProblem problem = makeLineScenario(cfg);
+    const LineDpResult dp = lineDpExact(problem);
+    InstanceUniverse u = InstanceUniverse::fromLineProblem(problem);
+    const ExactResult bf = bruteForceExact(u);
+    ASSERT_TRUE(bf.provedOptimal);
+    EXPECT_NEAR(dp.profit, bf.profit, 1e-9) << "seed " << seed;
+    EXPECT_EQ(checkAssignments(problem, dp.assignments), "");
+    EXPECT_NEAR(assignmentProfit(problem, dp.assignments), dp.profit, 1e-9);
+  }
+}
+
+TEST(LineDp, RejectsMultiResource) {
+  LineProblem problem;
+  problem.numSlots = 4;
+  problem.numResources = 2;
+  problem.demands = {makeIntervalDemand(0, 0, 1, 1.0)};
+  problem.access = fullLineAccess(1, 2);
+  EXPECT_THROW(lineDpExact(problem), CheckError);
+}
+
+TEST(LineDp, RejectsWindows) {
+  LineProblem problem;
+  problem.numSlots = 8;
+  problem.numResources = 1;
+  WindowDemand d;
+  d.id = 0;
+  d.release = 0;
+  d.deadline = 5;
+  d.processing = 2;  // slack: window longer than processing
+  problem.demands = {d};
+  problem.access = fullLineAccess(1, 1);
+  EXPECT_THROW(lineDpExact(problem), CheckError);
+}
+
+TEST(LineDp, EmptyProblemThrowsNothingWithOneDemand) {
+  LineProblem problem;
+  problem.numSlots = 3;
+  problem.numResources = 1;
+  problem.demands = {makeIntervalDemand(0, 1, 2, 2.5)};
+  problem.access = fullLineAccess(1, 1);
+  const LineDpResult dp = lineDpExact(problem);
+  EXPECT_DOUBLE_EQ(dp.profit, 2.5);
+  ASSERT_EQ(dp.assignments.size(), 1u);
+  EXPECT_EQ(dp.assignments[0].start, 1);
+}
+
+TEST(Greedy, FeasibleAndDeterministic) {
+  TreeScenarioConfig cfg;
+  cfg.seed = 5;
+  cfg.numVertices = 20;
+  cfg.numNetworks = 2;
+  cfg.demands.numDemands = 30;
+  const TreeProblem problem = makeTreeScenario(cfg);
+  InstanceUniverse u = InstanceUniverse::fromTreeProblem(problem);
+  const GreedyResult a = greedyByProfit(u);
+  const GreedyResult b = greedyByProfit(u);
+  requireFeasible(u, a.solution);
+  EXPECT_EQ(a.solution.instances, b.solution.instances);
+}
+
+TEST(FeasibilityOracle, AddRemoveRoundTrip) {
+  const LineProblem problem = figureOneProblem();
+  InstanceUniverse u = InstanceUniverse::fromLineProblem(problem);
+  FeasibilityOracle oracle(u);
+  ASSERT_TRUE(oracle.canAdd(0));
+  oracle.add(0);
+  EXPECT_FALSE(oracle.canAdd(1));  // A+B over capacity
+  EXPECT_TRUE(oracle.canAdd(2));   // A+C fine
+  oracle.remove(0);
+  EXPECT_TRUE(oracle.canAdd(1));
+  EXPECT_DOUBLE_EQ(oracle.profit(), 0.0);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "core/universe.hpp"
+#include "gen/scenario.hpp"
+
+namespace treesched {
+namespace {
+
+TEST(TreeGen, AllShapesProduceValidTrees) {
+  for (const TreeShape shape : kAllTreeShapes) {
+    for (const std::int32_t n : {1, 2, 3, 8, 50}) {
+      Rng rng(static_cast<std::uint64_t>(n) * 31 + 7);
+      // TreeNetwork's constructor validates treeness; just construct.
+      const TreeNetwork t = generateTree(shape, 0, n, rng);
+      EXPECT_EQ(t.numVertices(), n) << treeShapeName(shape);
+    }
+  }
+}
+
+TEST(TreeGen, UniformTreesVary) {
+  Rng rng(1);
+  const TreeNetwork a = generateTree(TreeShape::UniformRandom, 0, 30, rng);
+  const TreeNetwork b = generateTree(TreeShape::UniformRandom, 0, 30, rng);
+  int differing = 0;
+  for (EdgeId e = 0; e < a.numEdges(); ++e) {
+    if (a.edge(e) != b.edge(e)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(DemandGen, ProfitsWithinRange) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const double p = drawProfit(ProfitDistribution::Uniform, 2.0, 9.0, rng);
+    EXPECT_GE(p, 2.0);
+    EXPECT_LE(p, 9.0);
+    const double q = drawProfit(ProfitDistribution::PowerLaw, 2.0, 9.0, rng);
+    EXPECT_GE(q, 2.0);
+    EXPECT_LE(q, 9.0 + 1e-9);
+    const double r = drawProfit(ProfitDistribution::TwoPoint, 2.0, 9.0, rng);
+    EXPECT_TRUE(r == 2.0 || r == 9.0);
+  }
+}
+
+TEST(DemandGen, HeightsRespectMode) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(drawHeight(HeightMode::Unit, 0.1, rng), 1.0);
+    const double narrow = drawHeight(HeightMode::Narrow, 0.1, rng);
+    EXPECT_GE(narrow, 0.1);
+    EXPECT_LE(narrow, 0.5);
+    const double wide = drawHeight(HeightMode::Wide, 0.1, rng);
+    EXPECT_GT(wide, 0.5);
+    EXPECT_LE(wide, 1.0);
+  }
+}
+
+TEST(Scenario, TreeScenarioValidates) {
+  TreeScenarioConfig cfg;
+  cfg.seed = 9;
+  cfg.numVertices = 40;
+  cfg.numNetworks = 4;
+  cfg.demands.numDemands = 50;
+  cfg.demands.accessProbability = 0.5;
+  cfg.demands.heights = HeightMode::Mixed;
+  cfg.demands.hmin = 0.2;
+  const TreeProblem problem = makeTreeScenario(cfg);  // validates internally
+  EXPECT_EQ(problem.numDemands(), 50);
+  EXPECT_EQ(problem.numNetworks(), 4);
+  EXPECT_FALSE(problem.isUnitHeight());
+}
+
+TEST(Scenario, TreeScenarioDeterministicForSeed) {
+  TreeScenarioConfig cfg;
+  cfg.seed = 10;
+  cfg.numVertices = 20;
+  cfg.numNetworks = 2;
+  cfg.demands.numDemands = 15;
+  const TreeProblem a = makeTreeScenario(cfg);
+  const TreeProblem b = makeTreeScenario(cfg);
+  for (std::size_t i = 0; i < a.demands.size(); ++i) {
+    EXPECT_EQ(a.demands[i].u, b.demands[i].u);
+    EXPECT_EQ(a.demands[i].v, b.demands[i].v);
+    EXPECT_DOUBLE_EQ(a.demands[i].profit, b.demands[i].profit);
+  }
+}
+
+TEST(Scenario, WalkLengthKeepsPathsShort) {
+  TreeScenarioConfig cfg;
+  cfg.seed = 11;
+  cfg.numVertices = 100;
+  cfg.numNetworks = 1;
+  cfg.shape = TreeShape::Path;
+  cfg.demands.numDemands = 40;
+  cfg.demands.walkLength = 3;
+  const TreeProblem problem = makeTreeScenario(cfg);
+  for (const Demand& d : problem.demands) {
+    EXPECT_LE(problem.networks[0].distance(d.u, d.v), 3);
+    EXPECT_NE(d.u, d.v);
+  }
+}
+
+TEST(Scenario, LineScenarioValidates) {
+  LineScenarioConfig cfg;
+  cfg.seed = 12;
+  cfg.numSlots = 60;
+  cfg.numResources = 3;
+  cfg.demands.numDemands = 25;
+  cfg.demands.windowSlack = 2.0;
+  const LineProblem problem = makeLineScenario(cfg);
+  EXPECT_EQ(problem.numDemands(), 25);
+  for (const WindowDemand& d : problem.demands) {
+    EXPECT_GE(d.deadline - d.release + 1, d.processing);
+  }
+}
+
+TEST(Scenario, TightWindowsWhenSlackZero) {
+  LineScenarioConfig cfg;
+  cfg.seed = 13;
+  cfg.numSlots = 40;
+  cfg.numResources = 1;
+  cfg.demands.numDemands = 20;
+  cfg.demands.windowSlack = 0.0;
+  const LineProblem problem = makeLineScenario(cfg);
+  for (const WindowDemand& d : problem.demands) {
+    EXPECT_EQ(d.deadline - d.release + 1, d.processing);
+  }
+}
+
+TEST(Universe, TreeInstanceCountsMatchAccess) {
+  TreeScenarioConfig cfg;
+  cfg.seed = 14;
+  cfg.numVertices = 16;
+  cfg.numNetworks = 3;
+  cfg.demands.numDemands = 10;
+  cfg.demands.accessProbability = 0.6;
+  const TreeProblem problem = makeTreeScenario(cfg);
+  const InstanceUniverse u = InstanceUniverse::fromTreeProblem(problem);
+  std::size_t expected = 0;
+  for (const auto& acc : problem.access) {
+    expected += acc.size();
+  }
+  EXPECT_EQ(static_cast<std::size_t>(u.numInstances()), expected);
+  for (DemandId d = 0; d < problem.numDemands(); ++d) {
+    EXPECT_EQ(u.instancesOfDemand(d).size(),
+              problem.access[static_cast<std::size_t>(d)].size());
+  }
+}
+
+TEST(Universe, LineInstanceCountsMatchWindows) {
+  LineScenarioConfig cfg;
+  cfg.seed = 15;
+  cfg.numSlots = 30;
+  cfg.numResources = 2;
+  cfg.demands.numDemands = 8;
+  cfg.demands.windowSlack = 1.0;
+  const LineProblem problem = makeLineScenario(cfg);
+  const InstanceUniverse u = InstanceUniverse::fromLineProblem(problem);
+  std::size_t expected = 0;
+  for (DemandId d = 0; d < problem.numDemands(); ++d) {
+    const WindowDemand& dem = problem.demands[static_cast<std::size_t>(d)];
+    const std::size_t starts = static_cast<std::size_t>(
+        dem.deadline - dem.processing + 1 - dem.release + 1);
+    expected += starts * problem.access[static_cast<std::size_t>(d)].size();
+  }
+  EXPECT_EQ(static_cast<std::size_t>(u.numInstances()), expected);
+}
+
+TEST(Universe, ConflictSymmetry) {
+  TreeScenarioConfig cfg;
+  cfg.seed = 16;
+  cfg.numVertices = 12;
+  cfg.numNetworks = 2;
+  cfg.demands.numDemands = 12;
+  const TreeProblem problem = makeTreeScenario(cfg);
+  InstanceUniverse u = InstanceUniverse::fromTreeProblem(problem);
+  u.buildConflicts();
+  for (InstanceId i = 0; i < u.numInstances(); ++i) {
+    for (const InstanceId j : u.conflictsOf(i)) {
+      EXPECT_TRUE(u.conflicting(i, j));
+      const auto back = u.conflictsOf(j);
+      EXPECT_NE(std::find(back.begin(), back.end(), i), back.end());
+    }
+  }
+}
+
+TEST(Universe, ConflictsMatchDefinition) {
+  TreeScenarioConfig cfg;
+  cfg.seed = 17;
+  cfg.numVertices = 10;
+  cfg.numNetworks = 2;
+  cfg.demands.numDemands = 8;
+  const TreeProblem problem = makeTreeScenario(cfg);
+  InstanceUniverse u = InstanceUniverse::fromTreeProblem(problem);
+  u.buildConflicts();
+  for (InstanceId i = 0; i < u.numInstances(); ++i) {
+    const auto adjacency = u.conflictsOf(i);
+    for (InstanceId j = 0; j < u.numInstances(); ++j) {
+      const bool listed =
+          std::find(adjacency.begin(), adjacency.end(), j) != adjacency.end();
+      EXPECT_EQ(listed, u.conflicting(i, j))
+          << "adjacency mismatch for (" << i << "," << j << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treesched

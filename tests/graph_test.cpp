@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+
+#include "gen/tree_gen.hpp"
+#include "graph/tree_network.hpp"
+#include "test_fixtures.hpp"
+#include "util/check.hpp"
+
+namespace treesched {
+namespace {
+
+using testing::P;
+using testing::paperExampleTree;
+
+TEST(TreeNetwork, RejectsNonTrees) {
+  // Too few edges (disconnected).
+  EXPECT_THROW(TreeNetwork(0, 3, {{0, 1}, {0, 1}}), CheckError);
+  // Self loop.
+  EXPECT_THROW(TreeNetwork(0, 2, {{1, 1}}), CheckError);
+  // Cycle + disconnected vertex.
+  EXPECT_THROW(TreeNetwork(0, 4, {{0, 1}, {1, 2}, {2, 0}}), CheckError);
+}
+
+TEST(TreeNetwork, SingleVertex) {
+  const TreeNetwork t(0, 1, {});
+  EXPECT_EQ(t.numVertices(), 1);
+  EXPECT_EQ(t.numEdges(), 0);
+  EXPECT_EQ(t.distance(0, 0), 0);
+}
+
+TEST(TreeNetwork, PathTreeBasics) {
+  const TreeNetwork t = makePathTree(0, 5);
+  EXPECT_EQ(t.numEdges(), 4);
+  EXPECT_EQ(t.distance(0, 4), 4);
+  EXPECT_EQ(t.lca(0, 4), 0);
+  EXPECT_EQ(t.distance(2, 2), 0);
+  const auto edges = t.pathEdges(1, 3);
+  EXPECT_EQ(edges.size(), 2u);
+}
+
+TEST(TreeNetwork, StarTreeBasics) {
+  const TreeNetwork t = makeStarTree(0, 6);
+  EXPECT_EQ(t.degree(0), 5);
+  EXPECT_EQ(t.distance(1, 2), 2);
+  EXPECT_EQ(t.lca(1, 2), 0);
+  EXPECT_EQ(t.meetingPoint(1, 2, 3), 0);
+}
+
+TEST(TreeNetwork, PaperExamplePath) {
+  const TreeNetwork t = paperExampleTree();
+  // path(4,13) = 4,2,5,8,13 (paper labels).
+  const auto vertices = t.pathVertices(P(4), P(13));
+  const std::vector<VertexId> expected{P(4), P(2), P(5), P(8), P(13)};
+  EXPECT_EQ(vertices, expected);
+}
+
+TEST(TreeNetwork, PaperExampleBendingPoints) {
+  const TreeNetwork t = paperExampleTree();
+  // "with respect to nodes 3 and 9, the bending points of the demand
+  // <4,13> are 2 and 5" (§4.4).
+  EXPECT_EQ(t.meetingPoint(P(4), P(13), P(3)), P(2));
+  EXPECT_EQ(t.meetingPoint(P(4), P(13), P(9)), P(5));
+}
+
+TEST(TreeNetwork, OnPath) {
+  const TreeNetwork t = paperExampleTree();
+  EXPECT_TRUE(t.onPath(P(5), P(4), P(13)));
+  EXPECT_TRUE(t.onPath(P(4), P(4), P(13)));
+  EXPECT_FALSE(t.onPath(P(9), P(4), P(13)));
+}
+
+TEST(TreeNetwork, StepToward) {
+  const TreeNetwork t = paperExampleTree();
+  EXPECT_EQ(t.stepToward(P(4), P(13)), P(2));
+  EXPECT_EQ(t.stepToward(P(13), P(4)), P(8));
+  EXPECT_THROW(t.stepToward(P(4), P(4)), CheckError);
+}
+
+TEST(TreeNetwork, EdgeBetween) {
+  const TreeNetwork t = paperExampleTree();
+  EXPECT_NE(t.edgeBetween(P(2), P(5)), kNoEdge);
+  EXPECT_EQ(t.edgeBetween(P(2), P(8)), kNoEdge);
+}
+
+TEST(TreeNetwork, PathEdgesMatchVertices) {
+  const TreeNetwork t = paperExampleTree();
+  const auto vertices = t.pathVertices(P(11), P(14));
+  const auto edges = t.pathEdges(P(11), P(14));
+  ASSERT_EQ(edges.size() + 1, vertices.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto [a, b] = t.edge(edges[i]);
+    const bool matches = (a == vertices[i] && b == vertices[i + 1]) ||
+                         (b == vertices[i] && a == vertices[i + 1]);
+    EXPECT_TRUE(matches) << "edge " << i << " does not join consecutive path "
+                         << "vertices";
+  }
+}
+
+// ---- Property tests over the shape gallery ----
+
+struct ShapeCase {
+  TreeShape shape;
+  std::int32_t n;
+};
+
+class TreeShapeTest : public ::testing::TestWithParam<ShapeCase> {};
+
+// Reference BFS distance for validation.
+std::int32_t bfsDistance(const TreeNetwork& t, VertexId from, VertexId to) {
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(t.numVertices()), -1);
+  std::queue<VertexId> q;
+  q.push(from);
+  dist[static_cast<std::size_t>(from)] = 0;
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (const AdjEntry& a : t.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(a.to)] == -1) {
+        dist[static_cast<std::size_t>(a.to)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return dist[static_cast<std::size_t>(to)];
+}
+
+TEST_P(TreeShapeTest, GeneratedTreeIsValidAndLcaMatchesBfs) {
+  const auto& param = GetParam();
+  Rng rng(1234 + param.n);
+  const TreeNetwork t = generateTree(param.shape, 0, param.n, rng);
+  EXPECT_EQ(t.numVertices(), param.n);
+  // Spot-check distances vs BFS on random pairs.
+  Rng pairRng(99);
+  for (int i = 0; i < 25; ++i) {
+    const auto u = static_cast<VertexId>(
+        pairRng.nextBounded(static_cast<std::uint64_t>(param.n)));
+    const auto v = static_cast<VertexId>(
+        pairRng.nextBounded(static_cast<std::uint64_t>(param.n)));
+    EXPECT_EQ(t.distance(u, v), bfsDistance(t, u, v));
+    EXPECT_EQ(t.distance(u, v),
+              static_cast<std::int32_t>(t.pathEdges(u, v).size()));
+  }
+}
+
+TEST_P(TreeShapeTest, MeetingPointLiesOnAllPairwisePaths) {
+  const auto& param = GetParam();
+  Rng rng(77 + param.n);
+  const TreeNetwork t = generateTree(param.shape, 0, param.n, rng);
+  Rng pickRng(5);
+  for (int i = 0; i < 25; ++i) {
+    const auto a = static_cast<VertexId>(
+        pickRng.nextBounded(static_cast<std::uint64_t>(param.n)));
+    const auto b = static_cast<VertexId>(
+        pickRng.nextBounded(static_cast<std::uint64_t>(param.n)));
+    const auto c = static_cast<VertexId>(
+        pickRng.nextBounded(static_cast<std::uint64_t>(param.n)));
+    const VertexId m = t.meetingPoint(a, b, c);
+    EXPECT_TRUE(t.onPath(m, a, b));
+    EXPECT_TRUE(t.onPath(m, a, c));
+    EXPECT_TRUE(t.onPath(m, b, c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gallery, TreeShapeTest,
+    ::testing::Values(ShapeCase{TreeShape::UniformRandom, 2},
+                      ShapeCase{TreeShape::UniformRandom, 17},
+                      ShapeCase{TreeShape::UniformRandom, 128},
+                      ShapeCase{TreeShape::RandomAttachment, 64},
+                      ShapeCase{TreeShape::Path, 33},
+                      ShapeCase{TreeShape::Star, 33},
+                      ShapeCase{TreeShape::Caterpillar, 40},
+                      ShapeCase{TreeShape::Spider, 41},
+                      ShapeCase{TreeShape::BalancedBinary, 63}),
+    [](const ::testing::TestParamInfo<ShapeCase>& info) {
+      return treeShapeName(info.param.shape) + "_" +
+             std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,105 @@
+// The protocol observer must see exactly the events the run reports.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/universe.hpp"
+#include "dist/protocol.hpp"
+#include "gen/scenario.hpp"
+
+namespace treesched {
+namespace {
+
+class CountingObserver : public ProtocolObserver {
+ public:
+  void onStepStart(std::int32_t epoch, std::int32_t stage, std::int32_t step,
+                   std::int32_t participants) override {
+    ++steps;
+    lastEpoch = epoch;
+    lastStage = stage;
+    lastStep = step;
+    EXPECT_GT(participants, 0) << "silent steps must not be observed";
+  }
+  void onMisComplete(std::int64_t tuple, std::int32_t lubyRounds,
+                     std::int32_t misSize) override {
+    ++misCompletions;
+    totalMisSize += misSize;
+    EXPECT_GE(lubyRounds, 0);
+    EXPECT_GE(tuple, 0);
+  }
+  void onRaise(std::int64_t /*tuple*/, InstanceId instance,
+               double delta) override {
+    raises.push_back(instance);
+    EXPECT_GT(delta, 0) << "unit-rule alpha increments are positive";
+  }
+  void onAccept(std::int64_t /*tuple*/, InstanceId instance) override {
+    accepts.push_back(instance);
+  }
+
+  std::int64_t steps = 0;
+  std::int64_t misCompletions = 0;
+  std::int64_t totalMisSize = 0;
+  std::int32_t lastEpoch = -1;
+  std::int32_t lastStage = -1;
+  std::int32_t lastStep = -1;
+  std::vector<InstanceId> raises;
+  std::vector<InstanceId> accepts;
+};
+
+TEST(Observer, EventCountsMatchResult) {
+  TreeScenarioConfig cfg;
+  cfg.seed = 61;
+  cfg.numVertices = 24;
+  cfg.numNetworks = 2;
+  cfg.demands.numDemands = 20;
+  cfg.demands.accessProbability = 0.8;
+  const TreeProblem problem = makeTreeScenario(cfg);
+
+  CountingObserver observer;
+  DistributedOptions opt;
+  opt.observer = &observer;
+  const DistributedResult result = runDistributedUnitTree(problem, opt);
+
+  EXPECT_EQ(observer.steps, result.activeSteps);
+  EXPECT_EQ(observer.misCompletions, result.activeSteps);
+  EXPECT_EQ(static_cast<std::int64_t>(observer.raises.size()), result.raises);
+  EXPECT_EQ(observer.totalMisSize, result.raises);
+  // Every accept is in the final solution and vice versa.
+  std::vector<InstanceId> accepted = observer.accepts;
+  std::sort(accepted.begin(), accepted.end());
+  EXPECT_EQ(accepted, result.solution.instances);
+}
+
+TEST(Observer, RaisesAreUniqueInstances) {
+  TreeScenarioConfig cfg;
+  cfg.seed = 62;
+  cfg.numVertices = 16;
+  cfg.numNetworks = 2;
+  cfg.demands.numDemands = 14;
+  const TreeProblem problem = makeTreeScenario(cfg);
+
+  CountingObserver observer;
+  DistributedOptions opt;
+  opt.observer = &observer;
+  runDistributedUnitTree(problem, opt);
+
+  std::vector<InstanceId> raised = observer.raises;
+  std::sort(raised.begin(), raised.end());
+  EXPECT_EQ(std::adjacent_find(raised.begin(), raised.end()), raised.end())
+      << "an instance is raised at most once (its constraint gets tight)";
+}
+
+TEST(Observer, NullObserverIsFine) {
+  TreeScenarioConfig cfg;
+  cfg.seed = 63;
+  cfg.numVertices = 12;
+  cfg.numNetworks = 2;
+  cfg.demands.numDemands = 8;
+  const TreeProblem problem = makeTreeScenario(cfg);
+  DistributedOptions opt;
+  opt.observer = nullptr;
+  EXPECT_NO_THROW(runDistributedUnitTree(problem, opt));
+}
+
+}  // namespace
+}  // namespace treesched

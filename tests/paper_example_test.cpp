@@ -1,0 +1,204 @@
+// End-to-end checks on the paper's own worked example: the 14-vertex tree
+// of Figure 6 with the demands of Figure 2 / §4.4 / Appendix A. These pin
+// the implementation to the paper's stated facts, not just to its
+// abstract properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/sequential_tree.hpp"
+#include "algo/tree_solvers.hpp"
+#include "core/universe.hpp"
+#include "decomp/layering.hpp"
+#include "decomp/tree_decomposition.hpp"
+#include "exact/brute_force.hpp"
+#include "test_fixtures.hpp"
+
+namespace treesched {
+namespace {
+
+using testing::P;
+using testing::paperExampleTree;
+
+TreeProblem exampleProblem() {
+  TreeProblem problem;
+  problem.numVertices = 14;
+  problem.networks.push_back(paperExampleTree());
+  // Figure 2's demands: <1,10>, <2,3>, <12,13> (paper labels).
+  auto add = [&](int pu, int pv, double profit, double height) {
+    Demand d;
+    d.id = static_cast<DemandId>(problem.demands.size());
+    d.u = P(pu);
+    d.v = P(pv);
+    d.profit = profit;
+    d.height = height;
+    problem.demands.push_back(d);
+    problem.access.push_back({0});
+  };
+  add(1, 10, 1.0, 1.0);
+  add(2, 3, 1.0, 1.0);
+  add(12, 13, 1.0, 1.0);
+  problem.validate();
+  return problem;
+}
+
+TEST(PaperExample, Figure2UnitHeightOnlyOneSchedulable) {
+  // "In the unit height case, only one of the three demands can be
+  // scheduled" — they pairwise share edges in our reconstruction? The
+  // paper's Figure 2 tree differs from Figure 6; on OUR fixture, verify
+  // via brute force that the optimum schedules a maximal conflict-free
+  // subset and that validation agrees with pairwise overlap.
+  const TreeProblem problem = exampleProblem();
+  InstanceUniverse u = InstanceUniverse::fromTreeProblem(problem);
+  const ExactResult exact = bruteForceExact(u);
+  ASSERT_TRUE(exact.provedOptimal);
+  requireFeasible(u, exact.solution);
+  // Sanity: the exact optimum is at least one demand.
+  EXPECT_GE(exact.profit, 1.0);
+}
+
+TEST(PaperExample, Figure2ArbitraryHeights) {
+  // "suppose their heights are 0.4, 0.7 and 0.3 ... the first and third
+  // demand can be scheduled together" — the statement is about demands
+  // sharing one edge; rebuild it literally: three demands through a
+  // common edge with those heights.
+  TreeProblem problem;
+  problem.numVertices = 4;
+  problem.networks.push_back(makePathTree(0, 4));  // 0-1-2-3
+  auto add = [&](double height) {
+    Demand d;
+    d.id = static_cast<DemandId>(problem.demands.size());
+    d.u = 0;
+    d.v = 3;  // all through every edge
+    d.profit = 1.0;
+    d.height = height;
+    problem.demands.push_back(d);
+    problem.access.push_back({0});
+  };
+  add(0.4);
+  add(0.7);
+  add(0.3);
+  const InstanceUniverse u = InstanceUniverse::fromTreeProblem(problem);
+  Solution firstAndThird;
+  firstAndThird.instances = {0, 2};
+  EXPECT_TRUE(validateSolution(u, firstAndThird).feasible) << "0.4+0.3 fits";
+  Solution firstAndSecond;
+  firstAndSecond.instances = {0, 1};
+  EXPECT_FALSE(validateSolution(u, firstAndSecond).feasible) << "0.4+0.7 > 1";
+}
+
+TEST(PaperExample, AppendixPiOfDemand413) {
+  // Appendix A: with root 1, pi(<4,13>) = {<2,4>, <2,5>}.
+  const TreeNetwork t = paperExampleTree();
+  const TreeDecomposition h = rootFixingDecomposition(t, P(1));
+  const VertexId mu = captureNode(t, h, P(4), P(13));
+  ASSERT_EQ(mu, P(2));
+  // Wings of mu on the path are exactly the edges (2,4) and (2,5).
+  const EdgeId wing1 = t.edgeBetween(P(2), P(4));
+  const EdgeId wing2 = t.edgeBetween(P(2), P(5));
+  EXPECT_NE(wing1, kNoEdge);
+  EXPECT_NE(wing2, kNoEdge);
+  const auto path = t.pathEdges(P(4), P(13));
+  EXPECT_NE(std::find(path.begin(), path.end(), wing1), path.end());
+  EXPECT_NE(std::find(path.begin(), path.end(), wing2), path.end());
+}
+
+TEST(PaperExample, Section44WingsOfPathVertices) {
+  // §4.4: "node 4 has only one wing <4,2>, while node 8 has two wings
+  // <5,8> and <8,13>" on path(<4,13>).
+  const TreeNetwork t = paperExampleTree();
+  const auto path = t.pathEdges(P(4), P(13));
+  // Wing of endpoint 4.
+  const EdgeId w4 = t.edgeBetween(P(4), P(2));
+  EXPECT_EQ(path.front(), w4);
+  // Wings of interior node 8.
+  const EdgeId w8a = t.edgeBetween(P(5), P(8));
+  const EdgeId w8b = t.edgeBetween(P(8), P(13));
+  EXPECT_NE(std::find(path.begin(), path.end(), w8a), path.end());
+  EXPECT_NE(std::find(path.begin(), path.end(), w8b), path.end());
+}
+
+TEST(PaperExample, TreeDecompositionFactsOfFigure3) {
+  // Figure 3's commentary: C(2) = {2,4} has pivot set {1,5}; any valid
+  // decomposition capturing 4 strictly below 2 reproduces chi(2) = {1,5}.
+  // Build H exactly as described: 2's child is 4.
+  const TreeNetwork t = paperExampleTree();
+  // Use the root-fixing decomposition rooted at 5: then C(2) = {2,4,...}?
+  // Simpler: hand-build a small H fragment via balancing and check the
+  // generic pivot computation on a decomposition where C(2) == {2,4}.
+  // Root-fixing at vertex 1 gives C(4) = {4} and C(2) = {2,4,5,...}; to
+  // get C(2) = {2,4} exactly we hand-author H: root 5, children {2,8,9},
+  // 2's children {1,4}, 1's children {3}, 3's children {6}, 6's {7},
+  // 8's {12,13}, 13's {14}, 9's {10}, 10's {11}.
+  std::vector<VertexId> parent(14, kNoVertex);
+  auto setp = [&](int child, int par) { parent[static_cast<std::size_t>(P(child))] = P(par); };
+  setp(2, 5);
+  setp(8, 5);
+  setp(9, 5);
+  setp(1, 2);
+  setp(4, 2);
+  setp(3, 1);
+  setp(6, 3);
+  setp(7, 6);
+  setp(12, 8);
+  setp(13, 8);
+  setp(14, 13);
+  setp(10, 9);
+  setp(11, 10);
+  const TreeDecomposition h = finalizeDecomposition(0, P(5), std::move(parent));
+  ASSERT_EQ(checkTreeDecomposition(t, h), "");
+  const auto pivots = computePivotSets(t, h);
+  // C(4) = {4}: neighbours {2}.
+  EXPECT_EQ(pivots[static_cast<std::size_t>(P(4))],
+            (std::vector<VertexId>{P(2)}));
+  // C(2) = {2,1,4,3,6,7}: neighbours {5} — the paper's chi(2) = {1,5}
+  // refers to ITS H where C(2) = {2,4}; in ours 1 is inside C(2). Check
+  // the paper's statement on the exact component instead:
+  // Gamma({2,4}) = {1,5}.
+  // (computed directly from T)
+  std::vector<VertexId> componentNeighbors;
+  for (const VertexId x : {P(2), P(4)}) {
+    for (const AdjEntry& a : t.neighbors(x)) {
+      if (a.to != P(2) && a.to != P(4)) componentNeighbors.push_back(a.to);
+    }
+  }
+  std::sort(componentNeighbors.begin(), componentNeighbors.end());
+  EXPECT_EQ(componentNeighbors, (std::vector<VertexId>{P(1), P(5)}));
+}
+
+TEST(PaperExample, LayeringOnExampleTreeSatisfiesInterference) {
+  TreeProblem problem = exampleProblem();
+  // Add more demands to exercise the layering.
+  auto add = [&](int pu, int pv) {
+    Demand d;
+    d.id = static_cast<DemandId>(problem.demands.size());
+    d.u = P(pu);
+    d.v = P(pv);
+    d.profit = 2.0;
+    problem.demands.push_back(d);
+    problem.access.push_back({0});
+  };
+  add(4, 13);
+  add(7, 11);
+  add(12, 14);
+  add(3, 9);
+  problem.validate();
+  const InstanceUniverse u = InstanceUniverse::fromTreeProblem(problem);
+  const TreeLayeringResult lay = buildTreeLayering(problem, u);
+  EXPECT_EQ(checkLayering(u, lay.layering), "");
+  EXPECT_LE(lay.layering.maxCriticalSize, 6);
+}
+
+TEST(PaperExample, AllSolversAgreeOnFeasibilityAndBounds) {
+  TreeProblem problem = exampleProblem();
+  const SequentialTreeResult seq = solveSequentialTree(problem);
+  const TreeSolveResult dist = solveUnitTree(problem);
+  InstanceUniverse u = InstanceUniverse::fromTreeProblem(problem);
+  const ExactResult exact = bruteForceExact(u);
+  ASSERT_TRUE(exact.provedOptimal);
+  EXPECT_GE(seq.profit * 2.0, exact.profit - 1e-9);  // r = 1: 2-approx
+  EXPECT_GE(dist.profit * dist.certifiedBound, exact.profit - 1e-9);
+}
+
+}  // namespace
+}  // namespace treesched
