@@ -59,7 +59,8 @@ int main(int argc, char** argv) {
     DecompositionKind decomposition;
   };
   const Variant variants[] = {
-      {"staged+ideal (paper)", SchedulePolicy::Staged, DecompositionKind::Ideal},
+      {"staged+ideal (paper)", SchedulePolicy::Staged,
+       DecompositionKind::Ideal},
       {"threshold+ideal (PS schedule)", SchedulePolicy::Threshold,
        DecompositionKind::Ideal},
       {"staged+balancing", SchedulePolicy::Staged,

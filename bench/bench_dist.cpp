@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
     copt.misRoundBudget = dopt.misRoundBudget;
     copt.fixedSchedule = true;
     copt.stepsPerStage = dopt.stepsPerStage;
-    const TwoPhaseResult central = runTwoPhase(universe, layering.layering, copt);
+    const TwoPhaseResult central =
+        runTwoPhase(universe, layering.layering, copt);
     std::vector<InstanceId> centralSorted = central.solution.instances;
     std::sort(centralSorted.begin(), centralSorted.end());
 

@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
     cfg.demands.numDemands = 2 * n;
     cfg.demands.accessProbability = 0.6;
     const TreeProblem problem = makeTreeScenario(cfg);
-    const InstanceUniverse universe = InstanceUniverse::fromTreeProblem(problem);
+    const InstanceUniverse universe =
+        InstanceUniverse::fromTreeProblem(problem);
     for (const DecompositionKind kind :
          {DecompositionKind::Ideal, DecompositionKind::Balancing,
           DecompositionKind::RootFixing}) {

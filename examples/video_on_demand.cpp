@@ -93,7 +93,8 @@ int main() {
 
   std::cout << "\nprime-time admissions (slots 64-95):\n";
   for (const LineAssignment& a : ours.assignments) {
-    const WindowDemand& d = bookings.demands[static_cast<std::size_t>(a.demand)];
+    const WindowDemand& d =
+        bookings.demands[static_cast<std::size_t>(a.demand)];
     if (a.start >= 64) {
       std::cout << "  booking " << a.demand << ": uplink " << a.resource
                 << ", slots " << a.start << "-" << a.start + d.processing - 1

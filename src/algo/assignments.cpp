@@ -61,7 +61,8 @@ std::string checkAssignments(const TreeProblem& problem,
       return os.str();
     }
     const Demand& dem = problem.demands[static_cast<std::size_t>(a.demand)];
-    const TreeNetwork& net = problem.networks[static_cast<std::size_t>(a.network)];
+    const TreeNetwork& net =
+        problem.networks[static_cast<std::size_t>(a.network)];
     for (const EdgeId e : net.pathEdges(dem.u, dem.v)) {
       double& l = load[static_cast<std::size_t>(a.network)]
                       [static_cast<std::size_t>(e)];
@@ -98,7 +99,8 @@ std::string checkAssignments(const LineProblem& problem,
       os << "demand " << a.demand << " cannot access resource " << a.resource;
       return os.str();
     }
-    const WindowDemand& dem = problem.demands[static_cast<std::size_t>(a.demand)];
+    const WindowDemand& dem =
+        problem.demands[static_cast<std::size_t>(a.demand)];
     if (a.start < dem.release ||
         a.start + dem.processing - 1 > dem.deadline) {
       std::ostringstream os;

@@ -56,8 +56,8 @@ LineSolveResult solvePanconesiSozioUnitLine(const LineProblem& problem,
 /// arbitrary-height constants differ in detail; this reconstruction keeps
 /// everything equal to our algorithm except the schedule policy, so the
 /// comparison isolates the paper's staged-slackness contribution.
-ArbitraryLineResult solvePanconesiSozioArbitraryLine(const LineProblem& problem,
-                                                     SolverOptions options = {});
+ArbitraryLineResult solvePanconesiSozioArbitraryLine(
+    const LineProblem& problem, SolverOptions options = {});
 
 /// Shared internals (exposed for ablations): run the framework over the
 /// line universe of `problem` restricted to nothing (rule selects the

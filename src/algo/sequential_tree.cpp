@@ -11,8 +11,8 @@
 namespace treesched {
 
 SequentialTreeResult solveSequentialTree(const TreeProblem& problem) {
-  checkThat(problem.isUnitHeight(), "sequential algorithm requires unit heights",
-            __FILE__, __LINE__);
+  checkThat(problem.isUnitHeight(),
+            "sequential algorithm requires unit heights", __FILE__, __LINE__);
   InstanceUniverse universe = InstanceUniverse::fromTreeProblem(problem);
   const bool singleNetwork = problem.numNetworks() == 1;
 
@@ -42,7 +42,8 @@ SequentialTreeResult solveSequentialTree(const TreeProblem& problem) {
         {i, h.depth[static_cast<std::size_t>(mu)], mu});
   }
   for (auto& entries : perNetwork) {
-    std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
       if (a.captureDepth != b.captureDepth) {
         return a.captureDepth > b.captureDepth;  // deepest captures first
       }
@@ -87,14 +88,10 @@ SequentialTreeResult solveSequentialTree(const TreeProblem& problem) {
       RaiseAmounts amounts;
       amounts.alphaIncrement = singleNetwork ? 0.0 : deltaAmount;
       amounts.betaIncrement = deltaAmount;
-      applyRaise(dual, universe, entry.instance,
-                 std::span<const GlobalEdgeId>(wings,
-                                               static_cast<std::size_t>(numWings)),
-                 amounts);
-      lhs.onRaise(entry.instance,
-                  std::span<const GlobalEdgeId>(wings,
-                                                static_cast<std::size_t>(numWings)),
-                  amounts);
+      const std::span<const GlobalEdgeId> wingSpan(
+          wings, static_cast<std::size_t>(numWings));
+      applyRaise(dual, universe, entry.instance, wingSpan, amounts);
+      lhs.onRaise(entry.instance, wingSpan, amounts);
       stack.push_back(entry.instance);
       ++result.iterations;
     }

@@ -7,10 +7,11 @@
 namespace treesched {
 
 void LineProblem::validate() const {
-  checkThat(numSlots >= 1, "timeline has at least one slot", __FILE__, __LINE__);
+  checkThat(numSlots >= 1, "timeline has at least one slot", __FILE__,
+            __LINE__);
   checkThat(numResources >= 1, "at least one resource", __FILE__, __LINE__);
-  checkThat(demands.size() == access.size(), "one accessibility list per demand",
-            __FILE__, __LINE__);
+  checkThat(demands.size() == access.size(),
+            "one accessibility list per demand", __FILE__, __LINE__);
   for (std::size_t i = 0; i < demands.size(); ++i) {
     const WindowDemand& d = demands[i];
     checkThat(d.id == static_cast<DemandId>(i), "demand ids are positional",
@@ -19,7 +20,8 @@ void LineProblem::validate() const {
               __FILE__, __LINE__);
     checkThat(d.deadline >= d.release && d.deadline < numSlots,
               "deadline in timeline and after release", __FILE__, __LINE__);
-    checkThat(d.processing >= 1, "processing time positive", __FILE__, __LINE__);
+    checkThat(d.processing >= 1, "processing time positive", __FILE__,
+              __LINE__);
     checkThat(d.release + d.processing - 1 <= d.deadline,
               "processing fits in window", __FILE__, __LINE__);
     checkThat(d.profit > 0, "demand profit positive", __FILE__, __LINE__);
@@ -75,7 +77,8 @@ std::vector<std::vector<ResourceId>> fullLineAccess(std::int32_t numDemands,
 }
 
 WindowDemand makeIntervalDemand(DemandId id, std::int32_t start,
-                                std::int32_t end, double profit, double height) {
+                                std::int32_t end, double profit,
+                                double height) {
   checkThat(end >= start, "interval end >= start", __FILE__, __LINE__);
   WindowDemand d;
   d.id = id;

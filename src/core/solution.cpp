@@ -21,8 +21,8 @@ ValidationReport validateSolution(const InstanceUniverse& universe,
   ValidationReport report;
   std::vector<bool> demandUsed(static_cast<std::size_t>(universe.numDemands()),
                                false);
-  std::vector<double> edgeLoad(static_cast<std::size_t>(universe.numGlobalEdges()),
-                               0.0);
+  std::vector<double> edgeLoad(
+      static_cast<std::size_t>(universe.numGlobalEdges()), 0.0);
   for (const InstanceId i : sol.instances) {
     const InstanceRecord& rec = universe.instance(i);
     if (demandUsed[static_cast<std::size_t>(rec.demand)]) {
@@ -95,7 +95,8 @@ void FeasibilityOracle::add(InstanceId i) {
 }
 
 void FeasibilityOracle::remove(InstanceId i) {
-  auto it = std::find(solution_.instances.begin(), solution_.instances.end(), i);
+  auto it =
+      std::find(solution_.instances.begin(), solution_.instances.end(), i);
   checkThat(it != solution_.instances.end(),
             "FeasibilityOracle::remove of member", __FILE__, __LINE__);
   solution_.instances.erase(it);

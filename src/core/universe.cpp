@@ -153,7 +153,8 @@ std::span<const InstanceId> InstanceUniverse::instancesOfDemand(
   checkIndex(d, numDemands_, "demand id");
   const auto begin = demandOffset_[static_cast<std::size_t>(d)];
   const auto end = demandOffset_[static_cast<std::size_t>(d) + 1];
-  return {demandInstances_.data() + begin, static_cast<std::size_t>(end - begin)};
+  return {demandInstances_.data() + begin,
+          static_cast<std::size_t>(end - begin)};
 }
 
 GlobalEdgeId InstanceUniverse::globalEdge(TreeId network, EdgeId e) const {
@@ -222,14 +223,16 @@ void InstanceUniverse::buildConflicts() {
   std::int64_t total = 0;
   for (InstanceId i = 0; i < numInstances(); ++i) {
     conflictOffset_[static_cast<std::size_t>(i)] = total;
-    total += static_cast<std::int64_t>(rows[static_cast<std::size_t>(i)].size());
+    total +=
+        static_cast<std::int64_t>(rows[static_cast<std::size_t>(i)].size());
   }
   conflictOffset_[static_cast<std::size_t>(numInstances())] = total;
   conflictAdj_.resize(static_cast<std::size_t>(total));
   for (InstanceId i = 0; i < numInstances(); ++i) {
     std::copy(rows[static_cast<std::size_t>(i)].begin(),
               rows[static_cast<std::size_t>(i)].end(),
-              conflictAdj_.begin() + conflictOffset_[static_cast<std::size_t>(i)]);
+              conflictAdj_.begin() +
+                  conflictOffset_[static_cast<std::size_t>(i)]);
   }
   conflictsBuilt_ = true;
 }

@@ -141,7 +141,8 @@ TreeDecomposition idealDecomposition(const TreeNetwork& tree) {
     }
     // Children of j: the remaining components of C1 - j. The one holding
     // z' (direction stepToward(j, z')) was already attached under z above.
-    const VertexId towardZ = (zPrime == j) ? kNoVertex : tree.stepToward(j, zPrime);
+    const VertexId towardZ =
+        (zPrime == j) ? kNoVertex : tree.stepToward(j, zPrime);
     for (const AdjEntry& a : tree.neighbors(j)) {
       if (ctx.removed(a.to)) continue;
       if (a.to == towardZ) continue;  // C'_1, handled from z's side
@@ -150,7 +151,8 @@ TreeDecomposition idealDecomposition(const TreeNetwork& tree) {
         const VertexId at = attach[static_cast<std::size_t>(i)];
         if (at != kNoVertex && at != j && tree.stepToward(j, at) == a.to) {
           checkThat(childAnchors[1] == kNoVertex,
-                    "at most one anchor per junction child", __FILE__, __LINE__);
+                    "at most one anchor per junction child", __FILE__,
+                    __LINE__);
           childAnchors[1] = item.anchors[static_cast<std::size_t>(i)];
         }
       }

@@ -34,7 +34,8 @@ TreeLayeringResult buildTreeLayering(const TreeProblem& problem,
   checkThat(universe.kind() == InstanceUniverse::Kind::Tree, "tree universe",
             __FILE__, __LINE__);
   TreeLayeringResult result;
-  result.decompositions.reserve(static_cast<std::size_t>(problem.numNetworks()));
+  result.decompositions.reserve(
+      static_cast<std::size_t>(problem.numNetworks()));
   std::vector<std::vector<std::vector<VertexId>>> pivotSets;
   pivotSets.reserve(static_cast<std::size_t>(problem.numNetworks()));
   std::int32_t maxLen = 0;
@@ -80,7 +81,8 @@ TreeLayeringResult buildTreeLayering(const TreeProblem& problem,
     }
     std::sort(buffer.begin(), buffer.end());
     buffer.erase(std::unique(buffer.begin(), buffer.end()), buffer.end());
-    lay.criticalPool.insert(lay.criticalPool.end(), buffer.begin(), buffer.end());
+    lay.criticalPool.insert(lay.criticalPool.end(), buffer.begin(),
+                            buffer.end());
     lay.criticalOffset[static_cast<std::size_t>(i) + 1] =
         static_cast<std::int32_t>(lay.criticalPool.size());
     lay.maxCriticalSize = std::max(lay.maxCriticalSize,

@@ -20,7 +20,8 @@ VertexId TreeDecomposition::lca(VertexId x, VertexId y) const {
   checkIndex(x, numVertices(), "H vertex x");
   checkIndex(y, numVertices(), "H vertex y");
   while (x != y) {
-    if (depth[static_cast<std::size_t>(x)] >= depth[static_cast<std::size_t>(y)]) {
+    if (depth[static_cast<std::size_t>(x)] >=
+        depth[static_cast<std::size_t>(y)]) {
       x = parent[static_cast<std::size_t>(x)];
     } else {
       y = parent[static_cast<std::size_t>(y)];
@@ -30,8 +31,8 @@ VertexId TreeDecomposition::lca(VertexId x, VertexId y) const {
 }
 
 bool TreeDecomposition::isAncestorOrSelf(VertexId anc, VertexId v) const {
-  while (v != kNoVertex &&
-         depth[static_cast<std::size_t>(v)] >= depth[static_cast<std::size_t>(anc)]) {
+  while (v != kNoVertex && depth[static_cast<std::size_t>(v)] >=
+                               depth[static_cast<std::size_t>(anc)]) {
     if (v == anc) return true;
     v = parent[static_cast<std::size_t>(v)];
   }
@@ -68,7 +69,8 @@ TreeDecomposition finalizeDecomposition(TreeId network, VertexId root,
     frontier.pop();
     ++reached;
     for (const VertexId c : children[static_cast<std::size_t>(v)]) {
-      h.depth[static_cast<std::size_t>(c)] = h.depth[static_cast<std::size_t>(v)] + 1;
+      h.depth[static_cast<std::size_t>(c)] =
+          h.depth[static_cast<std::size_t>(v)] + 1;
       frontier.push(c);
     }
   }
@@ -77,8 +79,8 @@ TreeDecomposition finalizeDecomposition(TreeId network, VertexId root,
   return h;
 }
 
-std::vector<std::vector<VertexId>> computePivotSets(const TreeNetwork& tree,
-                                                    const TreeDecomposition& h) {
+std::vector<std::vector<VertexId>> computePivotSets(
+    const TreeNetwork& tree, const TreeDecomposition& h) {
   const std::int32_t n = tree.numVertices();
   checkThat(h.numVertices() == n, "decomposition covers the tree", __FILE__,
             __LINE__);
@@ -89,7 +91,8 @@ std::vector<std::vector<VertexId>> computePivotSets(const TreeNetwork& tree,
     const auto [a, b] = tree.edge(e);
     const VertexId meet = h.lca(a, b);
     for (const auto& [v, w] : {std::pair{a, b}, std::pair{b, a}}) {
-      for (VertexId z = v; z != meet; z = h.parent[static_cast<std::size_t>(z)]) {
+      for (VertexId z = v; z != meet;
+           z = h.parent[static_cast<std::size_t>(z)]) {
         pivots[static_cast<std::size_t>(z)].push_back(w);
       }
     }
@@ -113,8 +116,8 @@ VertexId captureNode(const TreeNetwork& tree, const TreeDecomposition& h,
                      VertexId u, VertexId v) {
   VertexId best = kNoVertex;
   for (const VertexId x : tree.pathVertices(u, v)) {
-    if (best == kNoVertex ||
-        h.depth[static_cast<std::size_t>(x)] < h.depth[static_cast<std::size_t>(best)]) {
+    if (best == kNoVertex || h.depth[static_cast<std::size_t>(x)] <
+                                 h.depth[static_cast<std::size_t>(best)]) {
       best = x;
     }
   }

@@ -1,0 +1,46 @@
+// Message vocabulary of the distributed protocol (paper §5).
+//
+// Every message is broadcast by a processor to its neighbours in the
+// communication graph (processors sharing an accessible network). Payload
+// sizes are measured in units of M, where M bounds the description of one
+// demand instance (id, endpoints, path, critical edges); the paper's O(M)
+// message-size discipline corresponds to a small constant number of units
+// per message — the protocol never exceeds 2.
+#pragma once
+
+#include <cstdint>
+
+#include "core/demand.hpp"
+
+namespace treesched {
+
+enum class MessageKind : std::uint8_t {
+  /// Luby round, first half: "my instance is still undecided and
+  /// unsatisfied". Carries the instance whose priority competes this round.
+  MisActive,
+  /// Luby round, second half: "my instance joined the independent set".
+  MisJoin,
+  /// Raise round: "I raised my instance's duals"; `value` is the beta
+  /// increment applied to every critical edge of the instance. Two units:
+  /// the instance description plus the increment.
+  DualRaise,
+  /// Phase 2: "my instance is accepted into the solution".
+  Accept,
+};
+
+/// One protocol message. `from` is the sending processor (== DemandId),
+/// `instance` the demand instance the message talks about, `value` a
+/// rule-dependent scalar (only DualRaise uses it).
+struct Message {
+  MessageKind kind = MessageKind::MisActive;
+  DemandId from = 0;
+  InstanceId instance = kNoInstance;
+  double value = 0;
+};
+
+/// Payload of a message in units of M (see file comment).
+inline std::int32_t messagePayloadUnits(MessageKind kind) {
+  return kind == MessageKind::DualRaise ? 2 : 1;
+}
+
+}  // namespace treesched

@@ -1,0 +1,49 @@
+// Observation hooks into the distributed protocol.
+//
+// The protocol reports the events a distributed tracing facility would see:
+// step starts (with participant counts), completed MIS computations, dual
+// raises and phase-2 accepts. Tests use the hooks to cross-check the
+// run-level counters; the examples use them for progress traces. Silent
+// steps (no unsatisfied instance in the scheduled group) are not observed.
+#pragma once
+
+#include <cstdint>
+
+#include "core/demand.hpp"
+
+namespace treesched {
+
+/// Callback interface; every hook has a no-op default, so subclasses
+/// override only what they need. Hooks fire in simulation order and only
+/// for events that actually happen (crashed processors emit nothing).
+class ProtocolObserver {
+ public:
+  virtual ~ProtocolObserver() = default;
+
+  /// An active phase-1 step begins: `epoch` is 0-based, `stage` and `step`
+  /// 1-based (the schedule tuple); `participants` counts the unsatisfied
+  /// instances entering the step's MIS (always > 0).
+  virtual void onStepStart(std::int32_t /*epoch*/, std::int32_t /*stage*/,
+                           std::int32_t /*step*/,
+                           std::int32_t /*participants*/) {}
+
+  /// The step's MIS computation finished after `lubyRounds` Luby rounds
+  /// with `misSize` members. `tuple` is the 0-based global step index.
+  virtual void onMisComplete(std::int64_t /*tuple*/,
+                             std::int32_t /*lubyRounds*/,
+                             std::int32_t /*misSize*/) {}
+
+  /// `instance`'s dual constraint was made tight; `delta` is the alpha
+  /// increment (> 0).
+  virtual void onRaise(std::int64_t /*tuple*/, InstanceId /*instance*/,
+                       double /*delta*/) {}
+
+  /// Phase 2 accepted `instance` while popping `tuple`'s stack entry.
+  virtual void onAccept(std::int64_t /*tuple*/, InstanceId /*instance*/) {}
+};
+
+/// Observer that ignores every event; useful as an explicit "no tracing"
+/// argument and as a base for tests.
+class NullObserver final : public ProtocolObserver {};
+
+}  // namespace treesched

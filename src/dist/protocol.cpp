@@ -1,0 +1,591 @@
+#include "dist/protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/tolerances.hpp"
+#include "core/universe.hpp"
+#include "decomp/layering.hpp"
+#include "framework/dual_state.hpp"
+#include "framework/lhs_tracker.hpp"
+#include "framework/mis.hpp"
+#include "framework/schedule.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace treesched {
+namespace {
+
+/// Luby status of one instance within the current step.
+enum class MisStatus : std::uint8_t { Inactive, Undecided, In, Out };
+
+/// One dual raise as known to its owner before broadcasting.
+struct PendingRaise {
+  DemandId from = 0;
+  InstanceId instance = kNoInstance;
+  double alphaIncrement = 0;
+  double betaIncrement = 0;
+};
+
+/// The whole simulation: per-processor local state plus the ground-truth
+/// duals used for the consistency audit. "Local" state (alphaLocal_,
+/// betaLocal_, lhsLocal_, loadLocal_) is only ever written by its owning
+/// processor, either from its own actions or from messages it received.
+class ProtocolEngine {
+ public:
+  ProtocolEngine(const InstanceUniverse& universe, const Layering& layering,
+                 std::vector<std::vector<std::int32_t>> adjacency,
+                 const DistributedOptions& options)
+      : u_(universe),
+        lay_(layering),
+        opt_(options),
+        obs_(options.observer != nullptr ? options.observer : &nullObserver_),
+        net_(std::move(adjacency)),
+        plan_(makeStagePlan(SchedulePolicy::Staged, options.rule,
+                            options.epsilon,
+                            std::max<std::int32_t>(1, layering.maxCriticalSize),
+                            options.hmin)),
+        numProc_(universe.numDemands()),
+        groundDual_(universe),
+        groundLhs_(universe, options.rule) {
+    checkThat(u_.conflictsBuilt(), "conflicts built before protocol run",
+              __FILE__, __LINE__);
+    checkThat(net_.numProcessors() == numProc_,
+              "one processor per demand", __FILE__, __LINE__);
+
+    stepsPerStage_ = opt_.stepsPerStage;
+    if (stepsPerStage_ == 0) {
+      stepsPerStage_ =
+          fixedScheduleStepsPerStage(u_.profitMax(), u_.profitMin());
+    }
+    scheduledSteps_ = static_cast<std::int64_t>(lay_.numGroups) *
+                      plan_.numStages * stepsPerStage_;
+
+    const std::int32_t numInst = u_.numInstances();
+    members_.resize(static_cast<std::size_t>(lay_.numGroups));
+    for (InstanceId i = 0; i < numInst; ++i) {
+      members_[static_cast<std::size_t>(
+                   lay_.group[static_cast<std::size_t>(i)])]
+          .push_back(i);
+    }
+
+    lhsLocal_.assign(static_cast<std::size_t>(numInst), 0.0);
+    misStatus_.assign(static_cast<std::size_t>(numInst), MisStatus::Inactive);
+    alphaLocal_.assign(static_cast<std::size_t>(numProc_), 0.0);
+
+    // Crash-stop fault set.
+    crashed_.assign(static_cast<std::size_t>(numProc_), false);
+    for (const DemandId d : opt_.crashProcessors) {
+      checkIndex(d, numProc_, "crashProcessors entry");
+      if (!crashed_[static_cast<std::size_t>(d)]) {
+        crashed_[static_cast<std::size_t>(d)] = true;
+        ++crashedCount_;
+      }
+    }
+
+    // Per-processor tracked edges (union of its instances' paths) and,
+    // per tracked edge, the own instances running through it.
+    trackedEdges_.resize(static_cast<std::size_t>(numProc_));
+    ownOnEdge_.resize(static_cast<std::size_t>(numProc_));
+    betaLocal_.resize(static_cast<std::size_t>(numProc_));
+    loadLocal_.resize(static_cast<std::size_t>(numProc_));
+    for (DemandId p = 0; p < numProc_; ++p) {
+      auto& tracked = trackedEdges_[static_cast<std::size_t>(p)];
+      for (const InstanceId i : u_.instancesOfDemand(p)) {
+        for (const GlobalEdgeId e : u_.path(i)) {
+          tracked.push_back(e);
+        }
+      }
+      std::sort(tracked.begin(), tracked.end());
+      tracked.erase(std::unique(tracked.begin(), tracked.end()),
+                    tracked.end());
+      auto& onEdge = ownOnEdge_[static_cast<std::size_t>(p)];
+      onEdge.resize(tracked.size());
+      for (const InstanceId i : u_.instancesOfDemand(p)) {
+        for (const GlobalEdgeId e : u_.path(i)) {
+          onEdge[static_cast<std::size_t>(trackedIndex(p, e))].push_back(i);
+        }
+      }
+      betaLocal_[static_cast<std::size_t>(p)].assign(tracked.size(), 0.0);
+      loadLocal_[static_cast<std::size_t>(p)].assign(tracked.size(), 0.0);
+    }
+  }
+
+  DistributedResult run() {
+    runPhase1();
+    measureSlackness();
+    auditLocalViews();
+    runPhase2();
+
+    DistributedResult result;
+    std::sort(acceptOrder_.begin(), acceptOrder_.end());
+    result.solution.instances = std::move(acceptOrder_);
+    result.profit = profit_;
+    result.dualObjective = groundDual_.objective();
+    result.lambdaTarget = plan_.lambdaTarget;
+    result.lambdaMeasured = lambdaMeasured_;
+    result.dualUpperBound =
+        lambdaMeasured_ > 0 ? result.dualObjective / lambdaMeasured_
+                            : std::numeric_limits<double>::infinity();
+    result.network = net_.stats();
+    result.scheduledSteps = scheduledSteps_;
+    result.activeSteps = activeSteps_;
+    result.raises = raises_;
+    result.crashedProcessors = crashedCount_;
+    result.localViewsConsistent = localViewsConsistent_;
+    requireFeasible(u_, result.solution);
+    return result;
+  }
+
+ private:
+  DemandId owner(InstanceId i) const { return u_.instance(i).demand; }
+
+  /// Same answer as InstanceUniverse::conflicting(v, w) for v != w, but
+  /// O(log deg) via the prebuilt sorted adjacency instead of a path scan.
+  bool conflictsWith(InstanceId v, InstanceId w) const {
+    const auto adj = u_.conflictsOf(v);
+    return std::binary_search(adj.begin(), adj.end(), w);
+  }
+
+  /// Alive during phase-1 tuple `tuple` (crashes hit at tuple start).
+  bool aliveAt(DemandId p, std::int64_t tuple) const {
+    return !crashed_[static_cast<std::size_t>(p)] ||
+           tuple < opt_.crashAtTuple;
+  }
+
+  /// Alive during phase 2: every listed processor is dead by then.
+  bool aliveP2(DemandId p) const {
+    return !crashed_[static_cast<std::size_t>(p)];
+  }
+
+  double heightFactor(InstanceId i) const {
+    return opt_.rule == RaiseRule::Narrow ? u_.instance(i).height : 1.0;
+  }
+
+  /// Position of `e` in p's tracked-edge list, or -1.
+  std::int32_t trackedIndex(DemandId p, GlobalEdgeId e) const {
+    const auto& tracked = trackedEdges_[static_cast<std::size_t>(p)];
+    const auto it = std::lower_bound(tracked.begin(), tracked.end(), e);
+    if (it == tracked.end() || *it != e) return -1;
+    return static_cast<std::int32_t>(it - tracked.begin());
+  }
+
+  void runPhase1() {
+    std::int64_t tuple = 0;
+    for (std::int32_t epoch = 0; epoch < lay_.numGroups; ++epoch) {
+      for (std::int32_t stage = 1; stage <= plan_.numStages; ++stage) {
+        const double target = plan_.stageTarget(stage);
+        for (std::int32_t step = 1; step <= stepsPerStage_; ++step) {
+          runStep(epoch, stage, step, tuple, target);
+          ++tuple;
+        }
+      }
+    }
+  }
+
+  void runStep(std::int32_t epoch, std::int32_t stage, std::int32_t step,
+               std::int64_t tuple, double target) {
+    const std::int32_t budget = opt_.misRoundBudget;
+
+    // Each alive processor checks its own instances of the scheduled
+    // group against the stage target (purely local knowledge).
+    std::vector<InstanceId> unsatisfied;
+    for (const InstanceId i :
+         members_[static_cast<std::size_t>(epoch)]) {
+      if (!aliveAt(owner(i), tuple)) continue;
+      const double p = u_.instance(i).profit;
+      if (lhsLocal_[static_cast<std::size_t>(i)] <
+          target * p - kSatisfyTolerance * p) {
+        unsatisfied.push_back(i);
+      }
+    }
+
+    if (unsatisfied.empty()) {
+      // The fixed schedule still spends the step's rounds; nobody
+      // transmits. Run-to-completion MIS (budget <= 0) costs only the
+      // raise round.
+      net_.endSilentRounds(budget > 0 ? 2 * budget + 1 : 1);
+      return;
+    }
+
+    obs_->onStepStart(epoch, stage, step,
+                      static_cast<std::int32_t>(unsatisfied.size()));
+    ++activeSteps_;
+    const std::uint64_t stepSeed =
+        keyedHash(opt_.seed, static_cast<std::uint64_t>(epoch),
+                  static_cast<std::uint64_t>(stage),
+                  static_cast<std::uint64_t>(step));
+
+    std::vector<InstanceId> misMembers =
+        lubyOverMessages(unsatisfied, stepSeed, budget);
+    obs_->onMisComplete(tuple, lastLubyRounds_,
+                        static_cast<std::int32_t>(misMembers.size()));
+    raiseRound(tuple, misMembers);
+
+    // Reset per-step Luby state.
+    for (const InstanceId i : unsatisfied) {
+      misStatus_[static_cast<std::size_t>(i)] = MisStatus::Inactive;
+    }
+  }
+
+  /// Runs the step's MIS as messages: per Luby round, one communication
+  /// round announcing undecided instances and one announcing joiners.
+  /// Returns the MIS sorted ascending; charges exactly 2*budget rounds
+  /// when a budget is set (silent once the MIS completes early).
+  std::vector<InstanceId> lubyOverMessages(
+      const std::vector<InstanceId>& unsatisfied, std::uint64_t stepSeed,
+      std::int32_t budget) {
+    for (const InstanceId i : unsatisfied) {
+      misStatus_[static_cast<std::size_t>(i)] = MisStatus::Undecided;
+    }
+    std::vector<InstanceId> undecided = unsatisfied;
+    std::vector<InstanceId> misMembers;
+    std::vector<InstanceId> joiners;
+    lastLubyRounds_ = 0;
+
+    while (!undecided.empty() &&
+           (budget <= 0 || lastLubyRounds_ < budget)) {
+      ++lastLubyRounds_;
+      const std::int32_t round = lastLubyRounds_;
+
+      // Round A: every undecided instance announces itself.
+      for (const InstanceId i : undecided) {
+        net_.broadcast({MessageKind::MisActive, owner(i), i, 0.0});
+      }
+      net_.endRound();
+
+      // Round B: each owner decides from its inbox whether its instance
+      // beats every undecided conflicting competitor, then announces
+      // joins. Priorities are seed-keyed hashes, so the receiver can
+      // evaluate the sender's priority itself.
+      joiners.clear();
+      for (const InstanceId v : undecided) {
+        const DemandId p = owner(v);
+        const std::uint64_t pv = misPriority(stepSeed, round, v);
+        bool isLocalMax = true;
+        for (const InstanceId w : u_.instancesOfDemand(p)) {
+          if (w == v ||
+              misStatus_[static_cast<std::size_t>(w)] != MisStatus::Undecided) {
+            continue;
+          }
+          const std::uint64_t pw = misPriority(stepSeed, round, w);
+          if (pw > pv || (pw == pv && w > v)) {
+            isLocalMax = false;
+            break;
+          }
+        }
+        if (isLocalMax) {
+          for (const Message& m : net_.inbox(p)) {
+            if (m.kind != MessageKind::MisActive) continue;
+            if (!conflictsWith(v, m.instance)) continue;
+            const std::uint64_t pw = misPriority(stepSeed, round, m.instance);
+            if (pw > pv || (pw == pv && m.instance > v)) {
+              isLocalMax = false;
+              break;
+            }
+          }
+        }
+        if (isLocalMax) {
+          joiners.push_back(v);
+        }
+      }
+      for (const InstanceId v : joiners) {
+        net_.broadcast({MessageKind::MisJoin, owner(v), v, 0.0});
+      }
+      net_.endRound();
+
+      // Apply joins: winners in; conflicting undecided out, discovered
+      // locally for same-processor instances and via MisJoin messages
+      // for neighbours.
+      for (const InstanceId v : joiners) {
+        misStatus_[static_cast<std::size_t>(v)] = MisStatus::In;
+        misMembers.push_back(v);
+        for (const InstanceId w : u_.instancesOfDemand(owner(v))) {
+          if (misStatus_[static_cast<std::size_t>(w)] ==
+              MisStatus::Undecided) {
+            misStatus_[static_cast<std::size_t>(w)] = MisStatus::Out;
+          }
+        }
+      }
+      for (const InstanceId v : undecided) {
+        if (misStatus_[static_cast<std::size_t>(v)] != MisStatus::Undecided) {
+          continue;
+        }
+        for (const Message& m : net_.inbox(owner(v))) {
+          if (m.kind != MessageKind::MisJoin) continue;
+          if (conflictsWith(v, m.instance)) {
+            misStatus_[static_cast<std::size_t>(v)] = MisStatus::Out;
+            break;
+          }
+        }
+      }
+      std::erase_if(undecided, [&](InstanceId v) {
+        return misStatus_[static_cast<std::size_t>(v)] != MisStatus::Undecided;
+      });
+    }
+
+    if (budget > 0) {
+      net_.endSilentRounds(
+          2 * static_cast<std::int64_t>(budget - lastLubyRounds_));
+    }
+    std::sort(misMembers.begin(), misMembers.end());
+    return misMembers;
+  }
+
+  /// The step's raise round: every MIS member's owner tightens its dual
+  /// constraint and broadcasts the increments; all processors then apply
+  /// the raises in canonical (sender) order so every local accumulator
+  /// sees the exact sequence the centralized engine produces.
+  void raiseRound(std::int64_t tuple,
+                  const std::vector<InstanceId>& misMembers) {
+    stepRaises_.clear();
+    for (const InstanceId i : misMembers) {
+      const DemandId p = owner(i);
+      const InstanceRecord& rec = u_.instance(i);
+      const double slack =
+          rec.profit - lhsLocal_[static_cast<std::size_t>(i)];
+      checkThat(slack > 0, "raised instance had positive slack", __FILE__,
+                __LINE__);
+      const auto critical = lay_.critical(i);
+      const RaiseAmounts amounts =
+          computeRaise(opt_.rule, u_, i, critical, slack);
+      net_.broadcast(
+          {MessageKind::DualRaise, p, i, amounts.betaIncrement});
+      stepRaises_.push_back(
+          {p, i, amounts.alphaIncrement, amounts.betaIncrement});
+      obs_->onRaise(tuple, i, amounts.alphaIncrement);
+      ++raises_;
+      // Ground truth, applied in the centralized engine's order.
+      applyRaise(groundDual_, u_, i, critical, amounts);
+      groundLhs_.onRaise(i, critical, amounts);
+    }
+    net_.endRound();
+    if (!misMembers.empty()) {
+      stackTuples_.push_back(tuple);
+      stackSets_.push_back(misMembers);
+    }
+    for (DemandId p = 0; p < numProc_; ++p) {
+      if (!aliveAt(p, tuple)) continue;
+      applyRaisesLocally(p);
+    }
+  }
+
+  /// Applies one raise to processor p's local view: the alpha part if the
+  /// raise is p's own, then the beta part on every critical edge p
+  /// tracks — the same alpha-then-edges order as the centralized engine.
+  void applyOneRaise(DemandId p, const PendingRaise& raise) {
+    if (raise.from == p) {
+      alphaLocal_[static_cast<std::size_t>(p)] += raise.alphaIncrement;
+      for (const InstanceId k : u_.instancesOfDemand(p)) {
+        lhsLocal_[static_cast<std::size_t>(k)] += raise.alphaIncrement;
+      }
+    }
+    for (const GlobalEdgeId e : lay_.critical(raise.instance)) {
+      const std::int32_t idx = trackedIndex(p, e);
+      if (idx < 0) continue;
+      betaLocal_[static_cast<std::size_t>(p)][static_cast<std::size_t>(idx)] +=
+          raise.betaIncrement;
+      for (const InstanceId k :
+           ownOnEdge_[static_cast<std::size_t>(p)]
+                     [static_cast<std::size_t>(idx)]) {
+        lhsLocal_[static_cast<std::size_t>(k)] +=
+            heightFactor(k) * raise.betaIncrement;
+      }
+    }
+  }
+
+  /// Merges p's own raise with the received DualRaise messages in sender
+  /// order (== ascending instance order, since instances are numbered
+  /// demand-major) and applies them.
+  void applyRaisesLocally(DemandId p) {
+    const PendingRaise* own = nullptr;
+    for (const PendingRaise& r : stepRaises_) {
+      if (r.from == p) {
+        own = &r;
+        break;
+      }
+    }
+    bool ownApplied = own == nullptr;
+    for (const Message& m : net_.inbox(p)) {
+      if (m.kind != MessageKind::DualRaise) continue;
+      if (!ownApplied && own->from < m.from) {
+        applyOneRaise(p, *own);
+        ownApplied = true;
+      }
+      applyOneRaise(p, {m.from, m.instance, 0.0, m.value});
+    }
+    if (!ownApplied) {
+      applyOneRaise(p, *own);
+    }
+  }
+
+  void measureSlackness() {
+    double lambda = std::numeric_limits<double>::infinity();
+    bool any = false;
+    for (InstanceId i = 0; i < u_.numInstances(); ++i) {
+      if (!aliveP2(owner(i))) continue;
+      any = true;
+      lambda = std::min(lambda,
+                        groundLhs_.lhs(i) / u_.instance(i).profit);
+    }
+    lambdaMeasured_ = any ? lambda : 1.0;
+  }
+
+  /// Exact-equality audit of every surviving processor's local dual view
+  /// against the ground truth of the raises that actually happened.
+  void auditLocalViews() {
+    localViewsConsistent_ = true;
+    for (DemandId p = 0; p < numProc_; ++p) {
+      if (!aliveP2(p)) continue;
+      if (alphaLocal_[static_cast<std::size_t>(p)] != groundDual_.alpha(p)) {
+        localViewsConsistent_ = false;
+      }
+      const auto& tracked = trackedEdges_[static_cast<std::size_t>(p)];
+      for (std::size_t idx = 0; idx < tracked.size(); ++idx) {
+        if (betaLocal_[static_cast<std::size_t>(p)][idx] !=
+            groundDual_.beta(tracked[idx])) {
+          localViewsConsistent_ = false;
+        }
+      }
+      for (const InstanceId k : u_.instancesOfDemand(p)) {
+        if (lhsLocal_[static_cast<std::size_t>(k)] != groundLhs_.lhs(k)) {
+          localViewsConsistent_ = false;
+        }
+      }
+    }
+  }
+
+  /// True iff p can accept `i` given its locally known edge loads — the
+  /// exact capacity test of the centralized FeasibilityOracle.
+  bool capacityOk(DemandId p, InstanceId i) const {
+    const double h = u_.instance(i).height;
+    for (const GlobalEdgeId e : u_.path(i)) {
+      const std::int32_t idx = trackedIndex(p, e);
+      checkThat(idx >= 0, "own path edge tracked", __FILE__, __LINE__);
+      if (loadLocal_[static_cast<std::size_t>(p)]
+                    [static_cast<std::size_t>(idx)] +
+              h >
+          1.0 + kCapacityTolerance) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void runPhase2() {
+    std::vector<bool> demandUsed(static_cast<std::size_t>(numProc_), false);
+    std::size_t sp = stackTuples_.size();
+    for (std::int64_t t = scheduledSteps_ - 1; t >= 0; --t) {
+      if (sp > 0 && stackTuples_[sp - 1] == t) {
+        --sp;
+        for (const InstanceId i : stackSets_[sp]) {
+          const DemandId p = owner(i);
+          if (!aliveP2(p)) continue;
+          if (demandUsed[static_cast<std::size_t>(p)]) continue;
+          if (!capacityOk(p, i)) continue;
+          demandUsed[static_cast<std::size_t>(p)] = true;
+          addOwnLoad(p, i);
+          net_.broadcast({MessageKind::Accept, p, i, 0.0});
+          obs_->onAccept(t, i);
+          acceptOrder_.push_back(i);
+          profit_ += u_.instance(i).profit;
+        }
+      }
+      net_.endRound();
+      for (DemandId p = 0; p < numProc_; ++p) {
+        if (!aliveP2(p)) continue;
+        for (const Message& m : net_.inbox(p)) {
+          if (m.kind != MessageKind::Accept) continue;
+          const double h = u_.instance(m.instance).height;
+          for (const GlobalEdgeId e : u_.path(m.instance)) {
+            const std::int32_t idx = trackedIndex(p, e);
+            if (idx < 0) continue;
+            loadLocal_[static_cast<std::size_t>(p)]
+                      [static_cast<std::size_t>(idx)] += h;
+          }
+        }
+      }
+    }
+  }
+
+  void addOwnLoad(DemandId p, InstanceId i) {
+    const double h = u_.instance(i).height;
+    for (const GlobalEdgeId e : u_.path(i)) {
+      const std::int32_t idx = trackedIndex(p, e);
+      loadLocal_[static_cast<std::size_t>(p)][static_cast<std::size_t>(idx)] +=
+          h;
+    }
+  }
+
+  const InstanceUniverse& u_;
+  const Layering& lay_;
+  DistributedOptions opt_;
+  NullObserver nullObserver_;
+  ProtocolObserver* obs_;
+  SimNetwork net_;
+  StagePlan plan_;
+  std::int32_t numProc_ = 0;
+  std::int32_t stepsPerStage_ = 0;
+  std::int64_t scheduledSteps_ = 0;
+  std::vector<std::vector<InstanceId>> members_;
+
+  // Per-processor local views.
+  std::vector<double> lhsLocal_;    ///< per instance, owner's view
+  std::vector<double> alphaLocal_;  ///< per processor
+  std::vector<std::vector<GlobalEdgeId>> trackedEdges_;
+  std::vector<std::vector<std::vector<InstanceId>>> ownOnEdge_;
+  std::vector<std::vector<double>> betaLocal_;
+  std::vector<std::vector<double>> loadLocal_;  ///< phase-2 edge loads
+
+  // Ground truth for the audit and the reported dual objective.
+  DualState groundDual_;
+  LhsTracker groundLhs_;
+
+  // Faults.
+  std::vector<bool> crashed_;
+  std::int32_t crashedCount_ = 0;
+
+  // Per-step scratch.
+  std::vector<MisStatus> misStatus_;
+  std::vector<PendingRaise> stepRaises_;
+  std::int32_t lastLubyRounds_ = 0;
+
+  // Phase-1 stack (push order == tuple order; sets sorted ascending).
+  std::vector<std::int64_t> stackTuples_;
+  std::vector<std::vector<InstanceId>> stackSets_;
+
+  // Run accounting.
+  std::int64_t activeSteps_ = 0;
+  std::int64_t raises_ = 0;
+  double lambdaMeasured_ = 0;
+  bool localViewsConsistent_ = false;
+  std::vector<InstanceId> acceptOrder_;
+  double profit_ = 0;
+};
+
+}  // namespace
+
+DistributedResult runDistributedUnitTree(const TreeProblem& problem,
+                                         const DistributedOptions& options) {
+  InstanceUniverse universe = InstanceUniverse::fromTreeProblem(problem);
+  universe.buildConflicts();
+  const TreeLayeringResult layering = buildTreeLayering(problem, universe);
+  ProtocolEngine engine(
+      universe, layering.layering,
+      communicationGraph(problem.access, problem.numNetworks()), options);
+  return engine.run();
+}
+
+DistributedResult runDistributedUnitLine(const LineProblem& problem,
+                                         const DistributedOptions& options) {
+  InstanceUniverse universe = InstanceUniverse::fromLineProblem(problem);
+  universe.buildConflicts();
+  const Layering layering = buildLineLayering(universe);
+  ProtocolEngine engine(
+      universe, layering,
+      communicationGraph(problem.access, problem.numResources), options);
+  return engine.run();
+}
+
+}  // namespace treesched

@@ -1,0 +1,93 @@
+// Distributed implementation of the two-phase framework (paper §5) over
+// simulated message passing.
+//
+// Every processor owns one demand and sees the world only through O(M)
+// messages from neighbours sharing a network. Phase 1 follows the *fixed
+// global schedule*: every processor walks the same (epoch, stage, step)
+// tuples; each step runs B Luby rounds of MIS over the unsatisfied
+// instances of the scheduled group (2 communication rounds per Luby round:
+// one to announce undecided instances, one to announce joiners) and one
+// raise round in which MIS members broadcast their dual increments — 2B+1
+// rounds per step. Phase 2 pops the tuples in reverse, one communication
+// round each, greedily accepting pushed instances and broadcasting accepts.
+//
+// Under the same seed, round budget and steps-per-stage the run is
+// bit-identical to the centralized `runTwoPhase` with
+// `FrameworkConfig::fixedSchedule` (see two_phase.hpp): priorities are
+// seed-keyed hashes, inboxes are consumed in canonical order, and every
+// floating-point accumulation happens in the same sequence on both sides.
+//
+// Beyond the paper's reliable-processor model the simulator injects
+// crash-stop faults: listed processors fall silent from a given schedule
+// tuple onward (and stay dead through phase 2). Survivors keep exchanging
+// messages and must still produce a feasible schedule with consistent
+// local dual views.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/line_problem.hpp"
+#include "core/solution.hpp"
+#include "core/tree_problem.hpp"
+#include "dist/observer.hpp"
+#include "dist/sim_network.hpp"
+#include "framework/raise_policy.hpp"
+
+namespace treesched {
+
+struct DistributedOptions {
+  double epsilon = 0.1;  ///< staged plan: lambda target = 1 - eps
+  RaiseRule rule = RaiseRule::Unit;
+  double hmin = 1.0;       ///< min height, used by the narrow staged plan
+  std::uint64_t seed = 1;  ///< drives MIS priorities (deterministic)
+  /// Luby rounds per step; <= 0 runs each MIS to completion (maximal).
+  std::int32_t misRoundBudget = 0;
+  /// Steps per stage; 0 derives c*log(pmax/pmin) exactly like the
+  /// centralized engine under fixedSchedule.
+  std::int32_t stepsPerStage = 0;
+  /// Crash-stop fault injection: these processors (demand ids) fall silent
+  /// at the start of schedule tuple `crashAtTuple` (0-based global step
+  /// index) and remain dead for the rest of the run, including phase 2.
+  /// A value past the last tuple crashes them at the start of phase 2.
+  /// Empty list: no faults.
+  std::vector<DemandId> crashProcessors;
+  std::int64_t crashAtTuple = 0;
+  /// Optional event hooks; nullptr observes nothing.
+  ProtocolObserver* observer = nullptr;
+};
+
+struct DistributedResult {
+  /// Accepted instances, sorted ascending (collection order is by
+  /// processor, not meaningful distributively).
+  Solution solution;
+  double profit = 0;
+  double dualObjective = 0;   ///< val(alpha, beta) over all raises
+  double dualUpperBound = 0;  ///< val / lambdaMeasured >= p(OPT)
+  double lambdaTarget = 0;
+  /// Min over surviving instances of lhs / p after phase 1.
+  double lambdaMeasured = 0;
+  NetworkStats network;  ///< round/message/payload accounting
+  /// Schedule size: every run executes exactly this many phase-1 tuples
+  /// (and the same number of phase-2 pop rounds).
+  std::int64_t scheduledSteps = 0;
+  /// Tuples whose group had unsatisfied instances (observed steps).
+  std::int64_t activeSteps = 0;
+  std::int64_t raises = 0;
+  std::int32_t crashedProcessors = 0;
+  /// True iff every surviving processor's local alpha/beta/lhs view is
+  /// exactly equal to the ground-truth duals of the raises that happened.
+  bool localViewsConsistent = false;
+};
+
+/// Runs the protocol on a tree problem: builds the instance universe, the
+/// ideal tree layering and the communication graph, then simulates both
+/// phases. The problem is validated by the universe builder.
+DistributedResult runDistributedUnitTree(
+    const TreeProblem& problem, const DistributedOptions& options = {});
+
+/// Runs the protocol on a line problem with the §7 length layering.
+DistributedResult runDistributedUnitLine(
+    const LineProblem& problem, const DistributedOptions& options = {});
+
+}  // namespace treesched

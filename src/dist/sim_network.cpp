@@ -1,0 +1,121 @@
+#include "dist/sim_network.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/check.hpp"
+
+namespace treesched {
+
+namespace {
+
+bool canonicalLess(const Message& a, const Message& b) {
+  return std::tie(a.from, a.instance, a.kind, a.value) <
+         std::tie(b.from, b.instance, b.kind, b.value);
+}
+
+}  // namespace
+
+SimNetwork::SimNetwork(std::vector<std::vector<std::int32_t>> adjacency)
+    : adjacency_(std::move(adjacency)),
+      pending_(adjacency_.size()),
+      inbox_(adjacency_.size()) {
+  const auto n = static_cast<std::int32_t>(adjacency_.size());
+  for (std::int32_t v = 0; v < n; ++v) {
+    auto sorted = adjacency_[static_cast<std::size_t>(v)];
+    std::sort(sorted.begin(), sorted.end());
+    checkThat(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+              "adjacency list duplicate-free", __FILE__, __LINE__);
+    for (const std::int32_t w : sorted) {
+      checkThat(w >= 0 && w < n, "adjacency entry in range", __FILE__,
+                __LINE__);
+      checkThat(w != v, "no self loops", __FILE__, __LINE__);
+      const auto& back = adjacency_[static_cast<std::size_t>(w)];
+      checkThat(std::find(back.begin(), back.end(), v) != back.end(),
+                "adjacency symmetric", __FILE__, __LINE__);
+    }
+  }
+}
+
+std::span<const std::int32_t> SimNetwork::neighbors(std::int32_t p) const {
+  checkIndex(p, numProcessors(), "SimNetwork::neighbors");
+  return adjacency_[static_cast<std::size_t>(p)];
+}
+
+void SimNetwork::broadcast(const Message& message) {
+  checkIndex(message.from, numProcessors(), "SimNetwork::broadcast");
+  const auto from = static_cast<std::size_t>(message.from);
+  for (const std::int32_t w : adjacency_[from]) {
+    pending_[static_cast<std::size_t>(w)].push_back(message);
+  }
+}
+
+void SimNetwork::endRound() {
+  ++stats_.rounds;
+  bool busy = false;
+  for (std::size_t p = 0; p < pending_.size(); ++p) {
+    inbox_[p].clear();
+    std::swap(inbox_[p], pending_[p]);
+    std::sort(inbox_[p].begin(), inbox_[p].end(), canonicalLess);
+    for (const Message& m : inbox_[p]) {
+      busy = true;
+      ++stats_.messages;
+      const std::int32_t units = messagePayloadUnits(m.kind);
+      stats_.payload += units;
+      stats_.maxMessagePayload = std::max(stats_.maxMessagePayload, units);
+    }
+  }
+  if (busy) {
+    ++stats_.busyRounds;
+  }
+}
+
+void SimNetwork::endSilentRounds(std::int64_t count) {
+  checkThat(count >= 0, "silent round count non-negative", __FILE__, __LINE__);
+  for (const auto& queued : pending_) {
+    checkThat(queued.empty(), "silent rounds must not drop queued messages",
+              __FILE__, __LINE__);
+  }
+  if (count == 0) return;
+  for (auto& box : inbox_) {
+    box.clear();
+  }
+  stats_.rounds += count;
+}
+
+const std::vector<Message>& SimNetwork::inbox(std::int32_t p) const {
+  checkIndex(p, numProcessors(), "SimNetwork::inbox");
+  return inbox_[static_cast<std::size_t>(p)];
+}
+
+std::vector<std::vector<std::int32_t>> communicationGraph(
+    const std::vector<std::vector<std::int32_t>>& access,
+    std::int32_t numNetworks) {
+  const auto numProc = static_cast<std::int32_t>(access.size());
+  std::vector<std::vector<std::int32_t>> byNetwork(
+      static_cast<std::size_t>(numNetworks));
+  for (std::int32_t d = 0; d < numProc; ++d) {
+    for (const std::int32_t t : access[static_cast<std::size_t>(d)]) {
+      checkIndex(t, numNetworks, "communicationGraph access entry");
+      byNetwork[static_cast<std::size_t>(t)].push_back(d);
+    }
+  }
+  std::vector<std::vector<std::int32_t>> adjacency(
+      static_cast<std::size_t>(numProc));
+  for (const auto& sharers : byNetwork) {
+    for (const std::int32_t a : sharers) {
+      for (const std::int32_t b : sharers) {
+        if (a != b) {
+          adjacency[static_cast<std::size_t>(a)].push_back(b);
+        }
+      }
+    }
+  }
+  for (auto& nbrs : adjacency) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return adjacency;
+}
+
+}  // namespace treesched

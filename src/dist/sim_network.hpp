@@ -1,0 +1,79 @@
+// Round-synchronous simulated message passing (paper §5).
+//
+// The simulator models the synchronous CONGEST-style setting of the paper:
+// computation proceeds in global rounds; a message broadcast in round r is
+// delivered to every neighbour's mailbox at the end of the round and can be
+// read in round r+1. Inboxes are sorted canonically (sender, instance) so
+// that every processor consumes messages in a deterministic order — the
+// keystone of bit-identical equivalence with the centralized engine.
+//
+// The network also keeps the communication accounting the experiments
+// report: total rounds, rounds that carried traffic, delivered messages,
+// total payload and the largest single message (units of M).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dist/message.hpp"
+
+namespace treesched {
+
+/// Communication accounting of one protocol run.
+struct NetworkStats {
+  std::int64_t rounds = 0;      ///< synchronous rounds elapsed
+  std::int64_t busyRounds = 0;  ///< rounds that delivered >= 1 message
+  std::int64_t messages = 0;    ///< point-to-point deliveries
+  std::int64_t payload = 0;     ///< total delivered payload (units of M)
+  std::int32_t maxMessagePayload = 0;  ///< largest single message
+};
+
+/// Deterministic message bus over a fixed undirected communication graph.
+///
+/// Construction validates the adjacency (symmetric, loop-free, in-range,
+/// duplicate-free) and throws CheckError otherwise.
+class SimNetwork {
+ public:
+  explicit SimNetwork(std::vector<std::vector<std::int32_t>> adjacency);
+
+  std::int32_t numProcessors() const {
+    return static_cast<std::int32_t>(adjacency_.size());
+  }
+
+  std::span<const std::int32_t> neighbors(std::int32_t p) const;
+
+  /// Queues `message` for delivery to every neighbour of `message.from`
+  /// at the end of the current round.
+  void broadcast(const Message& message);
+
+  /// Ends the current round: delivers all queued messages into the
+  /// recipients' inboxes (sorted canonically) and updates the stats.
+  void endRound();
+
+  /// Advances `count` rounds in which no processor transmits. Inboxes are
+  /// cleared; busyRounds is unchanged.
+  void endSilentRounds(std::int64_t count);
+
+  /// Messages delivered to `p` by the last endRound().
+  const std::vector<Message>& inbox(std::int32_t p) const;
+
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::vector<std::int32_t>> adjacency_;
+  std::vector<std::vector<Message>> pending_;  ///< queued for this round
+  std::vector<std::vector<Message>> inbox_;    ///< delivered last round
+  NetworkStats stats_;
+};
+
+/// The protocol's communication graph: processors (demands) are adjacent
+/// iff they share an accessible network/resource (paper §5: neighbours can
+/// exchange messages because their demands may compete for edges of that
+/// network). `access[d]` lists the networks demand d may use; ids must lie
+/// in [0, numNetworks). Adjacency lists come back sorted and duplicate-free.
+std::vector<std::vector<std::int32_t>> communicationGraph(
+    const std::vector<std::vector<std::int32_t>>& access,
+    std::int32_t numNetworks);
+
+}  // namespace treesched

@@ -6,7 +6,8 @@
 namespace treesched {
 
 GreedyResult greedyByProfit(const InstanceUniverse& universe) {
-  std::vector<InstanceId> order(static_cast<std::size_t>(universe.numInstances()));
+  std::vector<InstanceId> order(
+      static_cast<std::size_t>(universe.numInstances()));
   for (InstanceId i = 0; i < universe.numInstances(); ++i) {
     order[static_cast<std::size_t>(i)] = i;
   }

@@ -11,7 +11,8 @@ namespace {
 
 /// Candidate instances ordered by (profit desc, id asc).
 std::vector<InstanceId> candidateOrder(const InstanceUniverse& universe) {
-  std::vector<InstanceId> order(static_cast<std::size_t>(universe.numInstances()));
+  std::vector<InstanceId> order(
+      static_cast<std::size_t>(universe.numInstances()));
   for (InstanceId i = 0; i < universe.numInstances(); ++i) {
     order[static_cast<std::size_t>(i)] = i;
   }

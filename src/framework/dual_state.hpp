@@ -19,7 +19,9 @@ class DualState {
         beta_(static_cast<std::size_t>(universe.numGlobalEdges()), 0.0) {}
 
   double alpha(DemandId d) const { return alpha_[static_cast<std::size_t>(d)]; }
-  double beta(GlobalEdgeId e) const { return beta_[static_cast<std::size_t>(e)]; }
+  double beta(GlobalEdgeId e) const {
+    return beta_[static_cast<std::size_t>(e)];
+  }
 
   void raiseAlpha(DemandId d, double by) {
     alpha_[static_cast<std::size_t>(d)] += by;

@@ -8,7 +8,8 @@
 
 namespace treesched {
 
-std::uint64_t misPriority(std::uint64_t seed, std::int32_t round, InstanceId i) {
+std::uint64_t misPriority(std::uint64_t seed, std::int32_t round,
+                          InstanceId i) {
   return keyedHash(seed, 0x4d495350u /*'MISP'*/,
                    static_cast<std::uint64_t>(round),
                    static_cast<std::uint64_t>(i));

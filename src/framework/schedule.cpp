@@ -1,5 +1,6 @@
 #include "framework/schedule.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.hpp"
@@ -48,6 +49,11 @@ StagePlan makeStagePlan(SchedulePolicy policy, RaiseRule rule, double epsilon,
              std::ceil(std::log(epsilon) / std::log(plan.xi))));
   plan.lambdaTarget = 1.0 - epsilon;
   return plan;
+}
+
+std::int32_t fixedScheduleStepsPerStage(double profitMax, double profitMin) {
+  const double spread = std::max(2.0, profitMax / profitMin);
+  return 4 + 2 * static_cast<std::int32_t>(std::ceil(std::log2(spread)));
 }
 
 }  // namespace treesched

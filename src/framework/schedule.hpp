@@ -43,4 +43,11 @@ struct StagePlan {
 StagePlan makeStagePlan(SchedulePolicy policy, RaiseRule rule, double epsilon,
                         std::int32_t delta, double hmin);
 
+/// Steps per stage of the fixed global schedule when not set explicitly:
+/// c * log(pmax/pmin) with generous constants (Lemma 5.1 shows each stage
+/// needs at most 1 + log2(pmax/pmin) maximal-MIS steps). Shared by the
+/// centralized engine and the distributed protocol — the bit-identity
+/// contract requires both to walk the same schedule.
+std::int32_t fixedScheduleStepsPerStage(double profitMax, double profitMin);
+
 }  // namespace treesched

@@ -49,8 +49,9 @@ TwoPhaseResult runTwoPhase(const InstanceUniverse& universe,
   std::vector<std::vector<InstanceId>> members(
       static_cast<std::size_t>(layering.numGroups));
   for (InstanceId i = 0; i < numInst; ++i) {
-    members[static_cast<std::size_t>(layering.group[static_cast<std::size_t>(i)])]
-        .push_back(i);
+    const auto g = static_cast<std::size_t>(
+        layering.group[static_cast<std::size_t>(i)]);
+    members[g].push_back(i);
   }
 
   DualState dual(universe);
@@ -58,11 +59,8 @@ TwoPhaseResult runTwoPhase(const InstanceUniverse& universe,
 
   std::int32_t stepsPerStage = config.stepsPerStage;
   if (config.fixedSchedule && stepsPerStage == 0) {
-    // c * log(pmax/pmin) with generous constants; Lemma 5.1 shows the
-    // while-loop needs at most 1 + log2(pmax/pmin) maximal-MIS steps.
-    const double spread =
-        std::max(2.0, universe.profitMax() / universe.profitMin());
-    stepsPerStage = 4 + 2 * static_cast<std::int32_t>(std::ceil(std::log2(spread)));
+    stepsPerStage =
+        fixedScheduleStepsPerStage(universe.profitMax(), universe.profitMin());
   }
 
   std::vector<InstanceId> unsatisfied;

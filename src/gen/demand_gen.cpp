@@ -68,7 +68,8 @@ void generateTreeDemands(TreeProblem& problem, const DemandGenConfig& config,
   for (DemandId d = 0; d < config.numDemands; ++d) {
     Demand dem;
     dem.id = d;
-    dem.u = static_cast<VertexId>(rng.nextBounded(static_cast<std::uint64_t>(n)));
+    dem.u =
+        static_cast<VertexId>(rng.nextBounded(static_cast<std::uint64_t>(n)));
     if (config.walkLength > 0) {
       // Locality: random walk from u on the first network.
       const TreeNetwork& net = problem.networks.front();
@@ -93,8 +94,8 @@ void generateTreeDemands(TreeProblem& problem, const DemandGenConfig& config,
   }
 }
 
-void generateLineDemands(LineProblem& problem, const LineDemandGenConfig& config,
-                         Rng& rng) {
+void generateLineDemands(LineProblem& problem,
+                         const LineDemandGenConfig& config, Rng& rng) {
   checkThat(problem.numSlots >= 1, "problem slots set", __FILE__, __LINE__);
   checkThat(problem.numResources >= 1, "problem resources set", __FILE__,
             __LINE__);

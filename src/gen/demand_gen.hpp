@@ -64,8 +64,8 @@ struct LineDemandGenConfig {
 
 /// Fills `demands` and `access` of a line problem whose `numSlots` and
 /// `numResources` are already set.
-void generateLineDemands(LineProblem& problem, const LineDemandGenConfig& config,
-                         Rng& rng);
+void generateLineDemands(LineProblem& problem,
+                         const LineDemandGenConfig& config, Rng& rng);
 
 /// Draws one profit from the distribution.
 double drawProfit(ProfitDistribution dist, double pmin, double pmax, Rng& rng);

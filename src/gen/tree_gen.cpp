@@ -46,8 +46,8 @@ EdgeList randomAttachment(std::int32_t n, Rng& rng) {
   EdgeList edges;
   edges.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
   for (VertexId v = 1; v < n; ++v) {
-    edges.emplace_back(
-        v, static_cast<VertexId>(rng.nextBounded(static_cast<std::uint64_t>(v))));
+    edges.emplace_back(v, static_cast<VertexId>(rng.nextBounded(
+                              static_cast<std::uint64_t>(v))));
   }
   return edges;
 }

@@ -58,7 +58,8 @@ TreeNetwork::TreeNetwork(TreeId id, std::int32_t numVertices,
       up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)] =
           (mid == kNoVertex)
               ? kNoVertex
-              : up_[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(mid)];
+              : up_[static_cast<std::size_t>(k - 1)]
+                   [static_cast<std::size_t>(mid)];
     }
   }
 }
@@ -112,9 +113,12 @@ VertexId TreeNetwork::lca(VertexId u, VertexId v) const {
   if (depth(u) < depth(v)) std::swap(u, v);
   u = ancestor(u, depth(u) - depth(v));
   if (u == v) return u;
-  for (std::int32_t k = static_cast<std::int32_t>(up_.size()) - 1; k >= 0; --k) {
-    const VertexId uu = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(u)];
-    const VertexId vv = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)];
+  for (std::int32_t k = static_cast<std::int32_t>(up_.size()) - 1; k >= 0;
+       --k) {
+    const VertexId uu =
+        up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(u)];
+    const VertexId vv =
+        up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)];
     if (uu != vv) {
       u = uu;
       v = vv;
@@ -185,7 +189,8 @@ EdgeId TreeNetwork::edgeBetween(VertexId u, VertexId v) const {
 }
 
 VertexId TreeNetwork::stepToward(VertexId from, VertexId to) const {
-  checkThat(from != to, "stepToward needs distinct vertices", __FILE__, __LINE__);
+  checkThat(from != to, "stepToward needs distinct vertices", __FILE__,
+            __LINE__);
   const VertexId w = lca(from, to);
   if (from == w) {
     // `to` is below `from`: step down by lifting `to` to depth(from)+1.
@@ -196,7 +201,8 @@ VertexId TreeNetwork::stepToward(VertexId from, VertexId to) const {
 
 TreeNetwork makePathTree(TreeId id, std::int32_t numVertices) {
   std::vector<std::pair<VertexId, VertexId>> edges;
-  edges.reserve(static_cast<std::size_t>(numVertices > 0 ? numVertices - 1 : 0));
+  edges.reserve(
+      static_cast<std::size_t>(numVertices > 0 ? numVertices - 1 : 0));
   for (VertexId v = 0; v + 1 < numVertices; ++v) {
     edges.emplace_back(v, v + 1);
   }
@@ -205,7 +211,8 @@ TreeNetwork makePathTree(TreeId id, std::int32_t numVertices) {
 
 TreeNetwork makeStarTree(TreeId id, std::int32_t numVertices) {
   std::vector<std::pair<VertexId, VertexId>> edges;
-  edges.reserve(static_cast<std::size_t>(numVertices > 0 ? numVertices - 1 : 0));
+  edges.reserve(
+      static_cast<std::size_t>(numVertices > 0 ? numVertices - 1 : 0));
   for (VertexId v = 1; v < numVertices; ++v) {
     edges.emplace_back(0, v);
   }

@@ -21,7 +21,8 @@ class CliFlags {
                     const std::string& help);
   CliFlags& doubleFlag(const std::string& name, double def,
                        const std::string& help);
-  CliFlags& boolFlag(const std::string& name, bool def, const std::string& help);
+  CliFlags& boolFlag(const std::string& name, bool def,
+                     const std::string& help);
   CliFlags& stringFlag(const std::string& name, const std::string& def,
                        const std::string& help);
 

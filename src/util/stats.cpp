@@ -46,9 +46,10 @@ double Summary::stddev() const { return std::sqrt(variance()); }
 std::string Summary::describe(int precision) const {
   if (count_ == 0) return "(no samples)";
   std::ostringstream os;
-  os << formatDouble(mean_, precision) << " ± " << formatDouble(stddev(), precision)
-     << " [" << formatDouble(min_, precision) << "," << formatDouble(max_, precision)
-     << "] (n=" << count_ << ")";
+  os << formatDouble(mean_, precision) << " ± "
+     << formatDouble(stddev(), precision) << " ["
+     << formatDouble(min_, precision) << ","
+     << formatDouble(max_, precision) << "] (n=" << count_ << ")";
   return os.str();
 }
 

@@ -140,9 +140,11 @@ TEST(Ideal, RandomSeedSweep) {
     const std::int32_t n = 5 + static_cast<std::int32_t>(rng.nextBounded(60));
     const TreeNetwork t = generateTree(TreeShape::UniformRandom, 0, n, rng);
     const TreeDecomposition h = idealDecomposition(t);
-    ASSERT_EQ(checkTreeDecomposition(t, h), "") << "seed " << seed << " n " << n;
+    ASSERT_EQ(checkTreeDecomposition(t, h), "")
+        << "seed " << seed << " n " << n;
     ASSERT_LE(pivotSize(t, h), 2) << "seed " << seed << " n " << n;
-    ASSERT_LE(h.maxDepth(), 2 * ceilLog2(n) + 1) << "seed " << seed << " n " << n;
+    ASSERT_LE(h.maxDepth(), 2 * ceilLog2(n) + 1)
+        << "seed " << seed << " n " << n;
   }
 }
 
@@ -189,13 +191,15 @@ TEST(DecompositionKinds, TradeoffsOnPath) {
 
 TEST(DecompositionKinds, BuildDispatch) {
   const TreeNetwork t = makePathTree(0, 32);
-  EXPECT_EQ(buildDecomposition(t, DecompositionKind::RootFixing).maxDepth(), 32);
+  EXPECT_EQ(buildDecomposition(t, DecompositionKind::RootFixing).maxDepth(),
+            32);
   EXPECT_LE(buildDecomposition(t, DecompositionKind::Balancing).maxDepth(), 6);
   EXPECT_LE(pivotSize(t, buildDecomposition(t, DecompositionKind::Ideal)), 2);
 }
 
 TEST(DecompositionKinds, Names) {
-  EXPECT_EQ(decompositionKindName(DecompositionKind::RootFixing), "root-fixing");
+  EXPECT_EQ(decompositionKindName(DecompositionKind::RootFixing),
+            "root-fixing");
   EXPECT_EQ(decompositionKindName(DecompositionKind::Balancing), "balancing");
   EXPECT_EQ(decompositionKindName(DecompositionKind::Ideal), "ideal");
 }

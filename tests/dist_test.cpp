@@ -142,8 +142,9 @@ INSTANTIATE_TEST_SUITE_P(
                       EquivCase{5, 20, 30, 4}),
     [](const ::testing::TestParamInfo<EquivCase>& info) {
       return "s" + std::to_string(info.param.seed) + "_n" +
-             std::to_string(info.param.n) + "_m" + std::to_string(info.param.m) +
-             "_r" + std::to_string(info.param.r);
+             std::to_string(info.param.n) + "_m" +
+             std::to_string(info.param.m) + "_r" +
+             std::to_string(info.param.r);
     });
 
 TEST(DistProtocol, LineEquivalence) {

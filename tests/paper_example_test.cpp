@@ -131,7 +131,9 @@ TEST(PaperExample, TreeDecompositionFactsOfFigure3) {
   // 2's children {1,4}, 1's children {3}, 3's children {6}, 6's {7},
   // 8's {12,13}, 13's {14}, 9's {10}, 10's {11}.
   std::vector<VertexId> parent(14, kNoVertex);
-  auto setp = [&](int child, int par) { parent[static_cast<std::size_t>(P(child))] = P(par); };
+  auto setp = [&](int child, int par) {
+    parent[static_cast<std::size_t>(P(child))] = P(par);
+  };
   setp(2, 5);
   setp(8, 5);
   setp(9, 5);

@@ -134,7 +134,8 @@ TEST(SolveArbitraryTree, CombineDominatesBothParts) {
 
 TEST(SolveArbitraryTree, WithinBoundOfExactOptimum) {
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-    const TreeProblem problem = treeCase(seed + 50, 10, 8, 2, HeightMode::Mixed);
+    const TreeProblem problem =
+        treeCase(seed + 50, 10, 8, 2, HeightMode::Mixed);
     const ArbitraryTreeResult result = solveArbitraryTree(problem);
     InstanceUniverse u = InstanceUniverse::fromTreeProblem(problem);
     const ExactResult exact = bruteForceExact(u);
