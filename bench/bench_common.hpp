@@ -1,8 +1,13 @@
 // Shared helpers for the experiment harnesses (DESIGN.md §4).
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/universe.hpp"
 #include "exact/brute_force.hpp"
@@ -32,5 +37,79 @@ inline OptEstimate estimateOpt(const InstanceUniverse& universe,
   const ExactResult result = bruteForceExact(universe, nodeBudget);
   return {result.profit, result.provedOptimal};
 }
+
+/// Machine-readable experiment report: an array of flat JSON objects,
+/// written next to the human-readable table so the perf trajectory
+/// (rounds, messages, retransmissions, virtual time, ...) can be tracked
+/// across PRs. CI uploads every BENCH_*.json as a workflow artifact.
+///
+///   JsonReport report("BENCH_dist.json");
+///   report.row().field("n", 16).field("rounds", stats.rounds);
+///   report.write();  // also logs the path to stdout
+class JsonReport {
+ public:
+  class Row {
+   public:
+    Row& field(const std::string& key, std::int64_t value) {
+      return raw(key, std::to_string(value));
+    }
+    Row& field(const std::string& key, std::int32_t value) {
+      return raw(key, std::to_string(value));
+    }
+    Row& field(const std::string& key, double value) {
+      std::ostringstream os;
+      os.precision(17);
+      os << value;
+      return raw(key, os.str());
+    }
+    Row& field(const std::string& key, bool value) {
+      return raw(key, value ? "true" : "false");
+    }
+    Row& field(const std::string& key, const std::string& value) {
+      std::string quoted = "\"";
+      for (const char c : value) {
+        if (c == '"' || c == '\\') quoted += '\\';
+        quoted += c;
+      }
+      quoted += '"';
+      return raw(key, quoted);
+    }
+
+   private:
+    friend class JsonReport;
+    Row& raw(const std::string& key, std::string rendered) {
+      fields_.emplace_back(key, std::move(rendered));
+      return *this;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+  Row& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  void write() const {
+    std::ofstream out(path_);
+    out << "[\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << "  {";
+      const auto& fields = rows_[r].fields_;
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        out << "\"" << fields[f].first << "\": " << fields[f].second;
+        if (f + 1 < fields.size()) out << ", ";
+      }
+      out << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    std::cout << "wrote " << path_ << " (" << rows_.size() << " rows)\n";
+  }
+
+ private:
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace treesched::bench

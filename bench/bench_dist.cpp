@@ -23,6 +23,8 @@ using namespace treesched;
 int main(int argc, char** argv) {
   CliFlags flags;
   flags.intFlag("seed", 91, "base RNG seed");
+  flags.stringFlag("json", "BENCH_dist.json",
+                   "machine-readable report path ('' disables)");
   if (!flags.parse(argc, argv)) return 0;
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
 
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
 
   Table table({"n", "m", "r", "rounds", "busy", "messages", "payload(M)",
                "max msg", "lambda", "consistent", "matches central"});
+  bench::JsonReport report(flags.getString("json"));
 
   struct Config {
     std::int32_t n, m, r;
@@ -82,7 +85,25 @@ int main(int argc, char** argv) {
         .cell(dist.lambdaMeasured, 4)
         .cell(dist.localViewsConsistent ? "yes" : "NO")
         .cell(dist.solution.instances == centralSorted ? "yes" : "NO");
+
+    report.row()
+        .field("n", c.n)
+        .field("m", c.m)
+        .field("r", c.r)
+        .field("rounds", dist.network.rounds)
+        .field("busy_rounds", dist.network.busyRounds)
+        .field("messages", dist.network.messages)
+        .field("payload", dist.network.payload)
+        .field("max_message_payload", dist.network.maxMessagePayload)
+        .field("retransmissions", dist.network.retransmissions)
+        .field("virtual_time", dist.network.virtualTime)
+        .field("lambda", dist.lambdaMeasured)
+        .field("consistent", dist.localViewsConsistent)
+        .field("matches_central", dist.solution.instances == centralSorted);
   }
   table.print(std::cout);
+  if (!flags.getString("json").empty()) {
+    report.write();
+  }
   return 0;
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <tuple>
 
 #include "core/demand.hpp"
 
@@ -41,6 +42,15 @@ struct Message {
 /// Payload of a message in units of M (see file comment).
 inline std::int32_t messagePayloadUnits(MessageKind kind) {
   return kind == MessageKind::DualRaise ? 2 : 1;
+}
+
+/// The canonical inbox order every transport must deliver in (sender
+/// first, then instance): processors consume messages in this order, which
+/// is the keystone of bit-identical equivalence with the centralized
+/// engine — and of sync/async transport equivalence.
+inline bool canonicalMessageLess(const Message& a, const Message& b) {
+  return std::tie(a.from, a.instance, a.kind, a.value) <
+         std::tie(b.from, b.instance, b.kind, b.value);
 }
 
 }  // namespace treesched

@@ -35,13 +35,12 @@ struct PendingRaise {
 class ProtocolEngine {
  public:
   ProtocolEngine(const InstanceUniverse& universe, const Layering& layering,
-                 std::vector<std::vector<std::int32_t>> adjacency,
-                 const DistributedOptions& options)
+                 Transport& transport, const DistributedOptions& options)
       : u_(universe),
         lay_(layering),
         opt_(options),
         obs_(options.observer != nullptr ? options.observer : &nullObserver_),
-        net_(std::move(adjacency)),
+        net_(transport),
         plan_(makeStagePlan(SchedulePolicy::Staged, options.rule,
                             options.epsilon,
                             std::max<std::int32_t>(1, layering.maxCriticalSize),
@@ -523,7 +522,7 @@ class ProtocolEngine {
   DistributedOptions opt_;
   NullObserver nullObserver_;
   ProtocolObserver* obs_;
-  SimNetwork net_;
+  Transport& net_;
   StagePlan plan_;
   std::int32_t numProc_ = 0;
   std::int32_t stepsPerStage_ = 0;
@@ -566,26 +565,43 @@ class ProtocolEngine {
 
 }  // namespace
 
-DistributedResult runDistributedUnitTree(const TreeProblem& problem,
-                                         const DistributedOptions& options) {
+DistributedResult runDistributedOverTransport(
+    const InstanceUniverse& universe, const Layering& layering,
+    Transport& transport, const DistributedOptions& options) {
+  ProtocolEngine engine(universe, layering, transport, options);
+  return engine.run();
+}
+
+PreparedRun prepareUnitTreeRun(const TreeProblem& problem) {
   InstanceUniverse universe = InstanceUniverse::fromTreeProblem(problem);
   universe.buildConflicts();
-  const TreeLayeringResult layering = buildTreeLayering(problem, universe);
-  ProtocolEngine engine(
-      universe, layering.layering,
-      communicationGraph(problem.access, problem.numNetworks()), options);
-  return engine.run();
+  Layering layering = buildTreeLayering(problem, universe).layering;
+  return {std::move(universe), std::move(layering),
+          communicationGraph(problem.access, problem.numNetworks())};
+}
+
+PreparedRun prepareUnitLineRun(const LineProblem& problem) {
+  InstanceUniverse universe = InstanceUniverse::fromLineProblem(problem);
+  universe.buildConflicts();
+  Layering layering = buildLineLayering(universe);
+  return {std::move(universe), std::move(layering),
+          communicationGraph(problem.access, problem.numResources)};
+}
+
+DistributedResult runDistributedUnitTree(const TreeProblem& problem,
+                                         const DistributedOptions& options) {
+  PreparedRun run = prepareUnitTreeRun(problem);
+  SimNetwork bus(std::move(run.adjacency));
+  return runDistributedOverTransport(run.universe, run.layering, bus,
+                                     options);
 }
 
 DistributedResult runDistributedUnitLine(const LineProblem& problem,
                                          const DistributedOptions& options) {
-  InstanceUniverse universe = InstanceUniverse::fromLineProblem(problem);
-  universe.buildConflicts();
-  const Layering layering = buildLineLayering(universe);
-  ProtocolEngine engine(
-      universe, layering,
-      communicationGraph(problem.access, problem.numResources), options);
-  return engine.run();
+  PreparedRun run = prepareUnitLineRun(problem);
+  SimNetwork bus(std::move(run.adjacency));
+  return runDistributedOverTransport(run.universe, run.layering, bus,
+                                     options);
 }
 
 }  // namespace treesched

@@ -30,9 +30,12 @@
 #include "core/line_problem.hpp"
 #include "core/solution.hpp"
 #include "core/tree_problem.hpp"
+#include "core/universe.hpp"
+#include "decomp/layering.hpp"
 #include "dist/observer.hpp"
 #include "dist/sim_network.hpp"
 #include "framework/raise_policy.hpp"
+#include "net/transport.hpp"
 
 namespace treesched {
 
@@ -82,12 +85,36 @@ struct DistributedResult {
 
 /// Runs the protocol on a tree problem: builds the instance universe, the
 /// ideal tree layering and the communication graph, then simulates both
-/// phases. The problem is validated by the universe builder.
+/// phases over the round-synchronous bus. The problem is validated by the
+/// universe builder.
 DistributedResult runDistributedUnitTree(
     const TreeProblem& problem, const DistributedOptions& options = {});
 
 /// Runs the protocol on a line problem with the §7 length layering.
 DistributedResult runDistributedUnitLine(
     const LineProblem& problem, const DistributedOptions& options = {});
+
+/// Runs both phases over an arbitrary transport (net/transport.hpp). The
+/// transport must expose one endpoint per demand of the universe, over
+/// the communication graph of the problem. Any transport honouring the
+/// Transport delivery contract yields a run bit-identical to the
+/// round-synchronous bus — this is the entry point the asynchronous
+/// runner (net/runner.hpp) uses.
+DistributedResult runDistributedOverTransport(
+    const InstanceUniverse& universe, const Layering& layering,
+    Transport& transport, const DistributedOptions& options = {});
+
+/// Everything a runner needs before choosing a transport: the validated
+/// universe (conflicts built), the layering and the communication graph.
+/// Shared by the synchronous and asynchronous entry points so their
+/// setups can never diverge.
+struct PreparedRun {
+  InstanceUniverse universe;
+  Layering layering;
+  std::vector<std::vector<std::int32_t>> adjacency;
+};
+
+PreparedRun prepareUnitTreeRun(const TreeProblem& problem);
+PreparedRun prepareUnitLineRun(const LineProblem& problem);
 
 }  // namespace treesched

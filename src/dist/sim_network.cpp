@@ -1,40 +1,16 @@
 #include "dist/sim_network.hpp"
 
 #include <algorithm>
-#include <tuple>
 
 #include "util/check.hpp"
 
 namespace treesched {
 
-namespace {
-
-bool canonicalLess(const Message& a, const Message& b) {
-  return std::tie(a.from, a.instance, a.kind, a.value) <
-         std::tie(b.from, b.instance, b.kind, b.value);
-}
-
-}  // namespace
-
 SimNetwork::SimNetwork(std::vector<std::vector<std::int32_t>> adjacency)
     : adjacency_(std::move(adjacency)),
       pending_(adjacency_.size()),
       inbox_(adjacency_.size()) {
-  const auto n = static_cast<std::int32_t>(adjacency_.size());
-  for (std::int32_t v = 0; v < n; ++v) {
-    auto sorted = adjacency_[static_cast<std::size_t>(v)];
-    std::sort(sorted.begin(), sorted.end());
-    checkThat(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
-              "adjacency list duplicate-free", __FILE__, __LINE__);
-    for (const std::int32_t w : sorted) {
-      checkThat(w >= 0 && w < n, "adjacency entry in range", __FILE__,
-                __LINE__);
-      checkThat(w != v, "no self loops", __FILE__, __LINE__);
-      const auto& back = adjacency_[static_cast<std::size_t>(w)];
-      checkThat(std::find(back.begin(), back.end(), v) != back.end(),
-                "adjacency symmetric", __FILE__, __LINE__);
-    }
-  }
+  validateCommunicationAdjacency(adjacency_);
 }
 
 std::span<const std::int32_t> SimNetwork::neighbors(std::int32_t p) const {
@@ -56,7 +32,7 @@ void SimNetwork::endRound() {
   for (std::size_t p = 0; p < pending_.size(); ++p) {
     inbox_[p].clear();
     std::swap(inbox_[p], pending_[p]);
-    std::sort(inbox_[p].begin(), inbox_[p].end(), canonicalLess);
+    std::sort(inbox_[p].begin(), inbox_[p].end(), canonicalMessageLess);
     for (const Message& m : inbox_[p]) {
       busy = true;
       ++stats_.messages;

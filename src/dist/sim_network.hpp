@@ -7,9 +7,9 @@
 // that every processor consumes messages in a deterministic order — the
 // keystone of bit-identical equivalence with the centralized engine.
 //
-// The network also keeps the communication accounting the experiments
-// report: total rounds, rounds that carried traffic, delivered messages,
-// total payload and the largest single message (units of M).
+// SimNetwork is the reliable reference implementation of the Transport
+// interface (net/transport.hpp); the asynchronous lossy transport
+// (net/synchronizer.hpp) must be observationally equivalent to it.
 #pragma once
 
 #include <cstdint>
@@ -17,48 +17,40 @@
 #include <vector>
 
 #include "dist/message.hpp"
+#include "net/transport.hpp"
 
 namespace treesched {
-
-/// Communication accounting of one protocol run.
-struct NetworkStats {
-  std::int64_t rounds = 0;      ///< synchronous rounds elapsed
-  std::int64_t busyRounds = 0;  ///< rounds that delivered >= 1 message
-  std::int64_t messages = 0;    ///< point-to-point deliveries
-  std::int64_t payload = 0;     ///< total delivered payload (units of M)
-  std::int32_t maxMessagePayload = 0;  ///< largest single message
-};
 
 /// Deterministic message bus over a fixed undirected communication graph.
 ///
 /// Construction validates the adjacency (symmetric, loop-free, in-range,
 /// duplicate-free) and throws CheckError otherwise.
-class SimNetwork {
+class SimNetwork : public Transport {
  public:
   explicit SimNetwork(std::vector<std::vector<std::int32_t>> adjacency);
 
-  std::int32_t numProcessors() const {
+  std::int32_t numProcessors() const override {
     return static_cast<std::int32_t>(adjacency_.size());
   }
 
-  std::span<const std::int32_t> neighbors(std::int32_t p) const;
+  std::span<const std::int32_t> neighbors(std::int32_t p) const override;
 
   /// Queues `message` for delivery to every neighbour of `message.from`
   /// at the end of the current round.
-  void broadcast(const Message& message);
+  void broadcast(const Message& message) override;
 
   /// Ends the current round: delivers all queued messages into the
   /// recipients' inboxes (sorted canonically) and updates the stats.
-  void endRound();
+  void endRound() override;
 
   /// Advances `count` rounds in which no processor transmits. Inboxes are
   /// cleared; busyRounds is unchanged.
-  void endSilentRounds(std::int64_t count);
+  void endSilentRounds(std::int64_t count) override;
 
   /// Messages delivered to `p` by the last endRound().
-  const std::vector<Message>& inbox(std::int32_t p) const;
+  const std::vector<Message>& inbox(std::int32_t p) const override;
 
-  const NetworkStats& stats() const { return stats_; }
+  const NetworkStats& stats() const override { return stats_; }
 
  private:
   std::vector<std::vector<std::int32_t>> adjacency_;

@@ -29,4 +29,57 @@ LineProblem makeLineScenario(const LineScenarioConfig& config) {
   return problem;
 }
 
+namespace {
+
+/// The wide-area wire: heavy-tail latencies (many short hops, a few very
+/// slow ones), 5% loss, and a timeout that fires well before the tail cap
+/// so slow packets are raced by retransmissions.
+AsyncConfig wideAreaWire(std::uint64_t seed, std::int32_t shardProcessors) {
+  AsyncConfig net;
+  net.seed = seed ^ 0x71deULL;
+  net.link.latency.model = LatencyModel::HeavyTail;
+  net.link.latency.base = 1.0;
+  net.link.latency.tailShape = 1.5;
+  net.link.latency.tailCap = 64.0;
+  net.link.dropProbability = 0.05;
+  net.link.retransmitTimeout = 16.0;
+  net.strategy = ShardStrategy::Locality;
+  net.shardProcessors = shardProcessors;
+  return net;
+}
+
+}  // namespace
+
+LossyWideAreaTreeScenario makeLossyWideAreaTree(std::uint64_t seed,
+                                                std::int32_t numVertices,
+                                                std::int32_t numNetworks,
+                                                std::int32_t numDemands,
+                                                std::int32_t shardProcessors) {
+  TreeScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.numVertices = numVertices;
+  cfg.numNetworks = numNetworks;
+  cfg.demands.numDemands = numDemands;
+  cfg.demands.profits = ProfitDistribution::PowerLaw;
+  cfg.demands.accessProbability = 0.7;
+  return {makeTreeScenario(cfg), wideAreaWire(seed, shardProcessors)};
+}
+
+LossyWideAreaLineScenario makeLossyWideAreaLine(std::uint64_t seed,
+                                                std::int32_t numSlots,
+                                                std::int32_t numResources,
+                                                std::int32_t numDemands,
+                                                std::int32_t shardProcessors) {
+  LineScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.numSlots = numSlots;
+  cfg.numResources = numResources;
+  cfg.demands.numDemands = numDemands;
+  cfg.demands.profits = ProfitDistribution::PowerLaw;
+  cfg.demands.windowSlack = 0.5;
+  cfg.demands.processingMax = 6;
+  cfg.demands.accessProbability = 0.8;
+  return {makeLineScenario(cfg), wideAreaWire(seed + 1, shardProcessors)};
+}
+
 }  // namespace treesched

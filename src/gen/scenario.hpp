@@ -7,6 +7,7 @@
 #include "core/tree_problem.hpp"
 #include "gen/demand_gen.hpp"
 #include "gen/tree_gen.hpp"
+#include "net/synchronizer.hpp"
 
 namespace treesched {
 
@@ -31,5 +32,37 @@ struct LineScenarioConfig {
 
 /// Builds and validates a line problem.
 LineProblem makeLineScenario(const LineScenarioConfig& config);
+
+// ---- lossy_wide_area: the async/lossy stress preset --------------------
+//
+// A wide-area deployment: power-law profits, dense network access, and a
+// wire with heavy-tail (Pareto) latencies, a nonzero i.i.d. drop rate and
+// locality-aware sharding — the workload the async bench (bench_async)
+// tracks across PRs. Problem and transport ship together so every
+// consumer measures the same wire under the same load.
+
+struct LossyWideAreaTreeScenario {
+  TreeProblem problem;
+  AsyncConfig net;
+};
+
+struct LossyWideAreaLineScenario {
+  LineProblem problem;
+  AsyncConfig net;
+};
+
+/// Tree variant: `numDemands` demands over `numNetworks` trees on
+/// `numVertices` vertices, sharded onto `shardProcessors` simulated
+/// processors (<= 0 keeps one processor per demand).
+LossyWideAreaTreeScenario makeLossyWideAreaTree(
+    std::uint64_t seed, std::int32_t numVertices = 48,
+    std::int32_t numNetworks = 3, std::int32_t numDemands = 36,
+    std::int32_t shardProcessors = 6);
+
+/// Line variant of the same wide-area wire.
+LossyWideAreaLineScenario makeLossyWideAreaLine(
+    std::uint64_t seed, std::int32_t numSlots = 96,
+    std::int32_t numResources = 3, std::int32_t numDemands = 30,
+    std::int32_t shardProcessors = 5);
 
 }  // namespace treesched

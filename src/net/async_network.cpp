@@ -1,0 +1,159 @@
+#include "net/async_network.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace treesched {
+
+namespace {
+
+// Salts separating the independent hash draws of one attempt.
+constexpr std::uint64_t kSaltPayloadDrop = 0x01;
+constexpr std::uint64_t kSaltPayloadDelay = 0x02;
+constexpr std::uint64_t kSaltAckDrop = 0x03;
+constexpr std::uint64_t kSaltAckDelay = 0x04;
+
+// With dropProbability <= 0.9 an attempt round-trips with probability
+// >= 0.01, so hitting this cap indicates a broken hash stream, not luck.
+constexpr std::int32_t kMaxAttempts = 10'000;
+
+}  // namespace
+
+AsyncNetwork::AsyncNetwork(std::int32_t numEndpoints,
+                           const AsyncLinkConfig& config, std::uint64_t seed)
+    : config_(config),
+      seed_(seed),
+      deliveredTo_(static_cast<std::size_t>(numEndpoints)),
+      endpointLoad_(static_cast<std::size_t>(numEndpoints), 0) {
+  checkThat(numEndpoints > 0, "async network needs endpoints", __FILE__,
+            __LINE__);
+  validateLatencyConfig(config_.latency);
+  checkThat(config_.dropProbability >= 0 && config_.dropProbability <= 0.9,
+            "drop probability in [0, 0.9]", __FILE__, __LINE__);
+  // A timeout below one link latency would retransmit in a tight loop
+  // before the first ack can possibly round-trip (and trip the attempt
+  // cap); require at least the minimum one-way delay.
+  checkThat(config_.retransmitTimeout == 0 ||
+                config_.retransmitTimeout >= config_.latency.base,
+            "timeout >= latency base (or 0 for auto)", __FILE__, __LINE__);
+  timeout_ = config_.retransmitTimeout;
+  if (timeout_ == 0) {
+    timeout_ = 2 * latencyUpperBound(config_.latency) +
+               config_.latency.base;
+  }
+}
+
+void AsyncNetwork::schedule(double time, EventKind kind, std::uint32_t flight,
+                            std::int32_t attempt) {
+  queue_.push({time, nextEventSeq_++, kind, flight, attempt});
+}
+
+bool AsyncNetwork::dropped(std::uint64_t packetId, std::int32_t attempt,
+                           std::uint64_t salt) const {
+  if (config_.dropProbability <= 0) return false;
+  const std::uint64_t h = keyedHash(seed_, packetId,
+                                    static_cast<std::uint64_t>(attempt), salt);
+  return unitInterval(h) < config_.dropProbability;
+}
+
+double AsyncNetwork::delay(std::uint64_t packetId, std::int32_t attempt,
+                           std::uint64_t salt) const {
+  const std::uint64_t h = keyedHash(seed_, packetId,
+                                    static_cast<std::uint64_t>(attempt), salt);
+  return sampleLatency(config_.latency, unitInterval(h));
+}
+
+void AsyncNetwork::send(std::int32_t from, std::int32_t to,
+                        const Message& payload, bool control) {
+  checkIndex(from, numEndpoints(), "AsyncNetwork::send from");
+  checkIndex(to, numEndpoints(), "AsyncNetwork::send to");
+  checkThat(from != to, "no self links", __FILE__, __LINE__);
+  Flight flight;
+  flight.from = from;
+  flight.to = to;
+  flight.payload = payload;
+  flight.control = control;
+  flight.id = nextPacketId_++;
+  const auto index = static_cast<std::uint32_t>(flights_.size());
+  flights_.push_back(flight);
+  schedule(now_, EventKind::Attempt, index, 0);
+}
+
+double AsyncNetwork::flush() {
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    Flight& flight = flights_[event.flight];
+    if (event.kind == EventKind::Attempt && flight.acked) {
+      // A retransmit timer cancelled by the ack: it neither transmits
+      // nor advances the clock.
+      continue;
+    }
+    now_ = std::max(now_, event.time);
+    switch (event.kind) {
+      case EventKind::Attempt: {
+        checkThat(flight.attempts < kMaxAttempts, "retransmission cap",
+                  __FILE__, __LINE__);
+        ++flight.attempts;
+        ++transmissions_;
+        if (event.attempt > 0) ++retransmissions_;
+        if (dropped(flight.id, event.attempt, kSaltPayloadDrop)) {
+          ++drops_;
+        } else {
+          schedule(now_ + delay(flight.id, event.attempt, kSaltPayloadDelay),
+                   EventKind::Deliver, event.flight, event.attempt);
+        }
+        // The next attempt fires unless the ack lands first.
+        schedule(now_ + timeout_, EventKind::Attempt, event.flight,
+                 event.attempt + 1);
+        break;
+      }
+      case EventKind::Deliver: {
+        if (!flight.delivered) {
+          flight.delivered = true;
+          ++endpointLoad_[static_cast<std::size_t>(flight.to)];
+          if (!flight.control) {
+            deliveredTo_[static_cast<std::size_t>(flight.to)].push_back(
+                {flight.from, flight.to, flight.payload, flight.control});
+          }
+        }
+        // Duplicates are acked too, else a lost first ack livelocks.
+        if (dropped(flight.id, event.attempt, kSaltAckDrop)) {
+          ++drops_;
+        } else {
+          schedule(now_ + delay(flight.id, event.attempt, kSaltAckDelay),
+                   EventKind::AckArrive, event.flight, event.attempt);
+        }
+        break;
+      }
+      case EventKind::AckArrive:
+        flight.acked = true;
+        break;
+    }
+  }
+  flights_.clear();
+  return now_;
+}
+
+void AsyncNetwork::advanceTime(double delta) {
+  checkThat(delta >= 0, "time advances forward", __FILE__, __LINE__);
+  checkThat(queue_.empty(), "advanceTime with traffic in flight", __FILE__,
+            __LINE__);
+  now_ += delta;
+}
+
+const std::vector<PhysicalDelivery>& AsyncNetwork::delivered(
+    std::int32_t endpoint) const {
+  checkIndex(endpoint, numEndpoints(), "AsyncNetwork::delivered");
+  return deliveredTo_[static_cast<std::size_t>(endpoint)];
+}
+
+void AsyncNetwork::drainDeliveries() {
+  for (auto& inbox : deliveredTo_) {
+    inbox.clear();
+  }
+}
+
+}  // namespace treesched

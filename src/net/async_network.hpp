@@ -1,0 +1,139 @@
+// Asynchronous, lossy physical network: a priority-queue event simulator.
+//
+// Endpoints exchange packets over point-to-point links. Each transmission
+// attempt samples a delay from the configured latency model and is lost
+// i.i.d. with the configured drop probability. Delivery is made reliable
+// by a stop-and-wait ack/retransmission scheme: the sender retransmits
+// every `retransmitTimeout` time units until an acknowledgement arrives;
+// acks travel (and can be dropped) like any other packet; receivers
+// deduplicate, so each packet is delivered to the application exactly
+// once. With dropProbability < 1 every packet is eventually delivered and
+// acknowledged, so `flush()` terminates.
+//
+// All randomness is hash-keyed by (seed, packet id, attempt), so a run is
+// a pure function of the seed: neither heap ordering nor drain order can
+// perturb sampled delays or drop decisions.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "dist/message.hpp"
+#include "net/latency.hpp"
+
+namespace treesched {
+
+/// Physical-link behaviour shared by every link of the network.
+struct AsyncLinkConfig {
+  LatencyConfig latency;
+  /// Probability that one transmission attempt (payload or ack) is lost.
+  /// Must lie in [0, 0.9] — retransmission makes delivery reliable, the
+  /// cap keeps expected attempt counts small and flush() fast.
+  double dropProbability = 0.0;
+  /// Retransmit if no ack after this long; 0 derives a round-trip upper
+  /// bound (2 * latencyUpperBound) plus slack from the latency model.
+  /// When set, must be >= latency.base (below that the sender would
+  /// retransmit in a tight loop before any ack could round-trip).
+  double retransmitTimeout = 0.0;
+};
+
+/// One packet handed up to the receiving endpoint.
+struct PhysicalDelivery {
+  std::int32_t from = 0;  ///< sending endpoint
+  std::int32_t to = 0;    ///< receiving endpoint
+  Message payload;
+  bool control = false;  ///< synchronizer marker, not protocol payload
+};
+
+class AsyncNetwork {
+ public:
+  AsyncNetwork(std::int32_t numEndpoints, const AsyncLinkConfig& config,
+               std::uint64_t seed);
+
+  std::int32_t numEndpoints() const {
+    return static_cast<std::int32_t>(deliveredTo_.size());
+  }
+
+  /// Injects a packet at the current virtual time. Control packets carry
+  /// synchronizer traffic: they ride the same lossy links but are not
+  /// handed to the application inbox.
+  void send(std::int32_t from, std::int32_t to, const Message& payload,
+            bool control = false);
+
+  /// Runs the event loop until every in-flight packet is delivered and
+  /// acknowledged; returns the virtual time afterwards.
+  double flush();
+
+  /// Advances the clock without any traffic (known-silent barrier rounds).
+  void advanceTime(double delta);
+
+  double now() const { return now_; }
+
+  /// Application packets delivered to `endpoint` since the last drain,
+  /// in arrival order.
+  const std::vector<PhysicalDelivery>& delivered(std::int32_t endpoint) const;
+  void drainDeliveries();
+
+  std::int64_t transmissions() const { return transmissions_; }
+  std::int64_t retransmissions() const { return retransmissions_; }
+  std::int64_t drops() const { return drops_; }
+  /// Physical deliveries handled per endpoint over the whole run —
+  /// payload and control alike (markers are real load on a processor).
+  const std::vector<std::int64_t>& endpointLoad() const {
+    return endpointLoad_;
+  }
+
+ private:
+  enum class EventKind : std::uint8_t { Attempt, Deliver, AckArrive };
+
+  struct Event {
+    double time = 0;
+    std::uint64_t seq = 0;  ///< schedule order, breaks time ties
+    EventKind kind = EventKind::Attempt;
+    std::uint32_t flight = 0;  ///< index into flights_
+    std::int32_t attempt = 0;
+  };
+
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// One packet in flight: retransmitted until acked.
+  struct Flight {
+    std::int32_t from = 0;
+    std::int32_t to = 0;
+    Message payload;
+    bool control = false;
+    std::uint64_t id = 0;  ///< globally unique, keys the hash draws
+    std::int32_t attempts = 0;
+    bool delivered = false;
+    bool acked = false;
+  };
+
+  void schedule(double time, EventKind kind, std::uint32_t flight,
+                std::int32_t attempt);
+  bool dropped(std::uint64_t packetId, std::int32_t attempt,
+               std::uint64_t salt) const;
+  double delay(std::uint64_t packetId, std::int32_t attempt,
+               std::uint64_t salt) const;
+
+  AsyncLinkConfig config_;
+  std::uint64_t seed_ = 0;
+  double timeout_ = 0;
+  double now_ = 0;
+  std::uint64_t nextPacketId_ = 0;
+  std::uint64_t nextEventSeq_ = 0;
+  std::vector<Flight> flights_;  ///< cleared once flush() drains the queue
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::vector<std::vector<PhysicalDelivery>> deliveredTo_;
+  std::vector<std::int64_t> endpointLoad_;
+  std::int64_t transmissions_ = 0;
+  std::int64_t retransmissions_ = 0;
+  std::int64_t drops_ = 0;
+};
+
+}  // namespace treesched

@@ -1,0 +1,51 @@
+#include "net/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace treesched {
+
+double unitInterval(std::uint64_t hash) {
+  // Top 53 bits -> [0, 1) with full double resolution.
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+double sampleLatency(const LatencyConfig& config, double u01) {
+  switch (config.model) {
+    case LatencyModel::Fixed:
+      return config.base;
+    case LatencyModel::Uniform:
+      return config.base + config.spread * u01;
+    case LatencyModel::HeavyTail: {
+      // Pareto via inverse CDF; 1 - u01 stays in (0, 1] so pow is finite.
+      const double pareto =
+          std::pow(1.0 - u01, -1.0 / config.tailShape);
+      return config.base * std::min(pareto, config.tailCap);
+    }
+  }
+  return config.base;
+}
+
+double latencyUpperBound(const LatencyConfig& config) {
+  switch (config.model) {
+    case LatencyModel::Fixed:
+      return config.base;
+    case LatencyModel::Uniform:
+      return config.base + config.spread;
+    case LatencyModel::HeavyTail:
+      return config.base * config.tailCap;
+  }
+  return config.base;
+}
+
+void validateLatencyConfig(const LatencyConfig& config) {
+  checkThat(config.base > 0, "latency base positive", __FILE__, __LINE__);
+  checkThat(config.spread >= 0, "latency spread non-negative", __FILE__,
+            __LINE__);
+  checkThat(config.tailShape > 0, "pareto shape positive", __FILE__, __LINE__);
+  checkThat(config.tailCap >= 1, "pareto cap >= 1", __FILE__, __LINE__);
+}
+
+}  // namespace treesched

@@ -1,0 +1,45 @@
+// Pluggable per-link latency models for the asynchronous simulator.
+//
+// Latencies are sampled from stable hash draws (util/rng.hpp), never from
+// shared mutable RNG state, so a packet's delay depends only on
+// (seed, packet id, attempt) — event-loop scheduling order can never
+// perturb the sampled values, which keeps whole runs reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace treesched {
+
+enum class LatencyModel : std::uint8_t {
+  Fixed,     ///< every packet takes exactly `base`
+  Uniform,   ///< uniform in [base, base + spread]
+  HeavyTail  ///< Pareto(shape) scaled by `base`, capped at base * tailCap
+};
+
+/// One link-delay distribution. `base` is the minimum one-way delay in
+/// abstract time units; the synchronizer also uses it as the cost of a
+/// barrier round that moves no payload.
+struct LatencyConfig {
+  LatencyModel model = LatencyModel::Fixed;
+  double base = 1.0;
+  double spread = 0.0;      ///< Uniform: width of the interval
+  double tailShape = 1.5;   ///< HeavyTail: Pareto shape alpha (> 0)
+  double tailCap = 64.0;    ///< HeavyTail: max multiple of base (>= 1)
+};
+
+/// Maps a hash word to a uniform double in [0, 1).
+double unitInterval(std::uint64_t hash);
+
+/// Samples one delay; `u01` in [0, 1) selects the quantile. Deterministic
+/// and strictly positive for every valid config.
+double sampleLatency(const LatencyConfig& config, double u01);
+
+/// A finite upper bound on sampleLatency over all quantiles; used to
+/// derive a default retransmission timeout.
+double latencyUpperBound(const LatencyConfig& config);
+
+/// Throws CheckError unless the config is well-formed (positive base,
+/// non-negative spread, positive shape, cap >= 1).
+void validateLatencyConfig(const LatencyConfig& config);
+
+}  // namespace treesched

@@ -1,0 +1,32 @@
+// Entry points running the unchanged §5 protocol over the asynchronous
+// lossy transport: build the universe, layering and communication graph
+// exactly like the synchronous runners (dist/protocol.hpp), shard the
+// demands onto processors, wrap the async network in an
+// alpha-synchronizer, and execute both phases over it.
+//
+// Guarantee (enforced by tests/async_equivalence_test.cpp): for any
+// latency model, drop rate and placement, the result — solution, profit,
+// duals, local-view consistency — is bit-identical to the corresponding
+// runDistributedUnit{Tree,Line} call; only the wire accounting
+// (virtual time, transmissions, retransmissions, drops, per-processor
+// load) differs.
+#pragma once
+
+#include "core/line_problem.hpp"
+#include "core/tree_problem.hpp"
+#include "dist/protocol.hpp"
+#include "net/synchronizer.hpp"
+
+namespace treesched {
+
+/// Runs the protocol on a tree problem over an async lossy network.
+DistributedResult runAsyncUnitTree(const TreeProblem& problem,
+                                   const DistributedOptions& options = {},
+                                   const AsyncConfig& net = {});
+
+/// Runs the protocol on a line problem over an async lossy network.
+DistributedResult runAsyncUnitLine(const LineProblem& problem,
+                                   const DistributedOptions& options = {},
+                                   const AsyncConfig& net = {});
+
+}  // namespace treesched

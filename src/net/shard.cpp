@@ -1,0 +1,116 @@
+#include "net/shard.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace treesched {
+
+namespace {
+
+void finalize(ShardPlacement& placement) {
+  placement.demandsOfProcessor.assign(
+      static_cast<std::size_t>(placement.numProcessors), {});
+  for (DemandId d = 0; d < placement.numDemands(); ++d) {
+    const std::int32_t p =
+        placement.processorOfDemand[static_cast<std::size_t>(d)];
+    checkIndex(p, placement.numProcessors, "shard placement entry");
+    placement.demandsOfProcessor[static_cast<std::size_t>(p)].push_back(d);
+  }
+}
+
+}  // namespace
+
+ShardPlacement ShardPlacement::identity(std::int32_t numDemands) {
+  checkThat(numDemands > 0, "placement needs demands", __FILE__, __LINE__);
+  ShardPlacement placement;
+  placement.numProcessors = numDemands;
+  placement.processorOfDemand.resize(static_cast<std::size_t>(numDemands));
+  for (DemandId d = 0; d < numDemands; ++d) {
+    placement.processorOfDemand[static_cast<std::size_t>(d)] = d;
+  }
+  finalize(placement);
+  return placement;
+}
+
+ShardPlacement ShardPlacement::build(
+    ShardStrategy strategy,
+    const std::vector<std::vector<std::int32_t>>& access,
+    std::int32_t numProcessors) {
+  const auto numDemands = static_cast<std::int32_t>(access.size());
+  checkThat(numDemands > 0, "placement needs demands", __FILE__, __LINE__);
+  checkThat(numProcessors > 0, "placement needs processors", __FILE__,
+            __LINE__);
+  numProcessors = std::min(numProcessors, numDemands);
+
+  ShardPlacement placement;
+  placement.numProcessors = numProcessors;
+  placement.processorOfDemand.resize(static_cast<std::size_t>(numDemands));
+
+  switch (strategy) {
+    case ShardStrategy::RoundRobin:
+      for (DemandId d = 0; d < numDemands; ++d) {
+        placement.processorOfDemand[static_cast<std::size_t>(d)] =
+            d % numProcessors;
+      }
+      break;
+    case ShardStrategy::Locality: {
+      // Order by home network (smallest accessible id; demands with no
+      // access sort last), then cut into near-equal contiguous blocks.
+      std::vector<DemandId> order(static_cast<std::size_t>(numDemands));
+      for (DemandId d = 0; d < numDemands; ++d) {
+        order[static_cast<std::size_t>(d)] = d;
+      }
+      const auto homeNetwork = [&access](DemandId d) {
+        const auto& nets = access[static_cast<std::size_t>(d)];
+        if (nets.empty()) return std::numeric_limits<std::int32_t>::max();
+        return *std::min_element(nets.begin(), nets.end());
+      };
+      std::stable_sort(order.begin(), order.end(),
+                       [&](DemandId a, DemandId b) {
+                         return homeNetwork(a) < homeNetwork(b);
+                       });
+      for (std::int32_t rank = 0; rank < numDemands; ++rank) {
+        // Block sizes differ by at most one: block p covers ranks in
+        // [p * numDemands / numProcessors, (p+1) * numDemands / numProc).
+        const auto p = static_cast<std::int32_t>(
+            (static_cast<std::int64_t>(rank) * numProcessors) / numDemands);
+        placement.processorOfDemand[static_cast<std::size_t>(
+            order[static_cast<std::size_t>(rank)])] = p;
+      }
+      break;
+    }
+  }
+  finalize(placement);
+  return placement;
+}
+
+std::vector<std::vector<std::int32_t>> shardAdjacency(
+    const std::vector<std::vector<std::int32_t>>& demandAdjacency,
+    const ShardPlacement& placement) {
+  checkThat(static_cast<std::int32_t>(demandAdjacency.size()) ==
+                placement.numDemands(),
+            "placement covers the communication graph", __FILE__, __LINE__);
+  std::vector<std::vector<std::int32_t>> adjacency(
+      static_cast<std::size_t>(placement.numProcessors));
+  for (DemandId d = 0; d < placement.numDemands(); ++d) {
+    const std::int32_t p =
+        placement.processorOfDemand[static_cast<std::size_t>(d)];
+    for (const std::int32_t e : demandAdjacency[static_cast<std::size_t>(d)]) {
+      checkIndex(e, placement.numDemands(), "shardAdjacency neighbour");
+      const std::int32_t q =
+          placement.processorOfDemand[static_cast<std::size_t>(e)];
+      if (p != q) {
+        adjacency[static_cast<std::size_t>(p)].push_back(q);
+      }
+    }
+  }
+  for (auto& nbrs : adjacency) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return adjacency;
+}
+
+}  // namespace treesched

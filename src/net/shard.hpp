@@ -1,0 +1,58 @@
+// Sharded placement: many demands per simulated processor.
+//
+// The paper identifies processors with demands (one each); to scale the
+// simulator to much larger instances, a ShardPlacement maps the m demands
+// onto a smaller set of physical processors. Messages between demands
+// hosted on the same processor are local memory operations; only
+// inter-processor traffic touches the (lossy, latency-modelled) wire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/demand.hpp"
+
+namespace treesched {
+
+enum class ShardStrategy : std::uint8_t {
+  /// Demand d lives on processor d % numProcessors.
+  RoundRobin,
+  /// Demands are ordered by their smallest accessible network id and cut
+  /// into contiguous blocks, so demands competing for the same network
+  /// tend to share a processor and their chatter stays off the wire.
+  Locality,
+};
+
+/// A total map of demands onto physical processors: every demand is placed
+/// on exactly one processor (build() validates the partition).
+struct ShardPlacement {
+  std::int32_t numProcessors = 0;
+  std::vector<std::int32_t> processorOfDemand;      ///< demand -> processor
+  std::vector<std::vector<DemandId>> demandsOfProcessor;
+
+  std::int32_t numDemands() const {
+    return static_cast<std::int32_t>(processorOfDemand.size());
+  }
+
+  /// One demand per processor — the paper's model, and the placement the
+  /// synchronizer uses when no sharding is requested.
+  static ShardPlacement identity(std::int32_t numDemands);
+
+  /// Places `access.size()` demands onto `numProcessors` processors.
+  /// `access[d]` lists the networks demand d may use (used by Locality;
+  /// RoundRobin ignores the contents). numProcessors is clamped to the
+  /// demand count; at least 1 processor is required.
+  static ShardPlacement build(
+      ShardStrategy strategy,
+      const std::vector<std::vector<std::int32_t>>& access,
+      std::int32_t numProcessors);
+};
+
+/// Collapses a demand-level communication graph to the processor level:
+/// processors P, Q are adjacent iff some demand on P is adjacent to some
+/// demand on Q (P != Q). Lists come back sorted and duplicate-free.
+std::vector<std::vector<std::int32_t>> shardAdjacency(
+    const std::vector<std::vector<std::int32_t>>& demandAdjacency,
+    const ShardPlacement& placement);
+
+}  // namespace treesched

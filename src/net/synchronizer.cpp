@@ -1,0 +1,161 @@
+#include "net/synchronizer.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace treesched {
+
+namespace {
+
+/// Validation must precede shardAdjacency in the member-init list, else
+/// a malformed graph hits out-of-range placement reads before the check.
+std::vector<std::vector<std::int32_t>> validated(
+    std::vector<std::vector<std::int32_t>> adjacency) {
+  validateCommunicationAdjacency(adjacency);
+  return adjacency;
+}
+
+}  // namespace
+
+AlphaSynchronizer::AlphaSynchronizer(
+    std::vector<std::vector<std::int32_t>> demandAdjacency,
+    ShardPlacement placement, const AsyncConfig& config)
+    : adjacency_(validated(std::move(demandAdjacency))),
+      placement_(std::move(placement)),
+      physAdjacency_(shardAdjacency(adjacency_, placement_)),
+      phys_(placement_.numProcessors, config.link, config.seed),
+      silentRoundCost_(config.link.latency.base),
+      localPending_(adjacency_.size()),
+      inbox_(adjacency_.size()) {
+  remoteProcsOf_.resize(adjacency_.size());
+  for (DemandId d = 0; d < numProcessors(); ++d) {
+    auto& remote = remoteProcsOf_[static_cast<std::size_t>(d)];
+    const std::int32_t home = processorOf(d);
+    for (const std::int32_t e : adjacency_[static_cast<std::size_t>(d)]) {
+      if (processorOf(e) != home) {
+        remote.push_back(processorOf(e));
+      }
+    }
+    std::sort(remote.begin(), remote.end());
+    remote.erase(std::unique(remote.begin(), remote.end()), remote.end());
+  }
+  stats_.processorLoad.assign(
+      static_cast<std::size_t>(placement_.numProcessors), 0);
+}
+
+std::span<const std::int32_t> AlphaSynchronizer::neighbors(
+    std::int32_t p) const {
+  checkIndex(p, numProcessors(), "AlphaSynchronizer::neighbors");
+  return adjacency_[static_cast<std::size_t>(p)];
+}
+
+void AlphaSynchronizer::broadcast(const Message& message) {
+  checkIndex(message.from, numProcessors(), "AlphaSynchronizer::broadcast");
+  const auto from = static_cast<std::size_t>(message.from);
+  const std::int32_t home = processorOf(message.from);
+  roundHadTraffic_ = true;
+  // Same-processor neighbours: delivered from local memory at the round
+  // boundary, never touching the wire.
+  for (const std::int32_t d : adjacency_[from]) {
+    if (processorOf(d) == home) {
+      localPending_[static_cast<std::size_t>(d)].push_back(message);
+    }
+  }
+  // One wire packet per remote processor; the receiver fans it out to
+  // every hosted neighbour of the sender.
+  for (const std::int32_t q : remoteProcsOf_[from]) {
+    phys_.send(home, q, message);
+    ++pendingPayload_;
+  }
+}
+
+void AlphaSynchronizer::endRound() {
+  ++stats_.rounds;
+
+  // Safe markers: every processor tells each physical neighbour it has
+  // sent everything for this round. The markers ride the same lossy
+  // links (acked, retransmitted) — they are the synchronizer's cost.
+  for (std::int32_t p = 0; p < placement_.numProcessors; ++p) {
+    for (const std::int32_t q :
+         physAdjacency_[static_cast<std::size_t>(p)]) {
+      phys_.send(p, q, Message{}, /*control=*/true);
+    }
+  }
+
+  // Round r+1 starts once all round-r payload and markers are delivered.
+  bool anyWire = pendingPayload_ > 0;
+  for (const auto& nbrs : physAdjacency_) {
+    anyWire = anyWire || !nbrs.empty();
+  }
+  if (anyWire) {
+    phys_.flush();
+  } else {
+    // Fully local round (everything on one processor): charge the
+    // nominal barrier cost so virtual time still advances.
+    phys_.advanceTime(silentRoundCost_);
+  }
+  pendingPayload_ = 0;
+
+  // Assemble the demand-level inboxes: local deliveries plus the fan-out
+  // of every wire packet to the hosted neighbours of its sender.
+  bool busy = false;
+  for (std::size_t d = 0; d < inbox_.size(); ++d) {
+    inbox_[d].clear();
+    std::swap(inbox_[d], localPending_[d]);
+  }
+  for (std::int32_t p = 0; p < placement_.numProcessors; ++p) {
+    for (const PhysicalDelivery& delivery : phys_.delivered(p)) {
+      const auto sender = static_cast<std::size_t>(delivery.payload.from);
+      for (const std::int32_t d : adjacency_[sender]) {
+        if (processorOf(d) == p) {
+          inbox_[static_cast<std::size_t>(d)].push_back(delivery.payload);
+        }
+      }
+    }
+  }
+  phys_.drainDeliveries();
+  for (auto& box : inbox_) {
+    std::sort(box.begin(), box.end(), canonicalMessageLess);
+    for (const Message& m : box) {
+      busy = true;
+      ++stats_.messages;
+      const std::int32_t units = messagePayloadUnits(m.kind);
+      stats_.payload += units;
+      stats_.maxMessagePayload = std::max(stats_.maxMessagePayload, units);
+    }
+  }
+  if (busy) {
+    ++stats_.busyRounds;
+  }
+  roundHadTraffic_ = false;
+
+  stats_.virtualTime = phys_.now();
+  stats_.transmissions = phys_.transmissions();
+  stats_.retransmissions = phys_.retransmissions();
+  stats_.drops = phys_.drops();
+  stats_.processorLoad = phys_.endpointLoad();
+}
+
+void AlphaSynchronizer::endSilentRounds(std::int64_t count) {
+  checkThat(count >= 0, "silent round count non-negative", __FILE__, __LINE__);
+  checkThat(!roundHadTraffic_ && pendingPayload_ == 0,
+            "silent rounds must not drop queued messages", __FILE__, __LINE__);
+  if (count == 0) return;
+  for (auto& box : inbox_) {
+    box.clear();
+  }
+  stats_.rounds += count;
+  // Known-silent rounds are barrier-only: both sides of the fixed
+  // schedule know nobody transmits, so the synchronizer charges the
+  // nominal per-round cost without simulating marker traffic.
+  phys_.advanceTime(static_cast<double>(count) * silentRoundCost_);
+  stats_.virtualTime = phys_.now();
+}
+
+const std::vector<Message>& AlphaSynchronizer::inbox(std::int32_t p) const {
+  checkIndex(p, numProcessors(), "AlphaSynchronizer::inbox");
+  return inbox_[static_cast<std::size_t>(p)];
+}
+
+}  // namespace treesched

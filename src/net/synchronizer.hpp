@@ -1,0 +1,82 @@
+// Alpha-synchronizer: the round-structured protocol over an async wire.
+//
+// The §5 protocol assumes synchronous rounds. An alpha-synchronizer
+// (Awerbuch 1985) recovers them on an asynchronous network: in every
+// round each processor sends its payload followed by a "safe" marker to
+// every physical neighbour, and starts round r+1 only once the round-r
+// markers of all neighbours have arrived. Because the underlying
+// ack/retransmission links are reliable (net/async_network.hpp), every
+// payload message broadcast in round r is in the recipients' inboxes
+// before round r+1 — so, after canonical sorting, the protocol consumes
+// exactly the inboxes the synchronous bus would produce, and the whole
+// run is bit-identical to the round-synchronous execution under ANY
+// latency model and ANY drop rate. Latency and loss cost virtual time,
+// retransmissions and control traffic, never correctness.
+//
+// With a non-identity ShardPlacement one physical processor hosts many
+// demands: intra-processor messages are local memory operations (free,
+// instant), and a broadcast is sent once per remote processor rather than
+// once per remote demand, so locality-aware placement measurably cuts
+// wire traffic. The protocol still sees one logical endpoint per demand.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/async_network.hpp"
+#include "net/shard.hpp"
+#include "net/transport.hpp"
+
+namespace treesched {
+
+/// Everything the asynchronous transport needs beyond the communication
+/// graph: link behaviour, loss, and how demands map onto processors.
+struct AsyncConfig {
+  std::uint64_t seed = 1;  ///< keys every latency/drop draw
+  AsyncLinkConfig link;
+  ShardStrategy strategy = ShardStrategy::RoundRobin;
+  /// Physical processors to shard onto; <= 0 keeps the paper's
+  /// one-processor-per-demand model.
+  std::int32_t shardProcessors = 0;
+};
+
+class AlphaSynchronizer : public Transport {
+ public:
+  /// `demandAdjacency` is the protocol's communication graph (validated);
+  /// `placement` maps its vertices onto physical processors.
+  AlphaSynchronizer(std::vector<std::vector<std::int32_t>> demandAdjacency,
+                    ShardPlacement placement, const AsyncConfig& config);
+
+  std::int32_t numProcessors() const override {
+    return static_cast<std::int32_t>(adjacency_.size());
+  }
+  std::span<const std::int32_t> neighbors(std::int32_t p) const override;
+  void broadcast(const Message& message) override;
+  void endRound() override;
+  void endSilentRounds(std::int64_t count) override;
+  const std::vector<Message>& inbox(std::int32_t p) const override;
+  const NetworkStats& stats() const override { return stats_; }
+
+  const ShardPlacement& placement() const { return placement_; }
+
+ private:
+  std::int32_t processorOf(DemandId d) const {
+    return placement_.processorOfDemand[static_cast<std::size_t>(d)];
+  }
+
+  std::vector<std::vector<std::int32_t>> adjacency_;  ///< demand-level
+  ShardPlacement placement_;
+  std::vector<std::vector<std::int32_t>> physAdjacency_;  ///< processor-level
+  /// Remote processors hosting at least one neighbour of demand d —
+  /// each broadcast goes to the wire once per entry, not once per demand.
+  std::vector<std::vector<std::int32_t>> remoteProcsOf_;
+  AsyncNetwork phys_;
+  double silentRoundCost_ = 0;
+  std::int64_t pendingPayload_ = 0;  ///< wire packets since last boundary
+  bool roundHadTraffic_ = false;
+  std::vector<std::vector<Message>> localPending_;  ///< same-proc deliveries
+  std::vector<std::vector<Message>> inbox_;         ///< per demand
+  NetworkStats stats_;
+};
+
+}  // namespace treesched

@@ -1,0 +1,87 @@
+// Transport abstraction between the §5 protocol and the wire.
+//
+// The protocol engine (dist/protocol.cpp) is written against the
+// round-synchronous programming model: broadcast to neighbours, end the
+// round, read the inbox. A Transport supplies that model; how the bits
+// actually move is the implementation's business. Two implementations
+// exist today:
+//
+//  * SimNetwork (dist/sim_network.hpp) — the original reliable
+//    round-synchronous bus: a round is an atomic delivery step.
+//  * AlphaSynchronizer (net/synchronizer.hpp) — an alpha-synchronizer
+//    running each round over an asynchronous, lossy, latency-modelled
+//    physical network (net/async_network.hpp), optionally sharded so one
+//    simulated processor hosts many demands (net/shard.hpp).
+//
+// The contract every Transport must honour for protocol correctness:
+// a message broadcast in round r is present in every neighbour's inbox
+// after endRound() — exactly once, with inboxes sorted canonically
+// (canonicalMessageLess) — and in no other round. Any implementation
+// honouring it runs the protocol bit-identically to the synchronous bus.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dist/message.hpp"
+
+namespace treesched {
+
+/// Communication accounting of one protocol run. The first block is
+/// filled by every transport; the async/lossy extensions stay zero/empty
+/// on the reliable round-synchronous bus.
+struct NetworkStats {
+  std::int64_t rounds = 0;      ///< synchronous (protocol-level) rounds
+  std::int64_t busyRounds = 0;  ///< rounds that delivered >= 1 message
+  std::int64_t messages = 0;    ///< demand-level point-to-point deliveries
+  std::int64_t payload = 0;     ///< total delivered payload (units of M)
+  std::int32_t maxMessagePayload = 0;  ///< largest single message
+
+  // ---- Async/lossy transport extensions ----
+  double virtualTime = 0;  ///< simulated clock at the end of the run
+  /// Physical transmission attempts (payload + control), incl. retries.
+  std::int64_t transmissions = 0;
+  std::int64_t retransmissions = 0;  ///< attempts after the first, per packet
+  std::int64_t drops = 0;            ///< attempts lost in flight (incl. acks)
+  /// Physical deliveries handled per simulated processor (sharded runs:
+  /// one entry per shard processor, not per demand). Empty on the bus.
+  std::vector<std::int64_t> processorLoad;
+};
+
+/// The protocol's view of the network: one endpoint per demand, broadcast
+/// delivery to communication-graph neighbours at round boundaries.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual std::int32_t numProcessors() const = 0;
+
+  virtual std::span<const std::int32_t> neighbors(std::int32_t p) const = 0;
+
+  /// Queues `message` for delivery to every neighbour of `message.from`
+  /// at the end of the current round.
+  virtual void broadcast(const Message& message) = 0;
+
+  /// Ends the current round: every message broadcast since the previous
+  /// boundary is in the recipients' inboxes (sorted canonically) after
+  /// this returns.
+  virtual void endRound() = 0;
+
+  /// Advances `count` rounds in which no processor transmits. Inboxes are
+  /// cleared; busyRounds is unchanged.
+  virtual void endSilentRounds(std::int64_t count) = 0;
+
+  /// Messages delivered to `p` by the last endRound().
+  virtual const std::vector<Message>& inbox(std::int32_t p) const = 0;
+
+  virtual const NetworkStats& stats() const = 0;
+};
+
+/// Validates a communication adjacency: symmetric, loop-free, entries in
+/// range, duplicate-free. Throws CheckError otherwise. Every transport
+/// construction funnels through this.
+void validateCommunicationAdjacency(
+    const std::vector<std::vector<std::int32_t>>& adjacency);
+
+}  // namespace treesched

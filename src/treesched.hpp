@@ -28,6 +28,15 @@
 // Distributed message-passing execution (paper §5).
 #include "dist/protocol.hpp"
 
+// Network simulation: transports, async lossy wire, synchronizer,
+// sharded placement.
+#include "net/async_network.hpp"
+#include "net/latency.hpp"
+#include "net/runner.hpp"
+#include "net/shard.hpp"
+#include "net/synchronizer.hpp"
+#include "net/transport.hpp"
+
 // Exact solvers, baselines and post-processing.
 #include "exact/brute_force.hpp"
 #include "exact/greedy.hpp"

@@ -91,6 +91,45 @@ TEST(CommunicationGraph, NoDuplicateEdges) {
   EXPECT_EQ(adj[0], (std::vector<std::int32_t>{1}));
 }
 
+TEST(CommunicationGraph, EmptyAccessListIsIsolated) {
+  // A demand accessing nothing shares no network: isolated vertex, and
+  // it must not perturb anyone else's adjacency.
+  const auto adj = communicationGraph({{0}, {}, {0}}, 1);
+  EXPECT_EQ(adj[0], (std::vector<std::int32_t>{2}));
+  EXPECT_TRUE(adj[1].empty());
+  EXPECT_EQ(adj[2], (std::vector<std::int32_t>{0}));
+}
+
+TEST(CommunicationGraph, AllDemandsIsolatedYieldsEmptyGraph) {
+  const auto adj = communicationGraph({{}, {}}, 3);
+  EXPECT_TRUE(adj[0].empty());
+  EXPECT_TRUE(adj[1].empty());
+}
+
+TEST(CommunicationGraph, DemandAccessingEveryNetworkNeighborsAll) {
+  // p1 touches every network, so it is adjacent to every other demand —
+  // exactly once each, with no self loop.
+  const auto adj = communicationGraph({{0}, {0, 1, 2}, {1}, {2}}, 3);
+  EXPECT_EQ(adj[1], (std::vector<std::int32_t>{0, 2, 3}));
+  EXPECT_EQ(adj[0], (std::vector<std::int32_t>{1}));
+  EXPECT_EQ(adj[2], (std::vector<std::int32_t>{1}));
+  EXPECT_EQ(adj[3], (std::vector<std::int32_t>{1}));
+}
+
+TEST(CommunicationGraph, DuplicateNetworkIdsCollapse) {
+  // Repeated ids in an access list must not duplicate edges or create
+  // self loops; the result must be valid transport adjacency.
+  const auto adj = communicationGraph({{0, 0, 0}, {0, 0}}, 1);
+  EXPECT_EQ(adj[0], (std::vector<std::int32_t>{1}));
+  EXPECT_EQ(adj[1], (std::vector<std::int32_t>{0}));
+  validateCommunicationAdjacency(adj);
+}
+
+TEST(CommunicationGraph, RejectsOutOfRangeNetworkId) {
+  EXPECT_THROW(communicationGraph({{2}}, 2), CheckError);
+  EXPECT_THROW(communicationGraph({{-1}}, 2), CheckError);
+}
+
 // ---- Protocol: equivalence with the centralized engine (E11) ----
 
 struct EquivCase {

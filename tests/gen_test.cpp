@@ -127,6 +127,27 @@ TEST(Scenario, TightWindowsWhenSlackZero) {
   }
 }
 
+TEST(Scenario, LossyWideAreaPresetsValidateAndAreDeterministic) {
+  const LossyWideAreaTreeScenario tree = makeLossyWideAreaTree(7);
+  EXPECT_EQ(tree.problem.numDemands(), 36);
+  EXPECT_EQ(tree.net.link.latency.model, LatencyModel::HeavyTail);
+  EXPECT_GT(tree.net.link.dropProbability, 0.0);
+  EXPECT_EQ(tree.net.strategy, ShardStrategy::Locality);
+
+  const LossyWideAreaLineScenario line = makeLossyWideAreaLine(7);
+  EXPECT_EQ(line.problem.numDemands(), 30);
+  EXPECT_GT(line.net.link.dropProbability, 0.0);
+
+  // Same seed, same workload (problems validate inside the makers).
+  const LossyWideAreaTreeScenario again = makeLossyWideAreaTree(7);
+  ASSERT_EQ(again.problem.demands.size(), tree.problem.demands.size());
+  for (std::size_t i = 0; i < tree.problem.demands.size(); ++i) {
+    EXPECT_EQ(again.problem.demands[i].u, tree.problem.demands[i].u);
+    EXPECT_EQ(again.problem.demands[i].v, tree.problem.demands[i].v);
+    EXPECT_EQ(again.problem.demands[i].profit, tree.problem.demands[i].profit);
+  }
+}
+
 TEST(Universe, TreeInstanceCountsMatchAccess) {
   TreeScenarioConfig cfg;
   cfg.seed = 14;

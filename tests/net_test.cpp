@@ -1,0 +1,252 @@
+// Unit tests of the net/ building blocks: latency models, the lossy
+// event-driven AsyncNetwork, and the alpha-synchronizer's Transport
+// behaviour (mirroring the SimNetwork tests in dist_test.cpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/async_network.hpp"
+#include "net/latency.hpp"
+#include "net/synchronizer.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace treesched {
+namespace {
+
+// ---- Latency models ----
+
+TEST(Latency, FixedIgnoresQuantile) {
+  LatencyConfig cfg;
+  cfg.model = LatencyModel::Fixed;
+  cfg.base = 2.5;
+  EXPECT_DOUBLE_EQ(sampleLatency(cfg, 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(sampleLatency(cfg, 0.99), 2.5);
+  EXPECT_DOUBLE_EQ(latencyUpperBound(cfg), 2.5);
+}
+
+TEST(Latency, UniformSpansInterval) {
+  LatencyConfig cfg;
+  cfg.model = LatencyModel::Uniform;
+  cfg.base = 1.0;
+  cfg.spread = 4.0;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double latency = sampleLatency(cfg, rng.nextDouble());
+    EXPECT_GE(latency, 1.0);
+    EXPECT_LT(latency, 5.0);
+  }
+  EXPECT_DOUBLE_EQ(latencyUpperBound(cfg), 5.0);
+}
+
+TEST(Latency, HeavyTailBoundedByCapAndAboveBase) {
+  LatencyConfig cfg;
+  cfg.model = LatencyModel::HeavyTail;
+  cfg.base = 2.0;
+  cfg.tailShape = 1.2;
+  cfg.tailCap = 16.0;
+  Rng rng(9);
+  double maxSeen = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double latency = sampleLatency(cfg, rng.nextDouble());
+    EXPECT_GE(latency, cfg.base);
+    EXPECT_LE(latency, latencyUpperBound(cfg));
+    maxSeen = std::max(maxSeen, latency);
+  }
+  // Heavy tail: some sample lands far above the base.
+  EXPECT_GT(maxSeen, 4 * cfg.base);
+}
+
+TEST(Latency, RejectsMalformedConfigs) {
+  LatencyConfig cfg;
+  cfg.base = 0;
+  EXPECT_THROW(validateLatencyConfig(cfg), CheckError);
+  cfg.base = 1;
+  cfg.tailShape = 0;
+  EXPECT_THROW(validateLatencyConfig(cfg), CheckError);
+  cfg.tailShape = 1;
+  cfg.tailCap = 0.5;
+  EXPECT_THROW(validateLatencyConfig(cfg), CheckError);
+}
+
+TEST(Latency, UnitIntervalCoversRange) {
+  EXPECT_EQ(unitInterval(0), 0.0);
+  EXPECT_LT(unitInterval(~0ULL), 1.0);
+  EXPECT_GT(unitInterval(~0ULL), 0.999);
+}
+
+// ---- AsyncNetwork ----
+
+AsyncLinkConfig losslessLink() {
+  AsyncLinkConfig link;
+  link.latency.base = 1.0;
+  return link;
+}
+
+TEST(AsyncNetwork, LosslessDeliveryTakesOneLatency) {
+  AsyncNetwork net(2, losslessLink(), 1);
+  net.send(0, 1, {MessageKind::MisActive, 0, 7, 0.0});
+  const double time = net.flush();
+  EXPECT_DOUBLE_EQ(time, 1.0 + 1.0);  // delivery + ack round trip
+  ASSERT_EQ(net.delivered(1).size(), 1u);
+  EXPECT_EQ(net.delivered(1)[0].payload.instance, 7);
+  EXPECT_TRUE(net.delivered(0).empty());
+  EXPECT_EQ(net.transmissions(), 1);
+  EXPECT_EQ(net.retransmissions(), 0);
+  EXPECT_EQ(net.drops(), 0);
+}
+
+TEST(AsyncNetwork, LossyDeliveryIsExactlyOnce) {
+  AsyncLinkConfig link = losslessLink();
+  link.dropProbability = 0.5;
+  link.retransmitTimeout = 3.0;
+  AsyncNetwork net(2, link, 42);
+  constexpr int kPackets = 200;
+  for (int i = 0; i < kPackets; ++i) {
+    net.send(0, 1, {MessageKind::MisActive, 0, i, 0.0});
+  }
+  net.flush();
+  // Reliable exactly-once delivery despite heavy loss...
+  ASSERT_EQ(net.delivered(1).size(), static_cast<std::size_t>(kPackets));
+  std::vector<InstanceId> seen;
+  for (const PhysicalDelivery& d : net.delivered(1)) {
+    seen.push_back(d.payload.instance);
+  }
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < kPackets; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+  }
+  // ...paid for in drops and retransmissions.
+  EXPECT_GT(net.drops(), 0);
+  EXPECT_GT(net.retransmissions(), 0);
+  EXPECT_EQ(net.transmissions(), kPackets + net.retransmissions());
+}
+
+TEST(AsyncNetwork, DeterministicAcrossRuns) {
+  AsyncLinkConfig link;
+  link.latency.model = LatencyModel::HeavyTail;
+  link.dropProbability = 0.3;
+  const auto run = [&link]() {
+    AsyncNetwork net(3, link, 77);
+    for (int i = 0; i < 50; ++i) {
+      net.send(i % 3, (i + 1) % 3, {MessageKind::MisActive, 0, i, 0.0});
+    }
+    const double time = net.flush();
+    return std::tuple(time, net.transmissions(), net.drops(),
+                      net.delivered(1).size());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(AsyncNetwork, ControlPacketsStayOutOfInboxesButCount) {
+  AsyncNetwork net(2, losslessLink(), 1);
+  net.send(0, 1, Message{}, /*control=*/true);
+  net.flush();
+  EXPECT_TRUE(net.delivered(1).empty());
+  EXPECT_EQ(net.transmissions(), 1);
+  EXPECT_EQ(net.endpointLoad()[1], 1);
+}
+
+TEST(AsyncNetwork, RejectsInvalidConfig) {
+  AsyncLinkConfig link;
+  link.dropProbability = 0.95;  // above the reliability cap
+  EXPECT_THROW(AsyncNetwork(2, link, 1), CheckError);
+  link.dropProbability = -0.1;
+  EXPECT_THROW(AsyncNetwork(2, link, 1), CheckError);
+}
+
+// ---- AlphaSynchronizer as a Transport ----
+
+AsyncConfig lossyConfig() {
+  AsyncConfig net;
+  net.seed = 3;
+  net.link.latency.model = LatencyModel::Uniform;
+  net.link.latency.spread = 2.0;
+  net.link.dropProbability = 0.3;
+  net.link.retransmitTimeout = 4.0;
+  return net;
+}
+
+AlphaSynchronizer makeSync(std::vector<std::vector<std::int32_t>> adjacency,
+                           const AsyncConfig& net) {
+  const auto n = static_cast<std::int32_t>(adjacency.size());
+  return AlphaSynchronizer(std::move(adjacency),
+                           ShardPlacement::identity(n), net);
+}
+
+TEST(AlphaSynchronizer, DeliversToNeighborsNextRoundDespiteLoss) {
+  AlphaSynchronizer net = makeSync({{1}, {0, 2}, {1}}, lossyConfig());
+  net.broadcast({MessageKind::MisActive, 1, 42, 0.0});
+  net.endRound();
+  ASSERT_EQ(net.inbox(0).size(), 1u);
+  ASSERT_EQ(net.inbox(2).size(), 1u);
+  EXPECT_TRUE(net.inbox(1).empty());
+  EXPECT_EQ(net.inbox(0)[0].instance, 42);
+  EXPECT_EQ(net.stats().rounds, 1);
+  EXPECT_EQ(net.stats().messages, 2);
+  EXPECT_GT(net.stats().virtualTime, 0.0);
+}
+
+TEST(AlphaSynchronizer, InboxSortedCanonically) {
+  AlphaSynchronizer net = makeSync({{2}, {2}, {0, 1}}, lossyConfig());
+  net.broadcast({MessageKind::MisActive, 1, 9, 0.0});
+  net.broadcast({MessageKind::MisActive, 0, 3, 0.0});
+  net.endRound();
+  const auto& inbox = net.inbox(2);
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_EQ(inbox[0].instance, 3);
+  EXPECT_EQ(inbox[1].instance, 9);
+}
+
+TEST(AlphaSynchronizer, InboxClearedEachRound) {
+  AlphaSynchronizer net = makeSync({{1}, {0}}, lossyConfig());
+  net.broadcast({MessageKind::MisActive, 0, 1, 0.0});
+  net.endRound();
+  EXPECT_EQ(net.inbox(1).size(), 1u);
+  net.endRound();
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(AlphaSynchronizer, SilentRoundsAdvanceClockWithoutTraffic) {
+  AlphaSynchronizer net = makeSync({{1}, {0}}, lossyConfig());
+  const std::int64_t before = net.stats().transmissions;
+  net.endSilentRounds(5);
+  EXPECT_EQ(net.stats().rounds, 5);
+  EXPECT_EQ(net.stats().busyRounds, 0);
+  EXPECT_EQ(net.stats().transmissions, before);
+  EXPECT_GT(net.stats().virtualTime, 0.0);
+}
+
+TEST(AlphaSynchronizer, VirtualTimeMonotone) {
+  AlphaSynchronizer net = makeSync({{1}, {0}}, lossyConfig());
+  double last = 0;
+  for (int r = 0; r < 4; ++r) {
+    net.broadcast({MessageKind::MisActive, 0, r, 0.0});
+    net.endRound();
+    EXPECT_GT(net.stats().virtualTime, last);
+    last = net.stats().virtualTime;
+  }
+}
+
+TEST(AlphaSynchronizer, ShardedLocalTrafficSkipsTheWire) {
+  // Both demands on one processor: no physical links, no transmissions.
+  AsyncConfig net = lossyConfig();
+  AlphaSynchronizer sync({{1}, {0}},
+                         ShardPlacement::build(ShardStrategy::RoundRobin,
+                                               {{0}, {0}}, 1),
+                         net);
+  sync.broadcast({MessageKind::MisActive, 0, 5, 0.0});
+  sync.endRound();
+  ASSERT_EQ(sync.inbox(1).size(), 1u);
+  EXPECT_EQ(sync.stats().transmissions, 0);
+  EXPECT_EQ(sync.stats().messages, 1);
+  EXPECT_GT(sync.stats().virtualTime, 0.0);
+}
+
+TEST(AlphaSynchronizer, RejectsAsymmetricGraph) {
+  AsyncConfig net;
+  EXPECT_THROW(makeSync({{1}, {}}, net), CheckError);
+}
+
+}  // namespace
+}  // namespace treesched

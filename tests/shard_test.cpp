@@ -1,0 +1,134 @@
+// ShardPlacement coverage: every demand placed exactly once, round-robin
+// balance, locality keeping same-network demands together, and the
+// processor-level collapse of the communication graph.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/shard.hpp"
+#include "util/check.hpp"
+
+namespace treesched {
+namespace {
+
+/// Access lists for m demands over r networks, demand d on network d % r.
+std::vector<std::vector<std::int32_t>> stripedAccess(std::int32_t m,
+                                                     std::int32_t r) {
+  std::vector<std::vector<std::int32_t>> access(
+      static_cast<std::size_t>(m));
+  for (std::int32_t d = 0; d < m; ++d) {
+    access[static_cast<std::size_t>(d)] = {d % r};
+  }
+  return access;
+}
+
+void expectPartition(const ShardPlacement& placement, std::int32_t m) {
+  ASSERT_EQ(placement.numDemands(), m);
+  std::set<DemandId> seen;
+  for (std::int32_t p = 0; p < placement.numProcessors; ++p) {
+    for (const DemandId d :
+         placement.demandsOfProcessor[static_cast<std::size_t>(p)]) {
+      EXPECT_EQ(placement.processorOfDemand[static_cast<std::size_t>(d)], p);
+      EXPECT_TRUE(seen.insert(d).second)
+          << "demand " << d << " placed more than once";
+    }
+  }
+  EXPECT_EQ(static_cast<std::int32_t>(seen.size()), m)
+      << "every demand must be placed exactly once";
+}
+
+TEST(ShardPlacement, EveryDemandPlacedExactlyOnce) {
+  for (const ShardStrategy strategy :
+       {ShardStrategy::RoundRobin, ShardStrategy::Locality}) {
+    for (const std::int32_t procs : {1, 2, 3, 7, 20, 50}) {
+      const ShardPlacement placement =
+          ShardPlacement::build(strategy, stripedAccess(20, 4), procs);
+      expectPartition(placement, 20);
+      EXPECT_LE(placement.numProcessors, 20)
+          << "processor count clamps to the demand count";
+    }
+  }
+}
+
+TEST(ShardPlacement, IdentityIsOneDemandPerProcessor) {
+  const ShardPlacement placement = ShardPlacement::identity(5);
+  expectPartition(placement, 5);
+  EXPECT_EQ(placement.numProcessors, 5);
+  for (DemandId d = 0; d < 5; ++d) {
+    EXPECT_EQ(placement.processorOfDemand[static_cast<std::size_t>(d)], d);
+  }
+}
+
+TEST(ShardPlacement, RoundRobinBalancesWithinOne) {
+  const ShardPlacement placement = ShardPlacement::build(
+      ShardStrategy::RoundRobin, stripedAccess(23, 3), 5);
+  std::size_t lo = 23, hi = 0;
+  for (const auto& hosted : placement.demandsOfProcessor) {
+    lo = std::min(lo, hosted.size());
+    hi = std::max(hi, hosted.size());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(ShardPlacement, LocalityKeepsSameNetworkDemandsTogether) {
+  // 4 demands on network 0, then 4 on network 1 (interleaved ids), two
+  // processors: each processor must host demands of exactly one network.
+  std::vector<std::vector<std::int32_t>> access = {
+      {0}, {1}, {0}, {1}, {0}, {1}, {0}, {1}};
+  const ShardPlacement placement =
+      ShardPlacement::build(ShardStrategy::Locality, access, 2);
+  expectPartition(placement, 8);
+  for (std::int32_t p = 0; p < 2; ++p) {
+    std::set<std::int32_t> networks;
+    for (const DemandId d :
+         placement.demandsOfProcessor[static_cast<std::size_t>(p)]) {
+      networks.insert(access[static_cast<std::size_t>(d)][0]);
+    }
+    EXPECT_EQ(networks.size(), 1u)
+        << "locality placement mixed networks on processor " << p;
+  }
+}
+
+TEST(ShardPlacement, LocalityHandlesEmptyAccessLists) {
+  // Demands with no accessible network sort last but must still be placed.
+  std::vector<std::vector<std::int32_t>> access = {{0}, {}, {1}, {}};
+  const ShardPlacement placement =
+      ShardPlacement::build(ShardStrategy::Locality, access, 2);
+  expectPartition(placement, 4);
+}
+
+TEST(ShardPlacement, RejectsDegenerateInputs) {
+  EXPECT_THROW(ShardPlacement::identity(0), CheckError);
+  EXPECT_THROW(ShardPlacement::build(ShardStrategy::RoundRobin, {}, 2),
+               CheckError);
+  EXPECT_THROW(
+      ShardPlacement::build(ShardStrategy::RoundRobin, stripedAccess(4, 2), 0),
+      CheckError);
+}
+
+TEST(ShardAdjacency, CollapsesToProcessorLevel) {
+  // Demand graph: 0-1, 1-2, 2-3; placement {0,1}->P0, {2,3}->P1.
+  const std::vector<std::vector<std::int32_t>> demandAdjacency = {
+      {1}, {0, 2}, {1, 3}, {2}};
+  ShardPlacement placement;
+  placement.numProcessors = 2;
+  placement.processorOfDemand = {0, 0, 1, 1};
+  placement.demandsOfProcessor = {{0, 1}, {2, 3}};
+  const auto adjacency = shardAdjacency(demandAdjacency, placement);
+  ASSERT_EQ(adjacency.size(), 2u);
+  EXPECT_EQ(adjacency[0], (std::vector<std::int32_t>{1}));
+  EXPECT_EQ(adjacency[1], (std::vector<std::int32_t>{0}));
+}
+
+TEST(ShardAdjacency, AllLocalMeansNoLinks) {
+  const std::vector<std::vector<std::int32_t>> demandAdjacency = {{1}, {0}};
+  const auto adjacency =
+      shardAdjacency(demandAdjacency,
+                     ShardPlacement::build(ShardStrategy::RoundRobin,
+                                           {{0}, {0}}, 1));
+  ASSERT_EQ(adjacency.size(), 1u);
+  EXPECT_TRUE(adjacency[0].empty());
+}
+
+}  // namespace
+}  // namespace treesched
