@@ -7,6 +7,7 @@
 // with the centralized reference engine, verifying that both produce the
 // same schedule bit for bit.
 #include <algorithm>
+#include <chrono>
 #include <iostream>
 
 #include "core/universe.hpp"
@@ -14,13 +15,94 @@
 #include "dist/protocol.hpp"
 #include "framework/two_phase.hpp"
 #include "gen/scenario.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace treesched;
 
-int main() {
+namespace {
+
+/// Exercises the parallel engine on one of the production-scale presets
+/// (gen/scenario.hpp) at the requested thread count. Bit-identity across
+/// thread counts is gated by tests/parallel_equivalence_test.cpp and
+/// re-checked by bench_parallel; here we show the engine at work.
+int runPreset(const std::string& preset, std::uint64_t seed,
+              std::int32_t demands, std::int32_t threads) {
+  if (preset != "metro_line_100k" && preset != "cdn_tree_250k") {
+    std::cout << "unknown --preset '" << preset
+              << "' (use metro_line_100k or cdn_tree_250k)\n";
+    return 1;
+  }
+  if (demands <= 0) demands = 20'000;  // keep the demo interactive
+  PreparedRun prepared =
+      preset == "metro_line_100k"
+          ? prepareUnitLineRun(makeMetroLine100k(seed, demands))
+          : prepareUnitTreeRun(makeCdnTree250k(seed, demands));
+
+  DistributedOptions dopt;
+  dopt.seed = seed + 7;
+  dopt.epsilon = 0.3;
+  dopt.misRoundBudget = 4;
+  dopt.stepsPerStage = 2;
+  dopt.threads = threads;
+
+  SimNetwork bus(std::move(prepared.adjacency));
+  const auto begin = std::chrono::steady_clock::now();
+  const DistributedResult result = runDistributedOverTransport(
+      prepared.universe, prepared.layering, bus, dopt);
+  const auto end = std::chrono::steady_clock::now();
+  const double wallMs =
+      std::chrono::duration<double, std::milli>(end - begin).count();
+
+  std::cout << "preset " << preset << ": " << demands << " demands, "
+            << prepared.universe.numInstances() << " instances, " << threads
+            << " thread(s)\n\n";
+  Table table({"metric", "value"});
+  table.row().cell("wall time (ms)").cell(wallMs, 1);
+  table.row().cell("profit").cell(result.profit, 2);
+  table.row().cell("dual upper bound").cell(result.dualUpperBound, 2);
+  table.row().cell("lambda reached").cell(result.lambdaMeasured, 4);
+  table.row().cell("simulated rounds").cell(result.network.rounds);
+  table.row().cell("messages delivered").cell(result.network.messages);
+  table.row()
+      .cell("plane growth events")
+      .cell(result.network.planeGrowthEvents);
+  table.row()
+      .cell("last plane growth round")
+      .cell(result.network.planeLastGrowthRound);
+  table.row()
+      .cell("local dual views consistent")
+      .cell(result.localViewsConsistent ? "yes" : "NO");
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.intFlag("seed", 31337, "scenario RNG seed");
+  flags.intFlag("threads", 1,
+                "worker threads for the parallel engine (bit-identical "
+                "results at any value)");
+  flags.stringFlag("preset", "",
+                   "run a production-scale preset instead of the small "
+                   "demo: metro_line_100k or cdn_tree_250k");
+  flags.intFlag("demands", 0,
+                "preset demand count override (0 = preset demo default)");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+  const auto threads = static_cast<std::int32_t>(flags.getInt("threads"));
+
+  if (!flags.getString("preset").empty()) {
+    return runPreset(flags.getString("preset"), seed,
+                     static_cast<std::int32_t>(flags.getInt("demands")),
+                     threads);
+  }
+
   TreeScenarioConfig cfg;
-  cfg.seed = 31337;
+  cfg.seed = seed;
   cfg.numVertices = 40;
   cfg.numNetworks = 3;
   cfg.demands.numDemands = 48;
@@ -68,6 +150,7 @@ int main() {
   dopt.epsilon = 0.1;
   dopt.misRoundBudget = 32;
   dopt.stepsPerStage = 10;
+  dopt.threads = threads;
   dopt.observer = &tracer;
   const DistributedResult dist = runDistributedUnitTree(problem, dopt);
   std::cout << "\n";

@@ -29,6 +29,13 @@ enum class MessageKind : std::uint8_t {
   Accept,
 };
 
+/// Number of MessageKind values; sizes per-kind accounting arrays (the
+/// static_assert below fails the build if the enum grows without it).
+inline constexpr std::int32_t kMessageKindCount = 4;
+static_assert(static_cast<std::int32_t>(MessageKind::Accept) ==
+                  kMessageKindCount - 1,
+              "kMessageKindCount must track the MessageKind enum");
+
 /// One protocol message. `from` is the sending processor (== DemandId),
 /// `instance` the demand instance the message talks about, `value` a
 /// rule-dependent scalar (only DualRaise uses it).

@@ -7,6 +7,7 @@
 #include "core/tolerances.hpp"
 #include "core/universe.hpp"
 #include "decomp/layering.hpp"
+#include "engine/parallel_runner.hpp"
 #include "framework/dual_state.hpp"
 #include "framework/lhs_tracker.hpp"
 #include "framework/mis.hpp"
@@ -28,10 +29,106 @@ struct PendingRaise {
   double betaIncrement = 0;
 };
 
-/// The whole simulation: per-processor local state plus the ground-truth
-/// duals used for the consistency audit. "Local" state (alphaLocal_,
-/// betaLocal_, lhsLocal_, loadLocal_) is only ever written by its owning
-/// processor, either from its own actions or from messages it received.
+/// Per-processor local state: the tracked edges (union of the demand's
+/// instance paths), the processor's dual view over them, and its phase-2
+/// edge loads. Reentrant by construction — every method takes the shared
+/// read-only structures explicitly and writes only this processor's own
+/// slots (plus the lhs entries of its own instances), so contexts of
+/// distinct processors run concurrently with no hidden shared state.
+struct ProcessorContext {
+  DemandId self = 0;
+  double alpha = 0;  ///< alpha(self), the demand's own dual
+  std::vector<GlobalEdgeId> tracked;               ///< sorted
+  std::vector<std::vector<InstanceId>> ownOnEdge;  ///< per tracked edge
+  std::vector<double> beta;  ///< per tracked edge, local view
+  std::vector<double> load;  ///< per tracked edge, phase-2 accepted load
+
+  void init(const InstanceUniverse& u, DemandId p) {
+    self = p;
+    for (const InstanceId i : u.instancesOfDemand(p)) {
+      for (const GlobalEdgeId e : u.path(i)) {
+        tracked.push_back(e);
+      }
+    }
+    std::sort(tracked.begin(), tracked.end());
+    tracked.erase(std::unique(tracked.begin(), tracked.end()), tracked.end());
+    ownOnEdge.resize(tracked.size());
+    for (const InstanceId i : u.instancesOfDemand(p)) {
+      for (const GlobalEdgeId e : u.path(i)) {
+        ownOnEdge[static_cast<std::size_t>(trackedIndex(e))].push_back(i);
+      }
+    }
+    beta.assign(tracked.size(), 0.0);
+    load.assign(tracked.size(), 0.0);
+  }
+
+  /// Position of `e` in the tracked-edge list, or -1.
+  std::int32_t trackedIndex(GlobalEdgeId e) const {
+    const auto it = std::lower_bound(tracked.begin(), tracked.end(), e);
+    if (it == tracked.end() || *it != e) return -1;
+    return static_cast<std::int32_t>(it - tracked.begin());
+  }
+
+  /// Applies one raise to this processor's local view: the alpha part if
+  /// the raise is its own, then the beta part on every critical edge it
+  /// tracks — the same alpha-then-edges order as the centralized engine.
+  /// `lhsLocal` is global-indexed but only this demand's entries are
+  /// written.
+  void applyRaise(const InstanceUniverse& u, const Layering& lay,
+                  RaiseRule rule, const PendingRaise& raise,
+                  std::vector<double>& lhsLocal) {
+    if (raise.from == self) {
+      alpha += raise.alphaIncrement;
+      for (const InstanceId k : u.instancesOfDemand(self)) {
+        lhsLocal[static_cast<std::size_t>(k)] += raise.alphaIncrement;
+      }
+    }
+    for (const GlobalEdgeId e : lay.critical(raise.instance)) {
+      const std::int32_t idx = trackedIndex(e);
+      if (idx < 0) continue;
+      beta[static_cast<std::size_t>(idx)] += raise.betaIncrement;
+      for (const InstanceId k : ownOnEdge[static_cast<std::size_t>(idx)]) {
+        const double factor =
+            rule == RaiseRule::Narrow ? u.instance(k).height : 1.0;
+        lhsLocal[static_cast<std::size_t>(k)] +=
+            factor * raise.betaIncrement;
+      }
+    }
+  }
+
+  /// True iff this processor can accept its own instance `i` given its
+  /// locally known edge loads — the exact capacity test of the
+  /// centralized FeasibilityOracle.
+  bool capacityOk(const InstanceUniverse& u, InstanceId i) const {
+    const double h = u.instance(i).height;
+    for (const GlobalEdgeId e : u.path(i)) {
+      const std::int32_t idx = trackedIndex(e);
+      checkThat(idx >= 0, "own path edge tracked", __FILE__, __LINE__);
+      if (load[static_cast<std::size_t>(idx)] + h > 1.0 + kCapacityTolerance) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Adds the load of an accepted instance on every tracked edge of its
+  /// path (the accepter's own instance, or a neighbour's Accept message).
+  void addLoad(const InstanceUniverse& u, InstanceId i) {
+    const double h = u.instance(i).height;
+    for (const GlobalEdgeId e : u.path(i)) {
+      const std::int32_t idx = trackedIndex(e);
+      if (idx < 0) continue;
+      load[static_cast<std::size_t>(idx)] += h;
+    }
+  }
+};
+
+/// The whole simulation: per-processor contexts plus the ground-truth
+/// duals used for the consistency audit. Round loops iterate active sets
+/// (undecided instances, processors with non-empty inboxes); the
+/// independent per-processor decisions of a round run as parallel shard
+/// sections with merges by shard id, so results are bit-identical at any
+/// thread count.
 class ProtocolEngine {
  public:
   ProtocolEngine(const InstanceUniverse& universe, const Layering& layering,
@@ -41,6 +138,7 @@ class ProtocolEngine {
         opt_(options),
         obs_(options.observer != nullptr ? options.observer : &nullObserver_),
         net_(transport),
+        runner_(std::max<std::int32_t>(1, options.threads)),
         plan_(makeStagePlan(SchedulePolicy::Staged, options.rule,
                             options.epsilon,
                             std::max<std::int32_t>(1, layering.maxCriticalSize),
@@ -71,45 +169,37 @@ class ProtocolEngine {
 
     lhsLocal_.assign(static_cast<std::size_t>(numInst), 0.0);
     misStatus_.assign(static_cast<std::size_t>(numInst), MisStatus::Inactive);
-    alphaLocal_.assign(static_cast<std::size_t>(numProc_), 0.0);
+    priority_.assign(static_cast<std::size_t>(numInst), 0);
 
     // Crash-stop fault set.
-    crashed_.assign(static_cast<std::size_t>(numProc_), false);
+    crashed_.assign(static_cast<std::size_t>(numProc_), std::uint8_t{0});
     for (const DemandId d : opt_.crashProcessors) {
       checkIndex(d, numProc_, "crashProcessors entry");
-      if (!crashed_[static_cast<std::size_t>(d)]) {
-        crashed_[static_cast<std::size_t>(d)] = true;
+      if (crashed_[static_cast<std::size_t>(d)] == 0) {
+        crashed_[static_cast<std::size_t>(d)] = 1;
         ++crashedCount_;
       }
     }
 
-    // Per-processor tracked edges (union of its instances' paths) and,
-    // per tracked edge, the own instances running through it.
-    trackedEdges_.resize(static_cast<std::size_t>(numProc_));
-    ownOnEdge_.resize(static_cast<std::size_t>(numProc_));
-    betaLocal_.resize(static_cast<std::size_t>(numProc_));
-    loadLocal_.resize(static_cast<std::size_t>(numProc_));
-    for (DemandId p = 0; p < numProc_; ++p) {
-      auto& tracked = trackedEdges_[static_cast<std::size_t>(p)];
-      for (const InstanceId i : u_.instancesOfDemand(p)) {
-        for (const GlobalEdgeId e : u_.path(i)) {
-          tracked.push_back(e);
-        }
+    // Per-processor contexts: independent, so built in parallel.
+    contexts_.resize(static_cast<std::size_t>(numProc_));
+    const ParallelRunner::ShardPlan shardPlan = runner_.plan(numProc_);
+    runner_.forShards(shardPlan, [&](std::int32_t shard) {
+      const std::int64_t end = shardPlan.end(shard);
+      for (std::int64_t p = shardPlan.begin(shard); p < end; ++p) {
+        contexts_[static_cast<std::size_t>(p)].init(
+            u_, static_cast<DemandId>(p));
       }
-      std::sort(tracked.begin(), tracked.end());
-      tracked.erase(std::unique(tracked.begin(), tracked.end()),
-                    tracked.end());
-      auto& onEdge = ownOnEdge_[static_cast<std::size_t>(p)];
-      onEdge.resize(tracked.size());
-      for (const InstanceId i : u_.instancesOfDemand(p)) {
-        for (const GlobalEdgeId e : u_.path(i)) {
-          onEdge[static_cast<std::size_t>(trackedIndex(p, e))].push_back(i);
-        }
-      }
-      betaLocal_[static_cast<std::size_t>(p)].assign(tracked.size(), 0.0);
-      loadLocal_[static_cast<std::size_t>(p)].assign(tracked.size(), 0.0);
-    }
+    });
+
+    // Attach LAST: everything above can throw, and the destructor (which
+    // detaches) only runs for fully constructed engines — attaching any
+    // earlier could leave the caller-owned transport holding a dangling
+    // runner pointer.
+    net_.attachRunner(&runner_);
   }
+
+  ~ProtocolEngine() { net_.attachRunner(nullptr); }
 
   DistributedResult run() {
     runPhase1();
@@ -149,25 +239,61 @@ class ProtocolEngine {
 
   /// Alive during phase-1 tuple `tuple` (crashes hit at tuple start).
   bool aliveAt(DemandId p, std::int64_t tuple) const {
-    return !crashed_[static_cast<std::size_t>(p)] ||
+    return crashed_[static_cast<std::size_t>(p)] == 0 ||
            tuple < opt_.crashAtTuple;
   }
 
   /// Alive during phase 2: every listed processor is dead by then.
   bool aliveP2(DemandId p) const {
-    return !crashed_[static_cast<std::size_t>(p)];
+    return crashed_[static_cast<std::size_t>(p)] == 0;
   }
 
-  double heightFactor(InstanceId i) const {
-    return opt_.rule == RaiseRule::Narrow ? u_.instance(i).height : 1.0;
+  /// Parallel order-preserving filter: shard outputs are concatenated by
+  /// shard id, so `out` is exactly the serial filter of `in`.
+  template <typename Pred>
+  void filterInstances(const std::vector<InstanceId>& in,
+                       std::vector<InstanceId>& out, Pred pred) {
+    out.clear();
+    const ParallelRunner::ShardPlan shardPlan =
+        runner_.plan(static_cast<std::int64_t>(in.size()));
+    if (shardPlan.numShards <= 1) {
+      for (const InstanceId i : in) {
+        if (pred(i)) out.push_back(i);
+      }
+      return;
+    }
+    if (shardLists_.size() < static_cast<std::size_t>(shardPlan.numShards)) {
+      // Grow-only: shrinking would free per-shard buffer capacity that
+      // the next (larger) stage reset would have to re-allocate.
+      shardLists_.resize(static_cast<std::size_t>(shardPlan.numShards));
+    }
+    runner_.forShards(shardPlan, [&](std::int32_t shard) {
+      auto& list = shardLists_[static_cast<std::size_t>(shard)];
+      list.clear();
+      const std::int64_t end = shardPlan.end(shard);
+      for (std::int64_t idx = shardPlan.begin(shard); idx < end; ++idx) {
+        const InstanceId i = in[static_cast<std::size_t>(idx)];
+        if (pred(i)) list.push_back(i);
+      }
+    });
+    for (std::int32_t shard = 0; shard < shardPlan.numShards; ++shard) {
+      const auto& list = shardLists_[static_cast<std::size_t>(shard)];
+      out.insert(out.end(), list.begin(), list.end());
+    }
   }
 
-  /// Position of `e` in p's tracked-edge list, or -1.
-  std::int32_t trackedIndex(DemandId p, GlobalEdgeId e) const {
-    const auto& tracked = trackedEdges_[static_cast<std::size_t>(p)];
-    const auto it = std::lower_bound(tracked.begin(), tracked.end(), e);
-    if (it == tracked.end() || *it != e) return -1;
-    return static_cast<std::int32_t>(it - tracked.begin());
+  /// Runs fn(item) over a list in parallel shards. fn must write only
+  /// item-owned state.
+  template <typename T, typename Fn>
+  void forEachParallel(const std::vector<T>& items, Fn fn) {
+    const ParallelRunner::ShardPlan shardPlan =
+        runner_.plan(static_cast<std::int64_t>(items.size()));
+    runner_.forShards(shardPlan, [&](std::int32_t shard) {
+      const std::int64_t end = shardPlan.end(shard);
+      for (std::int64_t idx = shardPlan.begin(shard); idx < end; ++idx) {
+        fn(items[static_cast<std::size_t>(idx)]);
+      }
+    });
   }
 
   void runPhase1() {
@@ -175,6 +301,10 @@ class ProtocolEngine {
     for (std::int32_t epoch = 0; epoch < lay_.numGroups; ++epoch) {
       for (std::int32_t stage = 1; stage <= plan_.numStages; ++stage) {
         const double target = plan_.stageTarget(stage);
+        // The stage's active set: lhs only grows within a stage, so an
+        // instance observed satisfied for this target never re-enters —
+        // steps scan survivors, not the whole group.
+        stageActive_ = members_[static_cast<std::size_t>(epoch)];
         for (std::int32_t step = 1; step <= stepsPerStage_; ++step) {
           runStep(epoch, stage, step, tuple, target);
           ++tuple;
@@ -187,18 +317,17 @@ class ProtocolEngine {
                std::int64_t tuple, double target) {
     const std::int32_t budget = opt_.misRoundBudget;
 
-    // Each alive processor checks its own instances of the scheduled
-    // group against the stage target (purely local knowledge).
-    std::vector<InstanceId> unsatisfied;
-    for (const InstanceId i :
-         members_[static_cast<std::size_t>(epoch)]) {
-      if (!aliveAt(owner(i), tuple)) continue;
+    // Each alive processor checks its surviving instances of the
+    // scheduled group against the stage target (purely local knowledge).
+    // Satisfied and crashed instances leave the active set for good.
+    filterInstances(stageActive_, unsatisfied_, [&](InstanceId i) {
+      if (!aliveAt(owner(i), tuple)) return false;
       const double p = u_.instance(i).profit;
-      if (lhsLocal_[static_cast<std::size_t>(i)] <
-          target * p - kSatisfyTolerance * p) {
-        unsatisfied.push_back(i);
-      }
-    }
+      return lhsLocal_[static_cast<std::size_t>(i)] <
+             target * p - kSatisfyTolerance * p;
+    });
+    stageActive_.swap(unsatisfied_);
+    const std::vector<InstanceId>& unsatisfied = stageActive_;
 
     if (unsatisfied.empty()) {
       // The fixed schedule still spends the step's rounds; nobody
@@ -216,11 +345,10 @@ class ProtocolEngine {
                   static_cast<std::uint64_t>(stage),
                   static_cast<std::uint64_t>(step));
 
-    std::vector<InstanceId> misMembers =
-        lubyOverMessages(unsatisfied, stepSeed, budget);
+    lubyOverMessages(unsatisfied, stepSeed, budget);
     obs_->onMisComplete(tuple, lastLubyRounds_,
-                        static_cast<std::int32_t>(misMembers.size()));
-    raiseRound(tuple, misMembers);
+                        static_cast<std::int32_t>(misMembers_.size()));
+    raiseRound(tuple, misMembers_);
 
     // Reset per-step Luby state.
     for (const InstanceId i : unsatisfied) {
@@ -230,76 +358,78 @@ class ProtocolEngine {
 
   /// Runs the step's MIS as messages: per Luby round, one communication
   /// round announcing undecided instances and one announcing joiners.
-  /// Returns the MIS sorted ascending; charges exactly 2*budget rounds
-  /// when a budget is set (silent once the MIS completes early).
-  std::vector<InstanceId> lubyOverMessages(
-      const std::vector<InstanceId>& unsatisfied, std::uint64_t stepSeed,
-      std::int32_t budget) {
+  /// Leaves the MIS in misMembers_, sorted ascending; charges exactly
+  /// 2*budget rounds when a budget is set (silent once the MIS completes
+  /// early). Round-B decisions and join-propagation are per-instance
+  /// independent, so both run as parallel shard sections.
+  void lubyOverMessages(const std::vector<InstanceId>& unsatisfied,
+                        std::uint64_t stepSeed, std::int32_t budget) {
     for (const InstanceId i : unsatisfied) {
       misStatus_[static_cast<std::size_t>(i)] = MisStatus::Undecided;
     }
-    std::vector<InstanceId> undecided = unsatisfied;
-    std::vector<InstanceId> misMembers;
-    std::vector<InstanceId> joiners;
+    undecided_ = unsatisfied;
+    misMembers_.clear();
     lastLubyRounds_ = 0;
 
-    while (!undecided.empty() &&
+    while (!undecided_.empty() &&
            (budget <= 0 || lastLubyRounds_ < budget)) {
       ++lastLubyRounds_;
       const std::int32_t round = lastLubyRounds_;
 
       // Round A: every undecided instance announces itself.
-      for (const InstanceId i : undecided) {
+      for (const InstanceId i : undecided_) {
         net_.broadcast({MessageKind::MisActive, owner(i), i, 0.0});
       }
       net_.endRound();
 
+      // Priorities are seed-keyed hashes, so the receiver can evaluate
+      // the sender's priority itself. Every round-A sender is undecided,
+      // so caching priorities over the undecided set covers every
+      // competitor the decisions below look at.
+      forEachParallel(undecided_, [&](InstanceId v) {
+        priority_[static_cast<std::size_t>(v)] =
+            misPriority(stepSeed, round, v);
+      });
+
       // Round B: each owner decides from its inbox whether its instance
       // beats every undecided conflicting competitor, then announces
-      // joins. Priorities are seed-keyed hashes, so the receiver can
-      // evaluate the sender's priority itself.
-      joiners.clear();
-      for (const InstanceId v : undecided) {
+      // joins.
+      filterInstances(undecided_, joiners_, [&](InstanceId v) {
         const DemandId p = owner(v);
-        const std::uint64_t pv = misPriority(stepSeed, round, v);
-        bool isLocalMax = true;
+        const std::uint64_t pv = priority_[static_cast<std::size_t>(v)];
         for (const InstanceId w : u_.instancesOfDemand(p)) {
           if (w == v ||
               misStatus_[static_cast<std::size_t>(w)] != MisStatus::Undecided) {
             continue;
           }
-          const std::uint64_t pw = misPriority(stepSeed, round, w);
+          const std::uint64_t pw = priority_[static_cast<std::size_t>(w)];
           if (pw > pv || (pw == pv && w > v)) {
-            isLocalMax = false;
-            break;
+            return false;
           }
         }
-        if (isLocalMax) {
-          for (const Message& m : net_.inbox(p)) {
-            if (m.kind != MessageKind::MisActive) continue;
-            if (!conflictsWith(v, m.instance)) continue;
-            const std::uint64_t pw = misPriority(stepSeed, round, m.instance);
-            if (pw > pv || (pw == pv && m.instance > v)) {
-              isLocalMax = false;
-              break;
-            }
+        for (const Message& m : net_.inbox(p)) {
+          if (m.kind != MessageKind::MisActive) continue;
+          if (!conflictsWith(v, m.instance)) continue;
+          const std::uint64_t pw =
+              priority_[static_cast<std::size_t>(m.instance)];
+          if (pw > pv || (pw == pv && m.instance > v)) {
+            return false;
           }
         }
-        if (isLocalMax) {
-          joiners.push_back(v);
-        }
-      }
-      for (const InstanceId v : joiners) {
+        return true;
+      });
+      for (const InstanceId v : joiners_) {
         net_.broadcast({MessageKind::MisJoin, owner(v), v, 0.0});
       }
       net_.endRound();
 
       // Apply joins: winners in; conflicting undecided out, discovered
-      // locally for same-processor instances and via MisJoin messages
+      // locally for same-processor instances (joiners have distinct
+      // owners, so these writes are disjoint) and via MisJoin messages
       // for neighbours.
-      for (const InstanceId v : joiners) {
+      for (const InstanceId v : joiners_) {
         misStatus_[static_cast<std::size_t>(v)] = MisStatus::In;
-        misMembers.push_back(v);
+        misMembers_.push_back(v);
         for (const InstanceId w : u_.instancesOfDemand(owner(v))) {
           if (misStatus_[static_cast<std::size_t>(w)] ==
               MisStatus::Undecided) {
@@ -307,19 +437,19 @@ class ProtocolEngine {
           }
         }
       }
-      for (const InstanceId v : undecided) {
+      forEachParallel(undecided_, [&](InstanceId v) {
         if (misStatus_[static_cast<std::size_t>(v)] != MisStatus::Undecided) {
-          continue;
+          return;
         }
         for (const Message& m : net_.inbox(owner(v))) {
           if (m.kind != MessageKind::MisJoin) continue;
           if (conflictsWith(v, m.instance)) {
             misStatus_[static_cast<std::size_t>(v)] = MisStatus::Out;
-            break;
+            return;
           }
         }
-      }
-      std::erase_if(undecided, [&](InstanceId v) {
+      });
+      std::erase_if(undecided_, [&](InstanceId v) {
         return misStatus_[static_cast<std::size_t>(v)] != MisStatus::Undecided;
       });
     }
@@ -328,14 +458,15 @@ class ProtocolEngine {
       net_.endSilentRounds(
           2 * static_cast<std::int64_t>(budget - lastLubyRounds_));
     }
-    std::sort(misMembers.begin(), misMembers.end());
-    return misMembers;
+    std::sort(misMembers_.begin(), misMembers_.end());
   }
 
   /// The step's raise round: every MIS member's owner tightens its dual
-  /// constraint and broadcasts the increments; all processors then apply
-  /// the raises in canonical (sender) order so every local accumulator
-  /// sees the exact sequence the centralized engine produces.
+  /// constraint and broadcasts the increments; every processor that
+  /// received (or sent) a raise then applies them in canonical (sender)
+  /// order so each local accumulator sees the exact sequence the
+  /// centralized engine produces. Application is per-processor
+  /// independent and runs parallel over the active processors only.
   void raiseRound(std::int64_t tuple,
                   const std::vector<InstanceId>& misMembers) {
     stepRaises_.clear();
@@ -364,58 +495,50 @@ class ProtocolEngine {
       stackTuples_.push_back(tuple);
       stackSets_.push_back(misMembers);
     }
-    for (DemandId p = 0; p < numProc_; ++p) {
-      if (!aliveAt(p, tuple)) continue;
-      applyRaisesLocally(p);
-    }
-  }
 
-  /// Applies one raise to processor p's local view: the alpha part if the
-  /// raise is p's own, then the beta part on every critical edge p
-  /// tracks — the same alpha-then-edges order as the centralized engine.
-  void applyOneRaise(DemandId p, const PendingRaise& raise) {
-    if (raise.from == p) {
-      alphaLocal_[static_cast<std::size_t>(p)] += raise.alphaIncrement;
-      for (const InstanceId k : u_.instancesOfDemand(p)) {
-        lhsLocal_[static_cast<std::size_t>(k)] += raise.alphaIncrement;
-      }
+    // Active processors: non-empty inbox or an own raise. Everyone else
+    // would apply nothing — the serial engine's full-processor scan is
+    // equivalent but O(n) per round.
+    activeProcs_.clear();
+    net_.appendActiveInboxes(activeProcs_);
+    for (const PendingRaise& r : stepRaises_) {
+      activeProcs_.push_back(r.from);
     }
-    for (const GlobalEdgeId e : lay_.critical(raise.instance)) {
-      const std::int32_t idx = trackedIndex(p, e);
-      if (idx < 0) continue;
-      betaLocal_[static_cast<std::size_t>(p)][static_cast<std::size_t>(idx)] +=
-          raise.betaIncrement;
-      for (const InstanceId k :
-           ownOnEdge_[static_cast<std::size_t>(p)]
-                     [static_cast<std::size_t>(idx)]) {
-        lhsLocal_[static_cast<std::size_t>(k)] +=
-            heightFactor(k) * raise.betaIncrement;
-      }
-    }
+    std::sort(activeProcs_.begin(), activeProcs_.end());
+    activeProcs_.erase(std::unique(activeProcs_.begin(), activeProcs_.end()),
+                       activeProcs_.end());
+    forEachParallel(activeProcs_, [&](std::int32_t p) {
+      if (!aliveAt(p, tuple)) return;
+      applyRaisesLocally(p);
+    });
   }
 
   /// Merges p's own raise with the received DualRaise messages in sender
   /// order (== ascending instance order, since instances are numbered
-  /// demand-major) and applies them.
+  /// demand-major) and applies them to p's context.
   void applyRaisesLocally(DemandId p) {
+    // stepRaises_ is sorted by sender (misMembers_ ascending, one
+    // instance per demand), so the own raise is a binary search away.
     const PendingRaise* own = nullptr;
-    for (const PendingRaise& r : stepRaises_) {
-      if (r.from == p) {
-        own = &r;
-        break;
-      }
+    const auto it = std::lower_bound(
+        stepRaises_.begin(), stepRaises_.end(), p,
+        [](const PendingRaise& r, DemandId d) { return r.from < d; });
+    if (it != stepRaises_.end() && it->from == p) {
+      own = &*it;
     }
+    ProcessorContext& context = contexts_[static_cast<std::size_t>(p)];
     bool ownApplied = own == nullptr;
     for (const Message& m : net_.inbox(p)) {
       if (m.kind != MessageKind::DualRaise) continue;
       if (!ownApplied && own->from < m.from) {
-        applyOneRaise(p, *own);
+        context.applyRaise(u_, lay_, opt_.rule, *own, lhsLocal_);
         ownApplied = true;
       }
-      applyOneRaise(p, {m.from, m.instance, 0.0, m.value});
+      context.applyRaise(u_, lay_, opt_.rule,
+                         {m.from, m.instance, 0.0, m.value}, lhsLocal_);
     }
     if (!ownApplied) {
-      applyOneRaise(p, *own);
+      context.applyRaise(u_, lay_, opt_.rule, *own, lhsLocal_);
     }
   }
 
@@ -437,13 +560,13 @@ class ProtocolEngine {
     localViewsConsistent_ = true;
     for (DemandId p = 0; p < numProc_; ++p) {
       if (!aliveP2(p)) continue;
-      if (alphaLocal_[static_cast<std::size_t>(p)] != groundDual_.alpha(p)) {
+      const ProcessorContext& context =
+          contexts_[static_cast<std::size_t>(p)];
+      if (context.alpha != groundDual_.alpha(p)) {
         localViewsConsistent_ = false;
       }
-      const auto& tracked = trackedEdges_[static_cast<std::size_t>(p)];
-      for (std::size_t idx = 0; idx < tracked.size(); ++idx) {
-        if (betaLocal_[static_cast<std::size_t>(p)][idx] !=
-            groundDual_.beta(tracked[idx])) {
+      for (std::size_t idx = 0; idx < context.tracked.size(); ++idx) {
+        if (context.beta[idx] != groundDual_.beta(context.tracked[idx])) {
           localViewsConsistent_ = false;
         }
       }
@@ -455,25 +578,9 @@ class ProtocolEngine {
     }
   }
 
-  /// True iff p can accept `i` given its locally known edge loads — the
-  /// exact capacity test of the centralized FeasibilityOracle.
-  bool capacityOk(DemandId p, InstanceId i) const {
-    const double h = u_.instance(i).height;
-    for (const GlobalEdgeId e : u_.path(i)) {
-      const std::int32_t idx = trackedIndex(p, e);
-      checkThat(idx >= 0, "own path edge tracked", __FILE__, __LINE__);
-      if (loadLocal_[static_cast<std::size_t>(p)]
-                    [static_cast<std::size_t>(idx)] +
-              h >
-          1.0 + kCapacityTolerance) {
-        return false;
-      }
-    }
-    return true;
-  }
-
   void runPhase2() {
-    std::vector<bool> demandUsed(static_cast<std::size_t>(numProc_), false);
+    std::vector<std::uint8_t> demandUsed(static_cast<std::size_t>(numProc_),
+                                         0);
     std::size_t sp = stackTuples_.size();
     for (std::int64_t t = scheduledSteps_ - 1; t >= 0; --t) {
       if (sp > 0 && stackTuples_[sp - 1] == t) {
@@ -481,10 +588,11 @@ class ProtocolEngine {
         for (const InstanceId i : stackSets_[sp]) {
           const DemandId p = owner(i);
           if (!aliveP2(p)) continue;
-          if (demandUsed[static_cast<std::size_t>(p)]) continue;
-          if (!capacityOk(p, i)) continue;
-          demandUsed[static_cast<std::size_t>(p)] = true;
-          addOwnLoad(p, i);
+          if (demandUsed[static_cast<std::size_t>(p)] != 0) continue;
+          ProcessorContext& context = contexts_[static_cast<std::size_t>(p)];
+          if (!context.capacityOk(u_, i)) continue;
+          demandUsed[static_cast<std::size_t>(p)] = 1;
+          context.addLoad(u_, i);
           net_.broadcast({MessageKind::Accept, p, i, 0.0});
           obs_->onAccept(t, i);
           acceptOrder_.push_back(i);
@@ -492,28 +600,17 @@ class ProtocolEngine {
         }
       }
       net_.endRound();
-      for (DemandId p = 0; p < numProc_; ++p) {
-        if (!aliveP2(p)) continue;
+      // Only processors that received an Accept have loads to update.
+      activeProcs_.clear();
+      net_.appendActiveInboxes(activeProcs_);
+      forEachParallel(activeProcs_, [&](std::int32_t p) {
+        if (!aliveP2(p)) return;
+        ProcessorContext& context = contexts_[static_cast<std::size_t>(p)];
         for (const Message& m : net_.inbox(p)) {
           if (m.kind != MessageKind::Accept) continue;
-          const double h = u_.instance(m.instance).height;
-          for (const GlobalEdgeId e : u_.path(m.instance)) {
-            const std::int32_t idx = trackedIndex(p, e);
-            if (idx < 0) continue;
-            loadLocal_[static_cast<std::size_t>(p)]
-                      [static_cast<std::size_t>(idx)] += h;
-          }
+          context.addLoad(u_, m.instance);
         }
-      }
-    }
-  }
-
-  void addOwnLoad(DemandId p, InstanceId i) {
-    const double h = u_.instance(i).height;
-    for (const GlobalEdgeId e : u_.path(i)) {
-      const std::int32_t idx = trackedIndex(p, e);
-      loadLocal_[static_cast<std::size_t>(p)][static_cast<std::size_t>(idx)] +=
-          h;
+      });
     }
   }
 
@@ -523,30 +620,37 @@ class ProtocolEngine {
   NullObserver nullObserver_;
   ProtocolObserver* obs_;
   Transport& net_;
+  ParallelRunner runner_;
   StagePlan plan_;
   std::int32_t numProc_ = 0;
   std::int32_t stepsPerStage_ = 0;
   std::int64_t scheduledSteps_ = 0;
   std::vector<std::vector<InstanceId>> members_;
 
-  // Per-processor local views.
-  std::vector<double> lhsLocal_;    ///< per instance, owner's view
-  std::vector<double> alphaLocal_;  ///< per processor
-  std::vector<std::vector<GlobalEdgeId>> trackedEdges_;
-  std::vector<std::vector<std::vector<InstanceId>>> ownOnEdge_;
-  std::vector<std::vector<double>> betaLocal_;
-  std::vector<std::vector<double>> loadLocal_;  ///< phase-2 edge loads
+  // Per-processor contexts plus the owner-indexed lhs views (entry i is
+  // written only by owner(i)'s context).
+  std::vector<ProcessorContext> contexts_;
+  std::vector<double> lhsLocal_;
 
   // Ground truth for the audit and the reported dual objective.
   DualState groundDual_;
   LhsTracker groundLhs_;
 
-  // Faults.
-  std::vector<bool> crashed_;
+  // Faults (uint8, not vector<bool>: read concurrently from shards).
+  std::vector<std::uint8_t> crashed_;
   std::int32_t crashedCount_ = 0;
 
-  // Per-step scratch.
+  // Per-step scratch, reused across steps to keep the hot loop
+  // allocation-free after warmup.
   std::vector<MisStatus> misStatus_;
+  std::vector<std::uint64_t> priority_;  ///< per instance, current round
+  std::vector<InstanceId> stageActive_;
+  std::vector<InstanceId> unsatisfied_;
+  std::vector<InstanceId> undecided_;
+  std::vector<InstanceId> joiners_;
+  std::vector<InstanceId> misMembers_;
+  std::vector<std::vector<InstanceId>> shardLists_;
+  std::vector<std::int32_t> activeProcs_;
   std::vector<PendingRaise> stepRaises_;
   std::int32_t lastLubyRounds_ = 0;
 

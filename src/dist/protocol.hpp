@@ -22,6 +22,14 @@
 // tuple onward (and stay dead through phase 2). Survivors keep exchanging
 // messages and must still produce a feasible schedule with consistent
 // local dual views.
+//
+// Execution engine: per-processor state lives in reentrant
+// ProcessorContexts with no hidden shared state, rounds iterate per-step
+// active sets (only undecided instances / processors that received
+// messages) instead of scanning all processors, and the independent
+// per-processor decisions of a round run on a fixed thread pool
+// (engine/parallel_runner.hpp) when DistributedOptions::threads > 1 —
+// with bit-identical results at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +52,12 @@ struct DistributedOptions {
   RaiseRule rule = RaiseRule::Unit;
   double hmin = 1.0;       ///< min height, used by the narrow staged plan
   std::uint64_t seed = 1;  ///< drives MIS priorities (deterministic)
+  /// Worker threads for the intra-round parallel sections (MIS decisions,
+  /// raise/accept application, inbox delivery). The result is bit-identical
+  /// at ANY value — shard merges are by shard id, never by thread
+  /// completion order — so 1 (the serial engine) is the reference and
+  /// higher values are pure wall-clock (tests/parallel_equivalence_test).
+  std::int32_t threads = 1;
   /// Luby rounds per step; <= 0 runs each MIS to completion (maximal).
   std::int32_t misRoundBudget = 0;
   /// Steps per stage; 0 derives c*log(pmax/pmin) exactly like the

@@ -8,8 +8,8 @@ namespace treesched {
 
 SimNetwork::SimNetwork(std::vector<std::vector<std::int32_t>> adjacency)
     : adjacency_(std::move(adjacency)),
-      pending_(adjacency_.size()),
-      inbox_(adjacency_.size()) {
+      plane_(std::max<std::int32_t>(
+          1, static_cast<std::int32_t>(adjacency_.size()))) {
   validateCommunicationAdjacency(adjacency_);
 }
 
@@ -22,46 +22,33 @@ void SimNetwork::broadcast(const Message& message) {
   checkIndex(message.from, numProcessors(), "SimNetwork::broadcast");
   const auto from = static_cast<std::size_t>(message.from);
   for (const std::int32_t w : adjacency_[from]) {
-    pending_[static_cast<std::size_t>(w)].push_back(message);
+    plane_.stage(w, message);
   }
 }
 
 void SimNetwork::endRound() {
   ++stats_.rounds;
-  bool busy = false;
-  for (std::size_t p = 0; p < pending_.size(); ++p) {
-    inbox_[p].clear();
-    std::swap(inbox_[p], pending_[p]);
-    std::sort(inbox_[p].begin(), inbox_[p].end(), canonicalMessageLess);
-    for (const Message& m : inbox_[p]) {
-      busy = true;
-      ++stats_.messages;
-      const std::int32_t units = messagePayloadUnits(m.kind);
-      stats_.payload += units;
-      stats_.maxMessagePayload = std::max(stats_.maxMessagePayload, units);
-    }
-  }
-  if (busy) {
-    ++stats_.busyRounds;
-  }
+  plane_.deliver();
+  accountPlaneRound(stats_, plane_);
 }
 
 void SimNetwork::endSilentRounds(std::int64_t count) {
   checkThat(count >= 0, "silent round count non-negative", __FILE__, __LINE__);
-  for (const auto& queued : pending_) {
-    checkThat(queued.empty(), "silent rounds must not drop queued messages",
-              __FILE__, __LINE__);
-  }
+  checkThat(!plane_.hasStaged(), "silent rounds must not drop queued messages",
+            __FILE__, __LINE__);
   if (count == 0) return;
-  for (auto& box : inbox_) {
-    box.clear();
-  }
+  plane_.clearInboxes();
   stats_.rounds += count;
 }
 
-const std::vector<Message>& SimNetwork::inbox(std::int32_t p) const {
+std::span<const Message> SimNetwork::inbox(std::int32_t p) const {
   checkIndex(p, numProcessors(), "SimNetwork::inbox");
-  return inbox_[static_cast<std::size_t>(p)];
+  return plane_.inbox(p);
+}
+
+void SimNetwork::appendActiveInboxes(std::vector<std::int32_t>& out) const {
+  const auto active = plane_.activeDests();
+  out.insert(out.end(), active.begin(), active.end());
 }
 
 std::vector<std::vector<std::int32_t>> communicationGraph(

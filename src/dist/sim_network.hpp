@@ -7,6 +7,11 @@
 // that every processor consumes messages in a deterministic order — the
 // keystone of bit-identical equivalence with the centralized engine.
 //
+// Delivery runs over the flat MessagePlane (engine/message_plane.hpp):
+// broadcasts stage rows into preallocated SoA columns and the round
+// boundary counting-sorts them into contiguous per-processor inbox
+// segments — the round hot loop performs no per-message heap allocation.
+//
 // SimNetwork is the reliable reference implementation of the Transport
 // interface (net/transport.hpp); the asynchronous lossy transport
 // (net/synchronizer.hpp) must be observationally equivalent to it.
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "dist/message.hpp"
+#include "engine/message_plane.hpp"
 #include "net/transport.hpp"
 
 namespace treesched {
@@ -48,14 +54,19 @@ class SimNetwork : public Transport {
   void endSilentRounds(std::int64_t count) override;
 
   /// Messages delivered to `p` by the last endRound().
-  const std::vector<Message>& inbox(std::int32_t p) const override;
+  std::span<const Message> inbox(std::int32_t p) const override;
+
+  void appendActiveInboxes(std::vector<std::int32_t>& out) const override;
+
+  void attachRunner(ParallelRunner* runner) override {
+    plane_.attachRunner(runner);
+  }
 
   const NetworkStats& stats() const override { return stats_; }
 
  private:
   std::vector<std::vector<std::int32_t>> adjacency_;
-  std::vector<std::vector<Message>> pending_;  ///< queued for this round
-  std::vector<std::vector<Message>> inbox_;    ///< delivered last round
+  MessagePlane plane_;
   NetworkStats stats_;
 };
 

@@ -1,0 +1,136 @@
+#include "engine/parallel_runner.hpp"
+
+#include <algorithm>
+
+namespace treesched {
+
+namespace {
+
+/// Minimum items per shard: below this the dispatch overhead dominates.
+/// Small on purpose so the unit-test-sized problems still cross threads
+/// (the TSan CI leg needs real concurrency to observe).
+constexpr std::int64_t kMinShardSize = 16;
+
+/// Shards per thread: enough claim slots that an unlucky slow shard does
+/// not serialize the section's tail.
+constexpr std::int64_t kShardsPerThread = 8;
+
+}  // namespace
+
+ParallelRunner::ParallelRunner(std::int32_t threads)
+    : threads_(std::max<std::int32_t>(1, threads)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (std::int32_t t = 1; t < threads_; ++t) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+ParallelRunner::ShardPlan ParallelRunner::plan(std::int64_t count) const {
+  ShardPlan shardPlan;
+  shardPlan.count = std::max<std::int64_t>(0, count);
+  if (shardPlan.count == 0) {
+    return shardPlan;
+  }
+  const std::int64_t targetShards =
+      static_cast<std::int64_t>(threads_) * kShardsPerThread;
+  shardPlan.shardSize = std::max(
+      kMinShardSize, (shardPlan.count + targetShards - 1) / targetShards);
+  shardPlan.numShards = static_cast<std::int32_t>(
+      (shardPlan.count + shardPlan.shardSize - 1) / shardPlan.shardSize);
+  return shardPlan;
+}
+
+void ParallelRunner::claimShards(const ShardFn& fn, std::int32_t numShards) {
+  for (;;) {
+    const std::int32_t shard =
+        nextShard_.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= numShards) {
+      break;
+    }
+    try {
+      fn(shard);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!firstError_) {
+        firstError_ = std::current_exception();
+      }
+    }
+  }
+  // The barrier releases only once every participant has LEFT the claim
+  // loop: were it released on the shard count alone, a straggler still
+  // spinning here could claim into the next section's reset cursor.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (--claimers_ == 0) {
+    done_.notify_all();
+  }
+}
+
+void ParallelRunner::forShards(const ShardPlan& plan, ShardFn fn) {
+  if (plan.numShards <= 0) {
+    return;
+  }
+  if (workers_.empty() || plan.numShards == 1) {
+    for (std::int32_t shard = 0; shard < plan.numShards; ++shard) {
+      fn(shard);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    jobShards_ = plan.numShards;
+    claimers_ = 1;  // the calling thread
+    nextShard_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  wake_.notify_all();
+  claimShards(fn, plan.numShards);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return claimers_ == 0; });
+    job_ = nullptr;
+    error = firstError_;
+    firstError_ = nullptr;
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+void ParallelRunner::workerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const ShardFn* fn = nullptr;
+    std::int32_t numShards = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = generation_;
+      fn = job_;
+      numShards = jobShards_;
+      if (fn != nullptr) {
+        ++claimers_;
+      }
+    }
+    if (fn != nullptr) {
+      claimShards(*fn, numShards);
+    }
+  }
+}
+
+}  // namespace treesched

@@ -1,0 +1,110 @@
+// Fixed thread pool executing shard groups with deterministic merges.
+//
+// The §5 protocol is embarrassingly parallel across processors within a
+// round: every per-processor decision reads only the previous round's
+// state (inboxes, statuses) and writes only processor-owned slots. The
+// ParallelRunner exploits exactly that shape: a parallel section cuts an
+// index range into contiguous shards, worker threads (plus the calling
+// thread) claim shards from an atomic cursor, and forShards() returns
+// only when every shard has completed — the deterministic round barrier.
+//
+// Determinism contract: a section's callback must confine writes to
+// shard-owned slots (disjoint elements, or per-shard output buffers the
+// caller concatenates BY SHARD ID after the barrier, never by thread
+// completion order). Under that discipline the result of a run is a pure
+// function of the inputs — bit-identical at any thread count, including
+// the serial threads=1 path, because every floating-point accumulation
+// still happens in the same per-owner sequence. The shard partition is a
+// pure performance knob: it can depend on the thread count precisely
+// because no callback result depends on which shard (or thread) computed
+// it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace treesched {
+
+/// Non-owning callable reference (avoids std::function heap traffic in
+/// the round hot loop). The referenced callable must outlive the call —
+/// forShards() completes synchronously, so passing a temporary lambda at
+/// the call site is fine.
+class ShardFn {
+ public:
+  template <typename F>
+  ShardFn(F&& f)  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* object, std::int32_t shard) {
+          (*static_cast<std::remove_reference_t<F>*>(object))(shard);
+        }) {}
+
+  void operator()(std::int32_t shard) const { call_(object_, shard); }
+
+ private:
+  void* object_;
+  void (*call_)(void*, std::int32_t);
+};
+
+class ParallelRunner {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread participates in
+  /// every section). threads <= 1 spawns nothing: every section runs
+  /// inline, which IS the serial engine.
+  explicit ParallelRunner(std::int32_t threads = 1);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  std::int32_t threads() const { return threads_; }
+
+  /// A partition of [0, count) into contiguous shards. Shards cover the
+  /// range exactly, in order: shard s spans [begin(s), end(s)).
+  struct ShardPlan {
+    std::int64_t count = 0;
+    std::int64_t shardSize = 1;
+    std::int32_t numShards = 0;
+
+    std::int64_t begin(std::int32_t shard) const {
+      return static_cast<std::int64_t>(shard) * shardSize;
+    }
+    std::int64_t end(std::int32_t shard) const {
+      const std::int64_t e = begin(shard) + shardSize;
+      return e < count ? e : count;
+    }
+  };
+
+  /// Plans shards for `count` items: enough shards per thread that claim
+  /// order balances load, but never shards smaller than a minimum grain.
+  ShardPlan plan(std::int64_t count) const;
+
+  /// Runs fn(shard) for every shard of `plan` and returns after ALL have
+  /// completed (the barrier). The first exception thrown by any shard is
+  /// rethrown here after the barrier.
+  void forShards(const ShardPlan& plan, ShardFn fn);
+
+ private:
+  void workerLoop();
+  void claimShards(const ShardFn& fn, std::int32_t numShards);
+
+  std::int32_t threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const ShardFn* job_ = nullptr;  ///< guarded by mutex_
+  std::int32_t jobShards_ = 0;    ///< guarded by mutex_
+  std::int32_t claimers_ = 0;     ///< threads inside the claim loop
+  std::uint64_t generation_ = 0;  ///< guarded by mutex_
+  bool stop_ = false;             ///< guarded by mutex_
+  std::exception_ptr firstError_;  ///< guarded by mutex_
+  std::atomic<std::int32_t> nextShard_{0};
+};
+
+}  // namespace treesched

@@ -54,6 +54,27 @@ std::vector<TreeId> drawAccess(std::int32_t numNetworks, double probability,
   return access;
 }
 
+/// Count-based accessibility: a uniform count in [1, maxCount] of
+/// distinct networks, drawn by rejection (counts are tiny relative to
+/// the network pool at preset scale, so retries are rare). Ascending,
+/// like the Bernoulli scheme.
+std::vector<TreeId> drawAccessCount(std::int32_t numNetworks,
+                                    std::int32_t maxCount, Rng& rng) {
+  const auto count = static_cast<std::int32_t>(
+      rng.nextInt(1, std::min(maxCount, numNetworks)));
+  std::vector<TreeId> access;
+  access.reserve(static_cast<std::size_t>(count));
+  while (static_cast<std::int32_t>(access.size()) < count) {
+    const auto t = static_cast<TreeId>(
+        rng.nextBounded(static_cast<std::uint64_t>(numNetworks)));
+    if (std::find(access.begin(), access.end(), t) == access.end()) {
+      access.push_back(t);
+    }
+  }
+  std::sort(access.begin(), access.end());
+  return access;
+}
+
 }  // namespace
 
 void generateTreeDemands(TreeProblem& problem, const DemandGenConfig& config,
@@ -90,7 +111,11 @@ void generateTreeDemands(TreeProblem& problem, const DemandGenConfig& config,
     dem.height = drawHeight(config.heights, config.hmin, rng);
     problem.demands.push_back(dem);
     problem.access.push_back(
-        drawAccess(problem.numNetworks(), config.accessProbability, rng));
+        config.accessCountMax > 0
+            ? drawAccessCount(problem.numNetworks(), config.accessCountMax,
+                              rng)
+            : drawAccess(problem.numNetworks(), config.accessProbability,
+                         rng));
   }
 }
 
@@ -119,18 +144,13 @@ void generateLineDemands(LineProblem& problem,
                             rng);
     dem.height = drawHeight(config.heights, config.hmin, rng);
     problem.demands.push_back(dem);
-    // Resource accessibility follows the same Bernoulli scheme as trees.
-    std::vector<ResourceId> access;
-    for (ResourceId r = 0; r < problem.numResources; ++r) {
-      if (rng.nextBool(config.accessProbability)) {
-        access.push_back(r);
-      }
-    }
-    if (access.empty()) {
-      access.push_back(static_cast<ResourceId>(rng.nextBounded(
-          static_cast<std::uint64_t>(problem.numResources))));
-    }
-    problem.access.push_back(std::move(access));
+    // Resource accessibility follows the same schemes as trees.
+    problem.access.push_back(
+        config.accessCountMax > 0
+            ? drawAccessCount(problem.numResources, config.accessCountMax,
+                              rng)
+            : drawAccess(problem.numResources, config.accessProbability,
+                         rng));
   }
 }
 

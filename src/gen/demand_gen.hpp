@@ -40,6 +40,12 @@ struct DemandGenConfig {
   /// Each demand can access each network independently with this
   /// probability (at least one access is forced).
   double accessProbability = 1.0;
+  /// When > 0, overrides the Bernoulli scheme: each demand accesses a
+  /// uniform count in [1, accessCountMax] of distinct networks drawn
+  /// u.a.r. — O(count) per demand instead of O(numNetworks), which is
+  /// what the 10^5-scale presets need when networks number in the
+  /// thousands.
+  std::int32_t accessCountMax = 0;
 };
 
 /// Fills `demands` and `access` of a tree problem whose `numVertices` and
@@ -60,6 +66,8 @@ struct LineDemandGenConfig {
   /// processing * (1 + slack). 0 = tight windows (no scheduling choice).
   double windowSlack = 0.0;
   double accessProbability = 1.0;
+  /// See DemandGenConfig::accessCountMax.
+  std::int32_t accessCountMax = 0;
 };
 
 /// Fills `demands` and `access` of a line problem whose `numSlots` and

@@ -1,5 +1,7 @@
 #include "gen/scenario.hpp"
 
+#include <algorithm>
+
 namespace treesched {
 
 TreeProblem makeTreeScenario(const TreeScenarioConfig& config) {
@@ -63,6 +65,32 @@ LossyWideAreaTreeScenario makeLossyWideAreaTree(std::uint64_t seed,
   cfg.demands.profits = ProfitDistribution::PowerLaw;
   cfg.demands.accessProbability = 0.7;
   return {makeTreeScenario(cfg), wideAreaWire(seed, shardProcessors)};
+}
+
+LineProblem makeMetroLine100k(std::uint64_t seed, std::int32_t numDemands) {
+  LineScenarioConfig cfg;
+  cfg.seed = seed ^ 0x3e7a0ULL;
+  cfg.numSlots = 128;
+  cfg.numResources = std::max(2, numDemands / 16);
+  cfg.demands.numDemands = numDemands;
+  cfg.demands.profits = ProfitDistribution::PowerLaw;
+  cfg.demands.processingMin = 2;
+  cfg.demands.processingMax = 6;
+  cfg.demands.windowSlack = 0.0;  // tight windows: one instance per access
+  cfg.demands.accessCountMax = 2;
+  return makeLineScenario(cfg);
+}
+
+TreeProblem makeCdnTree250k(std::uint64_t seed, std::int32_t numDemands) {
+  TreeScenarioConfig cfg;
+  cfg.seed = seed ^ 0xcd9ULL;
+  cfg.numVertices = 48;
+  cfg.numNetworks = std::max(2, numDemands / 16);
+  cfg.shape = TreeShape::RandomAttachment;  // low diameter, CDN-like
+  cfg.demands.numDemands = numDemands;
+  cfg.demands.profits = ProfitDistribution::PowerLaw;
+  cfg.demands.accessCountMax = 2;
+  return makeTreeScenario(cfg);
 }
 
 LossyWideAreaLineScenario makeLossyWideAreaLine(std::uint64_t seed,

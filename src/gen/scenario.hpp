@@ -65,4 +65,27 @@ LossyWideAreaLineScenario makeLossyWideAreaLine(
     std::int32_t numResources = 3, std::int32_t numDemands = 30,
     std::int32_t shardProcessors = 5);
 
+// ---- Production-scale parallel-engine presets --------------------------
+//
+// The workloads the parallel bench (bench_parallel, BENCH_parallel.json)
+// tracks across PRs: 10^5-entity problems with thousands of networks so
+// the communication graph stays bounded-degree (the regime the paper's
+// O(M)-message discipline targets) while the round loops carry enough
+// per-round work for the thread pool to bite. `numDemands` scales the
+// whole preset down proportionally (CI smoke and unit tests run them at
+// a few thousand demands); resource/network counts scale with it.
+
+/// metro_line_100k: a metropolitan transit schedule — numDemands window
+/// jobs (tight windows, processing 2..6 slots) over ~numDemands/16 line
+/// resources, 1-2 accessible resources each, power-law profits.
+LineProblem makeMetroLine100k(std::uint64_t seed,
+                              std::int32_t numDemands = 100'000);
+
+/// cdn_tree_250k: a content-delivery fabric — numDemands transfer
+/// demands over ~numDemands/16 low-diameter (random-attachment) trees on
+/// a shared 48-vertex site set, 1-2 accessible trees each, power-law
+/// profits.
+TreeProblem makeCdnTree250k(std::uint64_t seed,
+                            std::int32_t numDemands = 250'000);
+
 }  // namespace treesched

@@ -14,6 +14,8 @@ constexpr std::uint64_t kSaltPayloadDrop = 0x01;
 constexpr std::uint64_t kSaltPayloadDelay = 0x02;
 constexpr std::uint64_t kSaltAckDrop = 0x03;
 constexpr std::uint64_t kSaltAckDelay = 0x04;
+constexpr std::uint64_t kSaltDuplicateDraw = 0x05;
+constexpr std::uint64_t kSaltDuplicateDelay = 0x06;
 
 // With dropProbability <= 0.9 an attempt round-trips with probability
 // >= 0.01, so hitting this cap indicates a broken hash stream, not luck.
@@ -25,24 +27,80 @@ AsyncNetwork::AsyncNetwork(std::int32_t numEndpoints,
                            const AsyncLinkConfig& config, std::uint64_t seed)
     : config_(config),
       seed_(seed),
-      deliveredTo_(static_cast<std::size_t>(numEndpoints)),
+      index_(std::max<std::int32_t>(1, numEndpoints)),
       endpointLoad_(static_cast<std::size_t>(numEndpoints), 0) {
   checkThat(numEndpoints > 0, "async network needs endpoints", __FILE__,
             __LINE__);
   validateLatencyConfig(config_.latency);
   checkThat(config_.dropProbability >= 0 && config_.dropProbability <= 0.9,
             "drop probability in [0, 0.9]", __FILE__, __LINE__);
+  checkThat(config_.duplicateProbability >= 0 &&
+                config_.duplicateProbability <= 0.9,
+            "duplicate probability in [0, 0.9]", __FILE__, __LINE__);
+
+  // Per-link overrides: normalize to endpointA < endpointB, validate the
+  // configs, reject duplicate links.
+  double slowestBase = config_.latency.base;
+  double slowestUpper = latencyUpperBound(config_.latency);
+  overrides_.reserve(config_.latencyOverrides.size());
+  for (const LinkLatencyOverride& entry : config_.latencyOverrides) {
+    LinkLatencyOverride normalized = entry;
+    checkIndex(normalized.endpointA, numEndpoints, "latency override endpoint");
+    checkIndex(normalized.endpointB, numEndpoints, "latency override endpoint");
+    checkThat(normalized.endpointA != normalized.endpointB,
+              "latency override needs two endpoints", __FILE__, __LINE__);
+    if (normalized.endpointA > normalized.endpointB) {
+      std::swap(normalized.endpointA, normalized.endpointB);
+    }
+    validateLatencyConfig(normalized.latency);
+    slowestBase = std::max(slowestBase, normalized.latency.base);
+    slowestUpper =
+        std::max(slowestUpper, latencyUpperBound(normalized.latency));
+    overrides_.push_back(normalized);
+  }
+  std::sort(overrides_.begin(), overrides_.end(),
+            [](const LinkLatencyOverride& a, const LinkLatencyOverride& b) {
+              return std::pair(a.endpointA, a.endpointB) <
+                     std::pair(b.endpointA, b.endpointB);
+            });
+  for (std::size_t i = 1; i < overrides_.size(); ++i) {
+    checkThat(std::pair(overrides_[i - 1].endpointA,
+                        overrides_[i - 1].endpointB) !=
+                  std::pair(overrides_[i].endpointA, overrides_[i].endpointB),
+              "one latency override per link", __FILE__, __LINE__);
+  }
+
   // A timeout below one link latency would retransmit in a tight loop
   // before the first ack can possibly round-trip (and trip the attempt
-  // cap); require at least the minimum one-way delay.
+  // cap); require at least the slowest link's minimum one-way delay.
   checkThat(config_.retransmitTimeout == 0 ||
-                config_.retransmitTimeout >= config_.latency.base,
-            "timeout >= latency base (or 0 for auto)", __FILE__, __LINE__);
+                config_.retransmitTimeout >= slowestBase,
+            "timeout >= every link's latency base (or 0 for auto)", __FILE__,
+            __LINE__);
   timeout_ = config_.retransmitTimeout;
   if (timeout_ == 0) {
-    timeout_ = 2 * latencyUpperBound(config_.latency) +
-               config_.latency.base;
+    timeout_ = 2 * slowestUpper + config_.latency.base;
   }
+}
+
+std::int32_t AsyncNetwork::overrideIndex(std::int32_t a, std::int32_t b) const {
+  if (overrides_.empty()) return -1;
+  if (a > b) std::swap(a, b);
+  const auto it = std::lower_bound(
+      overrides_.begin(), overrides_.end(), std::pair(a, b),
+      [](const LinkLatencyOverride& o, const std::pair<int, int>& key) {
+        return std::pair(o.endpointA, o.endpointB) <
+               std::pair(key.first, key.second);
+      });
+  if (it == overrides_.end() || it->endpointA != a || it->endpointB != b) {
+    return -1;
+  }
+  return static_cast<std::int32_t>(it - overrides_.begin());
+}
+
+const LatencyConfig& AsyncNetwork::linkLatency(const Flight& flight) const {
+  if (flight.latencyOverride < 0) return config_.latency;
+  return overrides_[static_cast<std::size_t>(flight.latencyOverride)].latency;
 }
 
 void AsyncNetwork::schedule(double time, EventKind kind, std::uint32_t flight,
@@ -50,19 +108,19 @@ void AsyncNetwork::schedule(double time, EventKind kind, std::uint32_t flight,
   queue_.push({time, nextEventSeq_++, kind, flight, attempt});
 }
 
-bool AsyncNetwork::dropped(std::uint64_t packetId, std::int32_t attempt,
-                           std::uint64_t salt) const {
-  if (config_.dropProbability <= 0) return false;
+bool AsyncNetwork::chance(double probability, std::uint64_t packetId,
+                          std::int32_t attempt, std::uint64_t salt) const {
+  if (probability <= 0) return false;
   const std::uint64_t h = keyedHash(seed_, packetId,
                                     static_cast<std::uint64_t>(attempt), salt);
-  return unitInterval(h) < config_.dropProbability;
+  return unitInterval(h) < probability;
 }
 
-double AsyncNetwork::delay(std::uint64_t packetId, std::int32_t attempt,
+double AsyncNetwork::delay(const Flight& flight, std::int32_t attempt,
                            std::uint64_t salt) const {
-  const std::uint64_t h = keyedHash(seed_, packetId,
+  const std::uint64_t h = keyedHash(seed_, flight.id,
                                     static_cast<std::uint64_t>(attempt), salt);
-  return sampleLatency(config_.latency, unitInterval(h));
+  return sampleLatency(linkLatency(flight), unitInterval(h));
 }
 
 void AsyncNetwork::send(std::int32_t from, std::int32_t to,
@@ -76,9 +134,18 @@ void AsyncNetwork::send(std::int32_t from, std::int32_t to,
   flight.payload = payload;
   flight.control = control;
   flight.id = nextPacketId_++;
+  flight.latencyOverride = overrideIndex(from, to);
   const auto index = static_cast<std::uint32_t>(flights_.size());
   flights_.push_back(flight);
   schedule(now_, EventKind::Attempt, index, 0);
+}
+
+void AsyncNetwork::deliverPayload(Flight& flight) {
+  flight.delivered = true;
+  ++endpointLoad_[static_cast<std::size_t>(flight.to)];
+  if (!flight.control) {
+    log_.push_back({flight.from, flight.to, flight.payload, flight.control});
+  }
 }
 
 double AsyncNetwork::flush() {
@@ -99,10 +166,11 @@ double AsyncNetwork::flush() {
         ++flight.attempts;
         ++transmissions_;
         if (event.attempt > 0) ++retransmissions_;
-        if (dropped(flight.id, event.attempt, kSaltPayloadDrop)) {
+        if (chance(config_.dropProbability, flight.id, event.attempt,
+                   kSaltPayloadDrop)) {
           ++drops_;
         } else {
-          schedule(now_ + delay(flight.id, event.attempt, kSaltPayloadDelay),
+          schedule(now_ + delay(flight, event.attempt, kSaltPayloadDelay),
                    EventKind::Deliver, event.flight, event.attempt);
         }
         // The next attempt fires unless the ack lands first.
@@ -110,20 +178,28 @@ double AsyncNetwork::flush() {
                  event.attempt + 1);
         break;
       }
-      case EventKind::Deliver: {
+      case EventKind::Deliver:
+      case EventKind::DuplicateDeliver: {
         if (!flight.delivered) {
-          flight.delivered = true;
-          ++endpointLoad_[static_cast<std::size_t>(flight.to)];
-          if (!flight.control) {
-            deliveredTo_[static_cast<std::size_t>(flight.to)].push_back(
-                {flight.from, flight.to, flight.payload, flight.control});
+          deliverPayload(flight);
+          // Duplicating-link fault: the same packet arrives once more a
+          // little later; the dedup branch below absorbs it.
+          if (event.kind == EventKind::Deliver &&
+              chance(config_.duplicateProbability, flight.id, event.attempt,
+                     kSaltDuplicateDraw)) {
+            schedule(now_ + delay(flight, event.attempt, kSaltDuplicateDelay),
+                     EventKind::DuplicateDeliver, event.flight, event.attempt);
           }
+        } else {
+          // Dedup path: retransmission races and duplicating links.
+          ++duplicates_;
         }
         // Duplicates are acked too, else a lost first ack livelocks.
-        if (dropped(flight.id, event.attempt, kSaltAckDrop)) {
+        if (chance(config_.dropProbability, flight.id, event.attempt,
+                   kSaltAckDrop)) {
           ++drops_;
         } else {
-          schedule(now_ + delay(flight.id, event.attempt, kSaltAckDelay),
+          schedule(now_ + delay(flight, event.attempt, kSaltAckDelay),
                    EventKind::AckArrive, event.flight, event.attempt);
         }
         break;
@@ -134,7 +210,28 @@ double AsyncNetwork::flush() {
     }
   }
   flights_.clear();
+  collateDeliveries();
   return now_;
+}
+
+void AsyncNetwork::collateDeliveries() {
+  // Stable counting sort of the delivery log by receiving endpoint:
+  // within an endpoint, arrival order is preserved.
+  index_.reset();
+  if (log_.empty()) {
+    return;
+  }
+  for (const PhysicalDelivery& delivery : log_) {
+    index_.count(delivery.to);
+  }
+  index_.layout();
+  if (static_cast<std::size_t>(index_.total()) > collated_.size()) {
+    collated_.resize(static_cast<std::size_t>(index_.total()));
+  }
+  for (const PhysicalDelivery& delivery : log_) {
+    collated_[static_cast<std::size_t>(index_.place(delivery.to))] = delivery;
+  }
+  index_.finish();
 }
 
 void AsyncNetwork::advanceTime(double delta) {
@@ -144,16 +241,20 @@ void AsyncNetwork::advanceTime(double delta) {
   now_ += delta;
 }
 
-const std::vector<PhysicalDelivery>& AsyncNetwork::delivered(
+std::span<const PhysicalDelivery> AsyncNetwork::delivered(
     std::int32_t endpoint) const {
   checkIndex(endpoint, numEndpoints(), "AsyncNetwork::delivered");
-  return deliveredTo_[static_cast<std::size_t>(endpoint)];
+  const std::int32_t length = index_.length(endpoint);
+  if (length == 0) {
+    return {};
+  }
+  return {collated_.data() + index_.begin(endpoint),
+          static_cast<std::size_t>(length)};
 }
 
 void AsyncNetwork::drainDeliveries() {
-  for (auto& inbox : deliveredTo_) {
-    inbox.clear();
-  }
+  log_.clear();
+  index_.reset();
 }
 
 }  // namespace treesched

@@ -10,31 +10,61 @@
 // once. With dropProbability < 1 every packet is eventually delivered and
 // acknowledged, so `flush()` terminates.
 //
+// Links are heterogeneous: `latencyOverrides` pins individual physical
+// links (keyed by their unordered endpoint pair) to their own latency
+// model on top of the global one — a slow trans-continental hop among
+// fast metro links. Faulty duplicating links are modelled too: with
+// `duplicateProbability` a delivered packet arrives a second time, and
+// the receiver's dedup path must (and does) absorb it.
+//
 // All randomness is hash-keyed by (seed, packet id, attempt), so a run is
 // a pure function of the seed: neither heap ordering nor drain order can
 // perturb sampled delays or drop decisions.
+//
+// Delivered packets accumulate in one flat append-only log; flush()
+// counting-sorts it by receiving endpoint so `delivered(p)` is a
+// zero-copy span — the same allocation-free flat-buffer discipline as
+// the engine's MessagePlane.
 #pragma once
 
 #include <cstdint>
 #include <queue>
+#include <span>
 #include <vector>
 
 #include "dist/message.hpp"
+#include "engine/collate.hpp"
 #include "net/latency.hpp"
 
 namespace treesched {
 
+/// Pins one physical link (unordered endpoint pair) to its own latency
+/// model; both directions of the link use it.
+struct LinkLatencyOverride {
+  std::int32_t endpointA = 0;
+  std::int32_t endpointB = 0;
+  LatencyConfig latency;
+};
+
 /// Physical-link behaviour shared by every link of the network.
 struct AsyncLinkConfig {
   LatencyConfig latency;
+  /// Per-link latency overrides on top of the global model. Endpoint
+  /// pairs must be distinct links; validated at network construction.
+  std::vector<LinkLatencyOverride> latencyOverrides;
   /// Probability that one transmission attempt (payload or ack) is lost.
   /// Must lie in [0, 0.9] — retransmission makes delivery reliable, the
   /// cap keeps expected attempt counts small and flush() fast.
   double dropProbability = 0.0;
+  /// Probability that a delivered payload arrives a second time
+  /// (duplicating-link fault, [0, 0.9]). The receiver's dedup path
+  /// suppresses the copy; runs stay bit-identical.
+  double duplicateProbability = 0.0;
   /// Retransmit if no ack after this long; 0 derives a round-trip upper
-  /// bound (2 * latencyUpperBound) plus slack from the latency model.
-  /// When set, must be >= latency.base (below that the sender would
-  /// retransmit in a tight loop before any ack could round-trip).
+  /// bound (2 * latencyUpperBound) plus slack from the slowest latency
+  /// model of the network. When set, must be >= every link's base
+  /// latency (below that the sender would retransmit in a tight loop
+  /// before any ack could round-trip).
   double retransmitTimeout = 0.0;
 };
 
@@ -52,7 +82,7 @@ class AsyncNetwork {
                std::uint64_t seed);
 
   std::int32_t numEndpoints() const {
-    return static_cast<std::int32_t>(deliveredTo_.size());
+    return static_cast<std::int32_t>(endpointLoad_.size());
   }
 
   /// Injects a packet at the current virtual time. Control packets carry
@@ -62,7 +92,8 @@ class AsyncNetwork {
             bool control = false);
 
   /// Runs the event loop until every in-flight packet is delivered and
-  /// acknowledged; returns the virtual time afterwards.
+  /// acknowledged; returns the virtual time afterwards. Collates the
+  /// delivery log so delivered() spans are ready.
   double flush();
 
   /// Advances the clock without any traffic (known-silent barrier rounds).
@@ -71,13 +102,18 @@ class AsyncNetwork {
   double now() const { return now_; }
 
   /// Application packets delivered to `endpoint` since the last drain,
-  /// in arrival order.
-  const std::vector<PhysicalDelivery>& delivered(std::int32_t endpoint) const;
+  /// in arrival order. Valid after flush(); a zero-copy span into the
+  /// collated delivery log, invalidated by the next send()/flush()/
+  /// drainDeliveries().
+  std::span<const PhysicalDelivery> delivered(std::int32_t endpoint) const;
   void drainDeliveries();
 
   std::int64_t transmissions() const { return transmissions_; }
   std::int64_t retransmissions() const { return retransmissions_; }
   std::int64_t drops() const { return drops_; }
+  /// Deliveries suppressed by the dedup path: retransmission races plus
+  /// injected duplicating-link faults.
+  std::int64_t duplicates() const { return duplicates_; }
   /// Physical deliveries handled per endpoint over the whole run —
   /// payload and control alike (markers are real load on a processor).
   const std::vector<std::int64_t>& endpointLoad() const {
@@ -85,7 +121,12 @@ class AsyncNetwork {
   }
 
  private:
-  enum class EventKind : std::uint8_t { Attempt, Deliver, AckArrive };
+  enum class EventKind : std::uint8_t {
+    Attempt,
+    Deliver,
+    DuplicateDeliver,
+    AckArrive
+  };
 
   struct Event {
     double time = 0;
@@ -110,18 +151,25 @@ class AsyncNetwork {
     bool control = false;
     std::uint64_t id = 0;  ///< globally unique, keys the hash draws
     std::int32_t attempts = 0;
+    /// Index into overrides_ for this flight's link; -1 = global model.
+    std::int32_t latencyOverride = -1;
     bool delivered = false;
     bool acked = false;
   };
 
   void schedule(double time, EventKind kind, std::uint32_t flight,
                 std::int32_t attempt);
-  bool dropped(std::uint64_t packetId, std::int32_t attempt,
+  bool chance(double probability, std::uint64_t packetId, std::int32_t attempt,
+              std::uint64_t salt) const;
+  double delay(const Flight& flight, std::int32_t attempt,
                std::uint64_t salt) const;
-  double delay(std::uint64_t packetId, std::int32_t attempt,
-               std::uint64_t salt) const;
+  const LatencyConfig& linkLatency(const Flight& flight) const;
+  std::int32_t overrideIndex(std::int32_t a, std::int32_t b) const;
+  void deliverPayload(Flight& flight);
+  void collateDeliveries();
 
   AsyncLinkConfig config_;
+  std::vector<LinkLatencyOverride> overrides_;  ///< validated, a < b
   std::uint64_t seed_ = 0;
   double timeout_ = 0;
   double now_ = 0;
@@ -129,11 +177,18 @@ class AsyncNetwork {
   std::uint64_t nextEventSeq_ = 0;
   std::vector<Flight> flights_;  ///< cleared once flush() drains the queue
   std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
-  std::vector<std::vector<PhysicalDelivery>> deliveredTo_;
+
+  // Flat delivery log + per-endpoint collated segments (arrival order;
+  // segment bookkeeping shared with the MessagePlane via CollationIndex).
+  std::vector<PhysicalDelivery> log_;
+  std::vector<PhysicalDelivery> collated_;
+  CollationIndex index_;
+
   std::vector<std::int64_t> endpointLoad_;
   std::int64_t transmissions_ = 0;
   std::int64_t retransmissions_ = 0;
   std::int64_t drops_ = 0;
+  std::int64_t duplicates_ = 0;
 };
 
 }  // namespace treesched

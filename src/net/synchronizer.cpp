@@ -26,8 +26,8 @@ AlphaSynchronizer::AlphaSynchronizer(
       physAdjacency_(shardAdjacency(adjacency_, placement_)),
       phys_(placement_.numProcessors, config.link, config.seed),
       silentRoundCost_(config.link.latency.base),
-      localPending_(adjacency_.size()),
-      inbox_(adjacency_.size()) {
+      plane_(std::max<std::int32_t>(
+          1, static_cast<std::int32_t>(adjacency_.size()))) {
   remoteProcsOf_.resize(adjacency_.size());
   for (DemandId d = 0; d < numProcessors(); ++d) {
     auto& remote = remoteProcsOf_[static_cast<std::size_t>(d)];
@@ -54,12 +54,11 @@ void AlphaSynchronizer::broadcast(const Message& message) {
   checkIndex(message.from, numProcessors(), "AlphaSynchronizer::broadcast");
   const auto from = static_cast<std::size_t>(message.from);
   const std::int32_t home = processorOf(message.from);
-  roundHadTraffic_ = true;
   // Same-processor neighbours: delivered from local memory at the round
   // boundary, never touching the wire.
   for (const std::int32_t d : adjacency_[from]) {
     if (processorOf(d) == home) {
-      localPending_[static_cast<std::size_t>(d)].push_back(message);
+      plane_.stage(d, message);
     }
   }
   // One wire packet per remote processor; the receiver fans it out to
@@ -97,54 +96,38 @@ void AlphaSynchronizer::endRound() {
   }
   pendingPayload_ = 0;
 
-  // Assemble the demand-level inboxes: local deliveries plus the fan-out
-  // of every wire packet to the hosted neighbours of its sender.
-  bool busy = false;
-  for (std::size_t d = 0; d < inbox_.size(); ++d) {
-    inbox_[d].clear();
-    std::swap(inbox_[d], localPending_[d]);
-  }
+  // Stage the fan-out of every wire packet to the hosted neighbours of
+  // its sender; the plane then builds all demand-level inboxes (local
+  // deliveries were staged at broadcast time) in canonical order.
   for (std::int32_t p = 0; p < placement_.numProcessors; ++p) {
     for (const PhysicalDelivery& delivery : phys_.delivered(p)) {
       const auto sender = static_cast<std::size_t>(delivery.payload.from);
       for (const std::int32_t d : adjacency_[sender]) {
         if (processorOf(d) == p) {
-          inbox_[static_cast<std::size_t>(d)].push_back(delivery.payload);
+          plane_.stage(d, delivery.payload);
         }
       }
     }
   }
   phys_.drainDeliveries();
-  for (auto& box : inbox_) {
-    std::sort(box.begin(), box.end(), canonicalMessageLess);
-    for (const Message& m : box) {
-      busy = true;
-      ++stats_.messages;
-      const std::int32_t units = messagePayloadUnits(m.kind);
-      stats_.payload += units;
-      stats_.maxMessagePayload = std::max(stats_.maxMessagePayload, units);
-    }
-  }
-  if (busy) {
-    ++stats_.busyRounds;
-  }
-  roundHadTraffic_ = false;
+  plane_.deliver();
+
+  accountPlaneRound(stats_, plane_);
 
   stats_.virtualTime = phys_.now();
   stats_.transmissions = phys_.transmissions();
   stats_.retransmissions = phys_.retransmissions();
   stats_.drops = phys_.drops();
+  stats_.duplicates = phys_.duplicates();
   stats_.processorLoad = phys_.endpointLoad();
 }
 
 void AlphaSynchronizer::endSilentRounds(std::int64_t count) {
   checkThat(count >= 0, "silent round count non-negative", __FILE__, __LINE__);
-  checkThat(!roundHadTraffic_ && pendingPayload_ == 0,
+  checkThat(!plane_.hasStaged() && pendingPayload_ == 0,
             "silent rounds must not drop queued messages", __FILE__, __LINE__);
   if (count == 0) return;
-  for (auto& box : inbox_) {
-    box.clear();
-  }
+  plane_.clearInboxes();
   stats_.rounds += count;
   // Known-silent rounds are barrier-only: both sides of the fixed
   // schedule know nobody transmits, so the synchronizer charges the
@@ -153,9 +136,15 @@ void AlphaSynchronizer::endSilentRounds(std::int64_t count) {
   stats_.virtualTime = phys_.now();
 }
 
-const std::vector<Message>& AlphaSynchronizer::inbox(std::int32_t p) const {
+std::span<const Message> AlphaSynchronizer::inbox(std::int32_t p) const {
   checkIndex(p, numProcessors(), "AlphaSynchronizer::inbox");
-  return inbox_[static_cast<std::size_t>(p)];
+  return plane_.inbox(p);
+}
+
+void AlphaSynchronizer::appendActiveInboxes(
+    std::vector<std::int32_t>& out) const {
+  const auto active = plane_.activeDests();
+  out.insert(out.end(), active.begin(), active.end());
 }
 
 }  // namespace treesched

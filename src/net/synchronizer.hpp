@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/message_plane.hpp"
 #include "net/async_network.hpp"
 #include "net/shard.hpp"
 #include "net/transport.hpp"
@@ -54,7 +55,11 @@ class AlphaSynchronizer : public Transport {
   void broadcast(const Message& message) override;
   void endRound() override;
   void endSilentRounds(std::int64_t count) override;
-  const std::vector<Message>& inbox(std::int32_t p) const override;
+  std::span<const Message> inbox(std::int32_t p) const override;
+  void appendActiveInboxes(std::vector<std::int32_t>& out) const override;
+  void attachRunner(ParallelRunner* runner) override {
+    plane_.attachRunner(runner);
+  }
   const NetworkStats& stats() const override { return stats_; }
 
   const ShardPlacement& placement() const { return placement_; }
@@ -73,9 +78,10 @@ class AlphaSynchronizer : public Transport {
   AsyncNetwork phys_;
   double silentRoundCost_ = 0;
   std::int64_t pendingPayload_ = 0;  ///< wire packets since last boundary
-  bool roundHadTraffic_ = false;
-  std::vector<std::vector<Message>> localPending_;  ///< same-proc deliveries
-  std::vector<std::vector<Message>> inbox_;         ///< per demand
+  /// Demand-level inboxes: same-processor deliveries are staged during
+  /// the round, wire deliveries at the boundary; one deliver() builds
+  /// every inbox as a flat-buffer segment with zero hot-loop allocation.
+  MessagePlane plane_;
   NetworkStats stats_;
 };
 

@@ -6,6 +6,17 @@
 
 namespace treesched {
 
+void Transport::appendActiveInboxes(std::vector<std::int32_t>& out) const {
+  const std::int32_t n = numProcessors();
+  for (std::int32_t p = 0; p < n; ++p) {
+    if (!inbox(p).empty()) {
+      out.push_back(p);
+    }
+  }
+}
+
+void Transport::attachRunner(ParallelRunner* /*runner*/) {}
+
 void validateCommunicationAdjacency(
     const std::vector<std::vector<std::int32_t>>& adjacency) {
   const auto n = static_cast<std::int32_t>(adjacency.size());

@@ -28,6 +28,8 @@
 
 namespace treesched {
 
+class ParallelRunner;
+
 /// Communication accounting of one protocol run. The first block is
 /// filled by every transport; the async/lossy extensions stay zero/empty
 /// on the reliable round-synchronous bus.
@@ -44,9 +46,19 @@ struct NetworkStats {
   std::int64_t transmissions = 0;
   std::int64_t retransmissions = 0;  ///< attempts after the first, per packet
   std::int64_t drops = 0;            ///< attempts lost in flight (incl. acks)
+  /// Deliveries suppressed by the receiver's dedup path: retransmission
+  /// races and duplicating-link faults (AsyncLinkConfig::
+  /// duplicateProbability). Zero on the reliable bus.
+  std::int64_t duplicates = 0;
   /// Physical deliveries handled per simulated processor (sharded runs:
   /// one entry per shard processor, not per demand). Empty on the bus.
   std::vector<std::int64_t> processorLoad;
+
+  // ---- Message-plane allocation accounting (engine/message_plane.hpp) ----
+  std::int64_t planeGrowthEvents = 0;  ///< inbox-buffer growths, whole run
+  /// Round index of the last inbox-buffer growth; -1 when the plane never
+  /// grew. Every later round ran allocation-free.
+  std::int64_t planeLastGrowthRound = -1;
 };
 
 /// The protocol's view of the network: one endpoint per demand, broadcast
@@ -72,8 +84,22 @@ class Transport {
   /// cleared; busyRounds is unchanged.
   virtual void endSilentRounds(std::int64_t count) = 0;
 
-  /// Messages delivered to `p` by the last endRound().
-  virtual const std::vector<Message>& inbox(std::int32_t p) const = 0;
+  /// Messages delivered to `p` by the last endRound(). A zero-copy view
+  /// into the transport's delivery buffer; invalidated by the next
+  /// endRound()/endSilentRounds().
+  virtual std::span<const Message> inbox(std::int32_t p) const = 0;
+
+  /// Appends (ascending, duplicate-free) every processor whose inbox is
+  /// non-empty after the last endRound(). The default scans all
+  /// processors; plane-backed transports override with the O(active)
+  /// list, which is what lets the protocol's round loops iterate only
+  /// processors that actually received something.
+  virtual void appendActiveInboxes(std::vector<std::int32_t>& out) const;
+
+  /// Attaches a thread pool the transport may use to parallelize round
+  /// delivery (nullptr detaches; the default ignores it). The runner must
+  /// stay alive until detached.
+  virtual void attachRunner(ParallelRunner* runner);
 
   virtual const NetworkStats& stats() const = 0;
 };

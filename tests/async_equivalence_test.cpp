@@ -140,6 +140,72 @@ TEST_P(AsyncEquivalenceSweep, LineHeavyTailBitIdentical) {
   expectSameResult(async, sync);
 }
 
+// Duplicating-link faults: packets delivered twice at the transport
+// layer must be absorbed by the dedup path — the ROADMAP claims the
+// result stays bit-identical; this gates it.
+TEST_P(AsyncEquivalenceSweep, TreeDuplicatingLinksBitIdentical) {
+  const std::uint64_t seed = GetParam();
+  const TreeProblem problem = sweepTree(seed);
+  const DistributedOptions opt = sweepOptions(seed);
+  const DistributedResult sync = runDistributedUnitTree(problem, opt);
+
+  AsyncConfig net = lossyUniform(seed);
+  net.link.duplicateProbability = 0.4;
+  const DistributedResult async = runAsyncUnitTree(problem, opt, net);
+  expectSameResult(async, sync);
+  // The faults fired: the dedup path suppressed real duplicates.
+  EXPECT_GT(async.network.duplicates, 0);
+}
+
+TEST_P(AsyncEquivalenceSweep, LineDuplicatingLinksBitIdentical) {
+  const std::uint64_t seed = GetParam();
+  const LineProblem problem = sweepLine(seed);
+  const DistributedOptions opt = sweepOptions(seed);
+  const DistributedResult sync = runDistributedUnitLine(problem, opt);
+
+  AsyncConfig net = heavyTail(seed);
+  net.link.duplicateProbability = 0.5;
+  const DistributedResult async = runAsyncUnitLine(problem, opt, net);
+  expectSameResult(async, sync);
+  EXPECT_GT(async.network.duplicates, 0);
+}
+
+// Per-link heterogeneous latency: pinning some physical links to a far
+// slower model costs virtual time only, never the result.
+TEST_P(AsyncEquivalenceSweep, TreeHeterogeneousLinksBitIdentical) {
+  const std::uint64_t seed = GetParam();
+  const TreeProblem problem = sweepTree(seed);
+  const DistributedOptions opt = sweepOptions(seed);
+  const DistributedResult sync = runDistributedUnitTree(problem, opt);
+
+  AsyncConfig uniform = lossyUniform(seed);
+  uniform.link.retransmitTimeout = 0;  // auto: must cover the slow links
+  AsyncConfig heterogeneous = uniform;
+  // Pin a physical link that certainly carries traffic (round markers
+  // cross every communication edge): the first edge of the graph.
+  const auto adjacency =
+      communicationGraph(problem.access, problem.numNetworks());
+  LinkLatencyOverride slowLink;
+  slowLink.endpointA = -1;
+  for (std::size_t d = 0; d < adjacency.size() && slowLink.endpointA < 0;
+       ++d) {
+    if (!adjacency[d].empty()) {
+      slowLink.endpointA = static_cast<std::int32_t>(d);
+      slowLink.endpointB = adjacency[d].front();
+    }
+  }
+  ASSERT_GE(slowLink.endpointA, 0) << "sweep problems are connected";
+  slowLink.latency.model = LatencyModel::Fixed;
+  slowLink.latency.base = 25.0;
+  heterogeneous.link.latencyOverrides.push_back(slowLink);
+  const DistributedResult fast = runAsyncUnitTree(problem, opt, uniform);
+  const DistributedResult slow =
+      runAsyncUnitTree(problem, opt, heterogeneous);
+  expectSameResult(fast, sync);
+  expectSameResult(slow, sync);
+  EXPECT_GT(slow.network.virtualTime, fast.network.virtualTime);
+}
+
 // Sharded runs (several demands per simulated processor) must produce the
 // same solution as unsharded runs, for both placement strategies.
 TEST_P(AsyncEquivalenceSweep, TreeShardedMatchesUnsharded) {

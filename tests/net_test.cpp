@@ -153,6 +153,123 @@ TEST(AsyncNetwork, RejectsInvalidConfig) {
   EXPECT_THROW(AsyncNetwork(2, link, 1), CheckError);
   link.dropProbability = -0.1;
   EXPECT_THROW(AsyncNetwork(2, link, 1), CheckError);
+  link.dropProbability = 0;
+  link.duplicateProbability = 0.95;
+  EXPECT_THROW(AsyncNetwork(2, link, 1), CheckError);
+}
+
+// ---- Per-link heterogeneous latency ----
+
+TEST(AsyncNetwork, PerLinkOverrideSlowsExactlyThatLink) {
+  AsyncLinkConfig link = losslessLink();  // global base 1.0
+  LinkLatencyOverride slow;
+  slow.endpointA = 0;
+  slow.endpointB = 1;
+  slow.latency.base = 50.0;
+  link.latencyOverrides.push_back(slow);
+
+  // Fast link 0 -> 2 is unaffected; slow link 0 -> 1 takes 50 per hop.
+  AsyncNetwork net(3, link, 1);
+  net.send(0, 2, {MessageKind::MisActive, 0, 1, 0.0});
+  const double fastTime = net.flush();
+  EXPECT_DOUBLE_EQ(fastTime, 2.0);  // delivery + ack on the global model
+  net.drainDeliveries();
+
+  net.send(0, 1, {MessageKind::MisActive, 0, 2, 0.0});
+  const double slowTime = net.flush();
+  EXPECT_DOUBLE_EQ(slowTime, fastTime + 100.0);  // 50 out + 50 ack back
+  ASSERT_EQ(net.delivered(1).size(), 1u);
+
+  // The override is keyed by the unordered pair: the reverse direction
+  // rides the same slow link.
+  net.drainDeliveries();
+  net.send(1, 0, {MessageKind::MisActive, 1, 3, 0.0});
+  EXPECT_DOUBLE_EQ(net.flush(), slowTime + 100.0);
+}
+
+TEST(AsyncNetwork, PerLinkOverrideValidation) {
+  AsyncLinkConfig link = losslessLink();
+  LinkLatencyOverride bad;
+  bad.endpointA = 0;
+  bad.endpointB = 0;  // a link needs two endpoints
+  link.latencyOverrides.push_back(bad);
+  EXPECT_THROW(AsyncNetwork(2, link, 1), CheckError);
+
+  link.latencyOverrides.clear();
+  LinkLatencyOverride outOfRange;
+  outOfRange.endpointA = 0;
+  outOfRange.endpointB = 7;
+  link.latencyOverrides.push_back(outOfRange);
+  EXPECT_THROW(AsyncNetwork(2, link, 1), CheckError);
+
+  link.latencyOverrides.clear();
+  LinkLatencyOverride first;
+  first.endpointA = 0;
+  first.endpointB = 1;
+  LinkLatencyOverride duplicate;
+  duplicate.endpointA = 1;
+  duplicate.endpointB = 0;  // same physical link after normalization
+  link.latencyOverrides.push_back(first);
+  link.latencyOverrides.push_back(duplicate);
+  EXPECT_THROW(AsyncNetwork(2, link, 1), CheckError);
+
+  // An explicit timeout below the slowest override base would tight-loop.
+  link.latencyOverrides.clear();
+  LinkLatencyOverride slow;
+  slow.endpointA = 0;
+  slow.endpointB = 1;
+  slow.latency.base = 10.0;
+  link.latencyOverrides.push_back(slow);
+  link.retransmitTimeout = 2.0;
+  EXPECT_THROW(AsyncNetwork(2, link, 1), CheckError);
+  link.retransmitTimeout = 10.0;
+  AsyncNetwork ok(2, link, 1);
+  EXPECT_EQ(ok.numEndpoints(), 2);
+}
+
+TEST(AsyncNetwork, AutoTimeoutCoversSlowestOverride) {
+  // With the auto-derived timeout, a lossless network must never
+  // retransmit, even when an override is far slower than the global
+  // model (a too-short timeout would resend before the slow ack lands).
+  AsyncLinkConfig link = losslessLink();
+  LinkLatencyOverride slow;
+  slow.endpointA = 0;
+  slow.endpointB = 1;
+  slow.latency.base = 40.0;
+  link.latencyOverrides.push_back(slow);
+  AsyncNetwork net(2, link, 3);
+  for (int i = 0; i < 10; ++i) {
+    net.send(0, 1, {MessageKind::MisActive, 0, i, 0.0});
+  }
+  net.flush();
+  EXPECT_EQ(net.delivered(1).size(), 10u);
+  EXPECT_EQ(net.retransmissions(), 0);
+}
+
+// ---- Duplicating-link faults ----
+
+TEST(AsyncNetwork, DuplicatingLinkDeliversExactlyOnce) {
+  AsyncLinkConfig link = losslessLink();
+  link.duplicateProbability = 0.5;
+  AsyncNetwork net(2, link, 21);
+  constexpr int kPackets = 200;
+  for (int i = 0; i < kPackets; ++i) {
+    net.send(0, 1, {MessageKind::MisActive, 0, i, 0.0});
+  }
+  net.flush();
+  // The dedup path suppressed every duplicate...
+  ASSERT_EQ(net.delivered(1).size(), static_cast<std::size_t>(kPackets));
+  std::vector<InstanceId> seen;
+  for (const PhysicalDelivery& d : net.delivered(1)) {
+    seen.push_back(d.payload.instance);
+  }
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < kPackets; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+  }
+  // ...and the faults actually fired.
+  EXPECT_GT(net.duplicates(), 0);
+  EXPECT_LT(net.duplicates(), kPackets);
 }
 
 // ---- AlphaSynchronizer as a Transport ----
