@@ -91,7 +91,22 @@ int main(int argc, char** argv) {
                    "demo: metro_line_100k or cdn_tree_250k");
   flags.intFlag("demands", 0,
                 "preset demand count override (0 = preset demo default)");
+  flags.boolFlag("list-presets", false,
+                 "enumerate every gen/scenario preset and exit");
   if (!flags.parse(argc, argv)) return 0;
+
+  if (flags.getBool("list-presets")) {
+    Table table({"preset", "kind", "default demands", "summary"});
+    for (const ScenarioPresetInfo& preset : scenarioPresets()) {
+      table.row()
+          .cell(preset.name)
+          .cell(preset.kind)
+          .cell(preset.defaultDemands)
+          .cell(preset.summary);
+    }
+    table.print(std::cout);
+    return 0;
+  }
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
   const auto threads = static_cast<std::int32_t>(flags.getInt("threads"));
 

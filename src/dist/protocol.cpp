@@ -132,7 +132,8 @@ struct ProcessorContext {
 class ProtocolEngine {
  public:
   ProtocolEngine(const InstanceUniverse& universe, const Layering& layering,
-                 Transport& transport, const DistributedOptions& options)
+                 Transport& transport, const DistributedOptions& options,
+                 const WarmStart& warm)
       : u_(universe),
         lay_(layering),
         opt_(options),
@@ -161,13 +162,39 @@ class ProtocolEngine {
 
     const std::int32_t numInst = u_.numInstances();
     members_.resize(static_cast<std::size_t>(lay_.numGroups));
-    for (InstanceId i = 0; i < numInst; ++i) {
-      members_[static_cast<std::size_t>(
-                   lay_.group[static_cast<std::size_t>(i)])]
-          .push_back(i);
+    if (warm.activeInstances.empty()) {
+      for (InstanceId i = 0; i < numInst; ++i) {
+        members_[static_cast<std::size_t>(
+                     lay_.group[static_cast<std::size_t>(i)])]
+            .push_back(i);
+        restricted_.push_back(i);
+      }
+    } else {
+      // The restriction must be ascending so the group member lists come
+      // out in the order a full enumeration would produce — the keystone
+      // of bit-identity with runTwoPhaseRestricted.
+      for (std::size_t idx = 0; idx < warm.activeInstances.size(); ++idx) {
+        const InstanceId i = warm.activeInstances[idx];
+        checkIndex(i, numInst, "warm-start active instance");
+        checkThat(idx == 0 || warm.activeInstances[idx - 1] < i,
+                  "warm-start active set sorted ascending", __FILE__,
+                  __LINE__);
+        members_[static_cast<std::size_t>(
+                     lay_.group[static_cast<std::size_t>(i)])]
+            .push_back(i);
+        restricted_.push_back(i);
+      }
     }
 
-    lhsLocal_.assign(static_cast<std::size_t>(numInst), 0.0);
+    if (warm.priorLhs.empty()) {
+      lhsLocal_.assign(static_cast<std::size_t>(numInst), 0.0);
+    } else {
+      checkThat(warm.priorLhs.size() == static_cast<std::size_t>(numInst),
+                "warm-start priorLhs covers every instance", __FILE__,
+                __LINE__);
+      lhsLocal_ = warm.priorLhs;
+      groundLhs_.preload(warm.priorLhs);
+    }
     misStatus_.assign(static_cast<std::size_t>(numInst), MisStatus::Inactive);
     priority_.assign(static_cast<std::size_t>(numInst), 0);
 
@@ -223,6 +250,7 @@ class ProtocolEngine {
     result.raises = raises_;
     result.crashedProcessors = crashedCount_;
     result.localViewsConsistent = localViewsConsistent_;
+    result.raiseLog = std::move(raiseLog_);
     requireFeasible(u_, result.solution);
     return result;
   }
@@ -484,6 +512,10 @@ class ProtocolEngine {
           {MessageKind::DualRaise, p, i, amounts.betaIncrement});
       stepRaises_.push_back(
           {p, i, amounts.alphaIncrement, amounts.betaIncrement});
+      if (opt_.recordRaiseLog) {
+        raiseLog_.push_back(
+            {tuple, i, amounts.alphaIncrement, amounts.betaIncrement});
+      }
       obs_->onRaise(tuple, i, amounts.alphaIncrement);
       ++raises_;
       // Ground truth, applied in the centralized engine's order.
@@ -545,7 +577,7 @@ class ProtocolEngine {
   void measureSlackness() {
     double lambda = std::numeric_limits<double>::infinity();
     bool any = false;
-    for (InstanceId i = 0; i < u_.numInstances(); ++i) {
+    for (const InstanceId i : restricted_) {
       if (!aliveP2(owner(i))) continue;
       any = true;
       lambda = std::min(lambda,
@@ -626,6 +658,10 @@ class ProtocolEngine {
   std::int32_t stepsPerStage_ = 0;
   std::int64_t scheduledSteps_ = 0;
   std::vector<std::vector<InstanceId>> members_;
+  /// The instances this run may raise (ascending) — everything on a full
+  /// run, the warm-start restriction otherwise. Slackness is measured
+  /// over exactly this set.
+  std::vector<InstanceId> restricted_;
 
   // Per-processor contexts plus the owner-indexed lhs views (entry i is
   // written only by owner(i)'s context).
@@ -657,6 +693,7 @@ class ProtocolEngine {
   // Phase-1 stack (push order == tuple order; sets sorted ascending).
   std::vector<std::int64_t> stackTuples_;
   std::vector<std::vector<InstanceId>> stackSets_;
+  std::vector<DualRaiseRecord> raiseLog_;  ///< under recordRaiseLog only
 
   // Run accounting.
   std::int64_t activeSteps_ = 0;
@@ -672,7 +709,16 @@ class ProtocolEngine {
 DistributedResult runDistributedOverTransport(
     const InstanceUniverse& universe, const Layering& layering,
     Transport& transport, const DistributedOptions& options) {
-  ProtocolEngine engine(universe, layering, transport, options);
+  return runDistributedWarmStart(universe, layering, transport, options,
+                                 WarmStart{});
+}
+
+DistributedResult runDistributedWarmStart(const InstanceUniverse& universe,
+                                          const Layering& layering,
+                                          Transport& transport,
+                                          const DistributedOptions& options,
+                                          const WarmStart& warm) {
+  ProtocolEngine engine(universe, layering, transport, options, warm);
   return engine.run();
 }
 

@@ -70,8 +70,38 @@ struct DistributedOptions {
   /// Empty list: no faults.
   std::vector<DemandId> crashProcessors;
   std::int64_t crashAtTuple = 0;
+  /// Records every phase-1 raise into DistributedResult::raiseLog (the
+  /// online incremental re-solver replays it into its persistent duals).
+  /// Off by default: the log grows with the raise count.
+  bool recordRaiseLog = false;
   /// Optional event hooks; nullptr observes nothing.
   ProtocolObserver* observer = nullptr;
+};
+
+/// One phase-1 raise as executed, in raise order. Raises of one schedule
+/// tuple share the tuple index and form one stack set (members ascending),
+/// so the phase-1 stack is recoverable from the log by grouping on
+/// `tuple`.
+struct DualRaiseRecord {
+  std::int64_t tuple = 0;
+  InstanceId instance = kNoInstance;
+  double alphaIncrement = 0;
+  double betaIncrement = 0;
+};
+
+/// Prior dual state + restricted active set for an incremental epoch
+/// re-solve (src/online/). The protocol raises only `activeInstances`
+/// (phase 1) and accepts only from the raise sets it pushed itself
+/// (phase 2); `priorLhs` warm-starts every dual-constraint LHS from the
+/// surviving duals of the previous solution, so an instance already
+/// lambda-satisfied by old raises is never touched again.
+struct WarmStart {
+  /// Instances the run may raise, sorted ascending. Empty = every
+  /// instance (the classic full run).
+  std::vector<InstanceId> activeInstances;
+  /// Per-instance prior LHS, indexed by InstanceId over the whole
+  /// universe. Empty = all zeros (cold start).
+  std::vector<double> priorLhs;
 };
 
 struct DistributedResult {
@@ -95,6 +125,9 @@ struct DistributedResult {
   /// True iff every surviving processor's local alpha/beta/lhs view is
   /// exactly equal to the ground-truth duals of the raises that happened.
   bool localViewsConsistent = false;
+  /// Every phase-1 raise in execution order; filled only under
+  /// DistributedOptions::recordRaiseLog.
+  std::vector<DualRaiseRecord> raiseLog;
 };
 
 /// Runs the protocol on a tree problem: builds the instance universe, the
@@ -117,6 +150,19 @@ DistributedResult runDistributedUnitLine(
 DistributedResult runDistributedOverTransport(
     const InstanceUniverse& universe, const Layering& layering,
     Transport& transport, const DistributedOptions& options = {});
+
+/// Warm-started restricted run (src/online/): like
+/// runDistributedOverTransport, but phase 1 walks only
+/// `warm.activeInstances` with LHS warm-started from `warm.priorLhs`.
+/// With an empty WarmStart this IS runDistributedOverTransport; with a
+/// restriction and fixedSchedule-compatible options it is bit-identical
+/// to runTwoPhaseRestricted on the same active set — the incremental
+/// re-solver's equivalence obligation.
+DistributedResult runDistributedWarmStart(const InstanceUniverse& universe,
+                                          const Layering& layering,
+                                          Transport& transport,
+                                          const DistributedOptions& options,
+                                          const WarmStart& warm);
 
 /// Everything a runner needs before choosing a transport: the validated
 /// universe (conflicts built), the layering and the communication graph.

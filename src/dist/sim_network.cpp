@@ -21,9 +21,50 @@ std::span<const std::int32_t> SimNetwork::neighbors(std::int32_t p) const {
 void SimNetwork::broadcast(const Message& message) {
   checkIndex(message.from, numProcessors(), "SimNetwork::broadcast");
   const auto from = static_cast<std::size_t>(message.from);
-  for (const std::int32_t w : adjacency_[from]) {
-    plane_.stage(w, message);
+  plane_.stageFanout(message, adjacency_[from]);
+}
+
+void SimNetwork::connectDemand(std::int32_t p,
+                               std::span<const std::int32_t> neighbors) {
+  checkIndex(p, numProcessors(), "SimNetwork::connectDemand");
+  checkThat(!plane_.hasStaged(), "topology mutation only between rounds",
+            __FILE__, __LINE__);
+  auto& own = adjacency_[static_cast<std::size_t>(p)];
+  checkThat(own.empty(), "connectDemand target must be isolated", __FILE__,
+            __LINE__);
+  // Validate the whole list before touching any adjacency (strong
+  // guarantee: a rejected call leaves the live graph unchanged).
+  for (std::size_t idx = 0; idx < neighbors.size(); ++idx) {
+    const std::int32_t n = neighbors[idx];
+    checkIndex(n, numProcessors(), "connectDemand neighbour");
+    checkThat(n != p, "no self links", __FILE__, __LINE__);
+    checkThat(idx == 0 || neighbors[idx - 1] < n,
+              "connectDemand neighbours sorted, duplicate-free", __FILE__,
+              __LINE__);
   }
+  own.assign(neighbors.begin(), neighbors.end());
+  for (const std::int32_t n : neighbors) {
+    auto& theirs = adjacency_[static_cast<std::size_t>(n)];
+    const auto pos = std::lower_bound(theirs.begin(), theirs.end(), p);
+    checkThat(pos == theirs.end() || *pos != p,
+              "connectDemand edge already present", __FILE__, __LINE__);
+    theirs.insert(pos, p);
+  }
+}
+
+void SimNetwork::disconnectDemand(std::int32_t p) {
+  checkIndex(p, numProcessors(), "SimNetwork::disconnectDemand");
+  checkThat(!plane_.hasStaged(), "topology mutation only between rounds",
+            __FILE__, __LINE__);
+  auto& own = adjacency_[static_cast<std::size_t>(p)];
+  for (const std::int32_t n : own) {
+    auto& theirs = adjacency_[static_cast<std::size_t>(n)];
+    const auto pos = std::lower_bound(theirs.begin(), theirs.end(), p);
+    checkThat(pos != theirs.end() && *pos == p,
+              "disconnectDemand edge symmetric", __FILE__, __LINE__);
+    theirs.erase(pos);
+  }
+  own.clear();
 }
 
 void SimNetwork::endRound() {

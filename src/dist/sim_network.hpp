@@ -42,7 +42,9 @@ class SimNetwork : public Transport {
   std::span<const std::int32_t> neighbors(std::int32_t p) const override;
 
   /// Queues `message` for delivery to every neighbour of `message.from`
-  /// at the end of the current round.
+  /// at the end of the current round. The per-neighbour fan-out is
+  /// deferred to the round boundary (MessagePlane::stageFanout), where it
+  /// expands in parallel when a runner is attached.
   void broadcast(const Message& message) override;
 
   /// Ends the current round: delivers all queued messages into the
@@ -63,6 +65,23 @@ class SimNetwork : public Transport {
   }
 
   const NetworkStats& stats() const override { return stats_; }
+
+  // ---- Live topology mutation (the online churn engine, src/online/) ----
+  //
+  // Demands arrive and depart on a *running* bus: the plane, the stats
+  // and the untouched adjacency lists all persist, so consecutive epoch
+  // re-solves share one warmed-up transport. Both calls require a round
+  // boundary (no staged traffic).
+
+  /// Attaches demand `p` (currently isolated) with the given sorted,
+  /// duplicate-free neighbour list; every neighbour's list gains `p`.
+  void connectDemand(std::int32_t p,
+                     std::span<const std::int32_t> neighbors);
+
+  /// Detaches demand `p`: removes every edge of `p` (both sides). The
+  /// processor stays addressable — it simply has no neighbours, exactly
+  /// like a demand that has departed.
+  void disconnectDemand(std::int32_t p);
 
  private:
   std::vector<std::vector<std::int32_t>> adjacency_;

@@ -26,11 +26,80 @@ void MessagePlane::stage(std::int32_t dest, const Message& message) {
   stageValue_.push_back(message.value);
 }
 
+void MessagePlane::stageFanout(const Message& message,
+                               std::span<const std::int32_t> dests) {
+  if (dests.empty()) return;
+  if (fanouts_.size() == fanouts_.capacity()) {
+    noteGrowth();
+  }
+  fanouts_.push_back({message, dests.data(),
+                      static_cast<std::int32_t>(dests.size())});
+  fanoutRows_ += static_cast<std::int64_t>(dests.size());
+}
+
+void MessagePlane::expandFanouts() {
+  if (fanouts_.empty()) return;
+  const std::size_t base = stageDest_.size();
+  const std::size_t total = base + static_cast<std::size_t>(fanoutRows_);
+  if (total > stageDest_.capacity()) {
+    noteGrowth();  // the five columns grow in lockstep
+  }
+  stageDest_.resize(total);
+  stageKind_.resize(total);
+  stageFrom_.resize(total);
+  stageInstance_.resize(total);
+  stageValue_.resize(total);
+
+  // Row offsets per fan-out: a prefix sum fixes every expansion's target
+  // range up front, so the staged row order is exactly the serial
+  // broadcast order no matter which shard writes it.
+  if (fanouts_.size() > fanoutOffset_.capacity()) {
+    noteGrowth();
+  }
+  fanoutOffset_.resize(fanouts_.size());
+  std::int64_t offset = static_cast<std::int64_t>(base);
+  for (std::size_t f = 0; f < fanouts_.size(); ++f) {
+    fanoutOffset_[f] = offset;
+    offset += fanouts_[f].count;
+  }
+
+  const auto expand = [this](std::size_t f) {
+    const PendingFanout& fanout = fanouts_[f];
+    auto row = static_cast<std::size_t>(fanoutOffset_[f]);
+    for (std::int32_t j = 0; j < fanout.count; ++j, ++row) {
+      checkIndex(fanout.dests[j], numProcessors(),
+                 "MessagePlane::stageFanout dest");
+      stageDest_[row] = fanout.dests[j];
+      stageKind_[row] = fanout.message.kind;
+      stageFrom_[row] = fanout.message.from;
+      stageInstance_[row] = fanout.message.instance;
+      stageValue_[row] = fanout.message.value;
+    }
+  };
+  if (runner_ != nullptr && runner_->threads() > 1 && fanouts_.size() > 1) {
+    const ParallelRunner::ShardPlan plan =
+        runner_->plan(static_cast<std::int64_t>(fanouts_.size()));
+    runner_->forShards(plan, [&](std::int32_t shard) {
+      const std::int64_t end = plan.end(shard);
+      for (std::int64_t f = plan.begin(shard); f < end; ++f) {
+        expand(static_cast<std::size_t>(f));
+      }
+    });
+  } else {
+    for (std::size_t f = 0; f < fanouts_.size(); ++f) {
+      expand(f);
+    }
+  }
+  fanouts_.clear();
+  fanoutRows_ = 0;
+}
+
 void MessagePlane::deliver() {
   // Retire the previous round's inboxes (touched destinations only).
   index_.reset();
   kindCount_.fill(0);
 
+  expandFanouts();
   const std::size_t staged = stageDest_.size();
   if (staged > 0) {
     for (std::size_t row = 0; row < staged; ++row) {
@@ -88,7 +157,7 @@ void MessagePlane::deliver() {
 }
 
 void MessagePlane::clearInboxes() {
-  checkThat(stageDest_.empty(), "clearInboxes must not drop staged messages",
+  checkThat(!hasStaged(), "clearInboxes must not drop staged messages",
             __FILE__, __LINE__);
   index_.reset();
 }
@@ -100,6 +169,8 @@ std::int64_t MessagePlane::capacityBytes() const {
   return static_cast<std::int64_t>(
       stageDest_.capacity() * stagingRow +
       delivered_.capacity() * sizeof(Message) +
+      fanouts_.capacity() * sizeof(PendingFanout) +
+      fanoutOffset_.capacity() * sizeof(std::int64_t) +
       static_cast<std::size_t>(index_.numKeys()) * 5 * sizeof(std::int32_t));
 }
 

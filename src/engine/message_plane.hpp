@@ -50,9 +50,23 @@ class MessagePlane {
   /// Appends one (destination, message) row to the staging columns.
   void stage(std::int32_t dest, const Message& message);
 
-  bool hasStaged() const { return !stageDest_.empty(); }
+  /// Queues a broadcast fan-out: one staged row per destination, expanded
+  /// at the round boundary. `dests` must stay valid (and unchanged) until
+  /// deliver() — transports pass their adjacency lists, which only mutate
+  /// between rounds. With a runner attached the expansion runs as a
+  /// parallel section whose shards write disjoint precomputed row ranges
+  /// (owned slots, merged by position — never by thread completion
+  /// order), so the staged rows are exactly the serial expansion and the
+  /// bit-identity gates stay green. This removes the serial per-neighbour
+  /// staging loop from the transports' broadcast hot path.
+  void stageFanout(const Message& message,
+                   std::span<const std::int32_t> dests);
+
+  bool hasStaged() const {
+    return !stageDest_.empty() || !fanouts_.empty();
+  }
   std::int64_t stagedCount() const {
-    return static_cast<std::int64_t>(stageDest_.size());
+    return static_cast<std::int64_t>(stageDest_.size()) + fanoutRows_;
   }
 
   /// The round boundary: counting-sorts the staged rows by destination,
@@ -101,10 +115,22 @@ class MessagePlane {
   std::int64_t capacityBytes() const;
 
  private:
+  /// One queued broadcast fan-out: the message plus a borrowed view of
+  /// its destination list.
+  struct PendingFanout {
+    Message message;
+    const std::int32_t* dests = nullptr;
+    std::int32_t count = 0;
+  };
+
   void noteGrowth() {
     ++growthEvents_;
     lastGrowthRound_ = rounds_;
   }
+
+  /// Expands every queued fan-out into staging rows (parallel when a
+  /// runner is attached); called first by deliver().
+  void expandFanouts();
 
   ParallelRunner* runner_ = nullptr;
 
@@ -114,6 +140,12 @@ class MessagePlane {
   std::vector<std::int32_t> stageFrom_;
   std::vector<std::int32_t> stageInstance_;
   std::vector<double> stageValue_;
+
+  // Deferred broadcast fan-outs (expanded at the round boundary) and the
+  // per-fanout row offsets of the expansion (prefix sums, reused).
+  std::vector<PendingFanout> fanouts_;
+  std::vector<std::int64_t> fanoutOffset_;
+  std::int64_t fanoutRows_ = 0;
 
   // Delivery state: per-destination segments of one flat buffer (which
   // never shrinks; the index's total() is the live prefix).

@@ -6,12 +6,41 @@
 // full rescan. Used by the two-phase engine and the sequential algorithm.
 #pragma once
 
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "core/universe.hpp"
 #include "framework/raise_policy.hpp"
+#include "util/check.hpp"
 
 namespace treesched {
+
+// The single definition of the dual-constraint LHS update rule, shared
+// by the LhsTracker below and the online incremental solver (which
+// applies raises with sign -1 when purging departed demands). Keeping
+// one copy is what makes the online "purge exactly" invariant safe
+// against future raise-rule changes.
+
+/// Adds `by` to the LHS of every instance of demand `d` (alpha part).
+inline void applyAlphaToLhs(const InstanceUniverse& universe, DemandId d,
+                            double by, std::vector<double>& lhs) {
+  for (const InstanceId i : universe.instancesOfDemand(d)) {
+    lhs[static_cast<std::size_t>(i)] += by;
+  }
+}
+
+/// Adds `by` (times the Narrow-rule height factor) to the LHS of every
+/// instance on global edge `e` (beta part).
+inline void applyBetaToLhs(const InstanceUniverse& universe, RaiseRule rule,
+                           GlobalEdgeId e, double by,
+                           std::vector<double>& lhs) {
+  for (const InstanceId i : universe.instancesOnEdge(e)) {
+    const double factor =
+        rule == RaiseRule::Narrow ? universe.instance(i).height : 1.0;
+    lhs[static_cast<std::size_t>(i)] += factor * by;
+  }
+}
 
 class LhsTracker {
  public:
@@ -22,18 +51,21 @@ class LhsTracker {
 
   double lhs(InstanceId i) const { return lhs_[static_cast<std::size_t>(i)]; }
 
+  /// Warm-starts the tracker from prior per-instance values (the online
+  /// incremental re-solver's surviving duals); `values` must cover every
+  /// instance of the universe.
+  void preload(std::span<const double> values) {
+    checkThat(values.size() == lhs_.size(), "preload covers every instance",
+              __FILE__, __LINE__);
+    std::copy(values.begin(), values.end(), lhs_.begin());
+  }
+
   void onAlphaRaise(DemandId d, double by) {
-    for (const InstanceId i : universe_.instancesOfDemand(d)) {
-      lhs_[static_cast<std::size_t>(i)] += by;
-    }
+    applyAlphaToLhs(universe_, d, by, lhs_);
   }
 
   void onBetaRaise(GlobalEdgeId e, double by) {
-    for (const InstanceId i : universe_.instancesOnEdge(e)) {
-      const double factor =
-          rule_ == RaiseRule::Narrow ? universe_.instance(i).height : 1.0;
-      lhs_[static_cast<std::size_t>(i)] += factor * by;
-    }
+    applyBetaToLhs(universe_, rule_, e, by, lhs_);
   }
 
   /// Applies a computed raise of instance `i` (alpha + its critical edges).

@@ -28,6 +28,18 @@ double approximationBound(RaiseRule rule, std::int32_t delta, double lambda) {
 TwoPhaseResult runTwoPhase(const InstanceUniverse& universe,
                            const Layering& layering,
                            const FrameworkConfig& config) {
+  std::vector<InstanceId> all(
+      static_cast<std::size_t>(universe.numInstances()));
+  for (InstanceId i = 0; i < universe.numInstances(); ++i) {
+    all[static_cast<std::size_t>(i)] = i;
+  }
+  return runTwoPhaseRestricted(universe, layering, config, all);
+}
+
+TwoPhaseResult runTwoPhaseRestricted(const InstanceUniverse& universe,
+                                     const Layering& layering,
+                                     const FrameworkConfig& config,
+                                     std::span<const InstanceId> active) {
   checkThat(universe.conflictsBuilt(), "conflicts built before runTwoPhase",
             __FILE__, __LINE__);
   TwoPhaseResult result;
@@ -45,10 +57,16 @@ TwoPhaseResult runTwoPhase(const InstanceUniverse& universe,
                     config.hmin);
   result.stats.lambdaTarget = plan.lambdaTarget;
 
-  // Group membership lists (epoch k processes group k).
+  // Group membership lists (epoch k processes group k) over the active
+  // restriction only; `active` must be ascending so the member lists come
+  // out in the same order a full enumeration would produce.
   std::vector<std::vector<InstanceId>> members(
       static_cast<std::size_t>(layering.numGroups));
-  for (InstanceId i = 0; i < numInst; ++i) {
+  for (std::size_t idx = 0; idx < active.size(); ++idx) {
+    const InstanceId i = active[idx];
+    checkIndex(i, numInst, "restricted active instance");
+    checkThat(idx == 0 || active[idx - 1] < i,
+              "restricted active set sorted ascending", __FILE__, __LINE__);
     const auto g = static_cast<std::size_t>(
         layering.group[static_cast<std::size_t>(i)]);
     members[g].push_back(i);
@@ -123,12 +141,15 @@ TwoPhaseResult runTwoPhase(const InstanceUniverse& universe,
     }
   }
 
-  // Measured slackness: min over all instances of lhs / p.
+  // Measured slackness: min over the active instances of lhs / p (an
+  // empty restriction is vacuously fully slack, matching the distributed
+  // engine's measureSlackness()).
   double lambdaMeasured = std::numeric_limits<double>::infinity();
-  for (InstanceId i = 0; i < numInst; ++i) {
+  for (const InstanceId i : active) {
     lambdaMeasured =
         std::min(lambdaMeasured, lhs.lhs(i) / universe.instance(i).profit);
   }
+  if (active.empty()) lambdaMeasured = 1.0;
   result.stats.lambdaMeasured = lambdaMeasured;
   result.dualObjective = dual.objective();
   result.dualUpperBound =

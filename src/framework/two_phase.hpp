@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/solution.hpp"
@@ -76,6 +77,20 @@ struct TwoPhaseResult {
 TwoPhaseResult runTwoPhase(const InstanceUniverse& universe,
                            const Layering& layering,
                            const FrameworkConfig& config);
+
+/// Restricted run for the online subsystem (src/online/): phase 1 raises
+/// only the instances in `active` (sorted ascending) and lambda is
+/// measured over them alone; every other instance is invisible to the
+/// run. With `active` spanning the whole universe this is exactly
+/// runTwoPhase — and, under fixedSchedule, bit-identical to the
+/// distributed warm-start entry point (dist/protocol.hpp) on the same
+/// restriction, which is how the online equivalence gate compares an
+/// incremental epoch against the from-scratch solve on the surviving
+/// demand set.
+TwoPhaseResult runTwoPhaseRestricted(const InstanceUniverse& universe,
+                                     const Layering& layering,
+                                     const FrameworkConfig& config,
+                                     std::span<const InstanceId> active);
 
 /// Worst-case approximation factor certified by Lemma 3.1 / Lemma 6.1 for
 /// the given rule, Delta and lambda.

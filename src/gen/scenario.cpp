@@ -93,6 +93,72 @@ TreeProblem makeCdnTree250k(std::uint64_t seed, std::int32_t numDemands) {
   return makeTreeScenario(cfg);
 }
 
+ChurnTreeScenario makeFlashCrowdTree50k(std::uint64_t seed,
+                                        std::int32_t numDemands) {
+  ChurnTreeScenario scenario;
+  TreeScenarioConfig cfg;
+  cfg.seed = seed ^ 0xf1a5ULL;
+  cfg.numVertices = 48;
+  cfg.numNetworks = std::max(2, numDemands / 8);
+  cfg.shape = TreeShape::RandomAttachment;
+  cfg.demands.numDemands = numDemands;
+  cfg.demands.profits = ProfitDistribution::PowerLaw;
+  cfg.demands.accessCountMax = 2;
+  scenario.pool = makeTreeScenario(cfg);
+
+  scenario.arrivals.model = ArrivalModel::FlashCrowd;
+  scenario.arrivals.seed = seed ^ 0xc70bdULL;
+  scenario.arrivals.horizon = 256.0;
+  scenario.arrivals.meanLifetime = 96.0;
+  scenario.arrivals.burstCenter = 0.25;
+  scenario.arrivals.burstWidth = 0.06;  // the spike lands in ~2 epochs
+  scenario.arrivals.burstFraction = 0.6;
+  scenario.epochLength = 8.0;
+  return scenario;
+}
+
+ChurnLineScenario makeDiurnalMetroLine100k(std::uint64_t seed,
+                                           std::int32_t numDemands) {
+  ChurnLineScenario scenario;
+  LineScenarioConfig cfg;
+  cfg.seed = seed ^ 0xd107ULL;
+  cfg.numSlots = 128;
+  cfg.numResources = std::max(2, numDemands / 8);
+  cfg.demands.numDemands = numDemands;
+  cfg.demands.profits = ProfitDistribution::PowerLaw;
+  cfg.demands.processingMin = 2;
+  cfg.demands.processingMax = 6;
+  cfg.demands.windowSlack = 0.0;
+  cfg.demands.accessCountMax = 2;
+  scenario.pool = makeLineScenario(cfg);
+
+  scenario.arrivals.model = ArrivalModel::Diurnal;
+  scenario.arrivals.seed = seed ^ 0x3e7a1ULL;
+  scenario.arrivals.horizon = 256.0;
+  scenario.arrivals.meanLifetime = 80.0;
+  scenario.arrivals.waves = 2.0;
+  scenario.arrivals.waveDepth = 0.9;
+  scenario.epochLength = 8.0;
+  return scenario;
+}
+
+std::vector<ScenarioPresetInfo> scenarioPresets() {
+  return {
+      {"lossy_wide_area_tree", "tree+async", kLossyWideAreaTreeDemands,
+       "wide-area wire: heavy-tail latency, 5% loss, locality sharding"},
+      {"lossy_wide_area_line", "line+async", kLossyWideAreaLineDemands,
+       "line variant of the lossy wide-area wire"},
+      {"metro_line_100k", "line", kMetroLineDemands,
+       "metropolitan transit schedule, tight windows, power-law profits"},
+      {"cdn_tree_250k", "tree", kCdnTreeDemands,
+       "content-delivery fabric, low-diameter trees, 1-2 accesses"},
+      {"flash_crowd_50k", "tree+churn", kFlashCrowdDemands,
+       "CDN pool under a viral arrival spike (online churn engine)"},
+      {"diurnal_metro_100k", "line+churn", kDiurnalMetroDemands,
+       "metro pool under a day/night arrival wave (online churn engine)"},
+  };
+}
+
 LossyWideAreaLineScenario makeLossyWideAreaLine(std::uint64_t seed,
                                                 std::int32_t numSlots,
                                                 std::int32_t numResources,

@@ -3,11 +3,15 @@
 // that every consumer sees identical workloads for a given seed.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "core/line_problem.hpp"
 #include "core/tree_problem.hpp"
 #include "gen/demand_gen.hpp"
 #include "gen/tree_gen.hpp"
 #include "net/synchronizer.hpp"
+#include "online/arrivals.hpp"
 
 namespace treesched {
 
@@ -51,18 +55,29 @@ struct LossyWideAreaLineScenario {
   AsyncConfig net;
 };
 
+// Default demand counts of the named presets — single source for the
+// default arguments below and the scenarioPresets() registry.
+inline constexpr std::int32_t kLossyWideAreaTreeDemands = 36;
+inline constexpr std::int32_t kLossyWideAreaLineDemands = 30;
+inline constexpr std::int32_t kMetroLineDemands = 100'000;
+inline constexpr std::int32_t kCdnTreeDemands = 250'000;
+inline constexpr std::int32_t kFlashCrowdDemands = 50'000;
+inline constexpr std::int32_t kDiurnalMetroDemands = 100'000;
+
 /// Tree variant: `numDemands` demands over `numNetworks` trees on
 /// `numVertices` vertices, sharded onto `shardProcessors` simulated
 /// processors (<= 0 keeps one processor per demand).
 LossyWideAreaTreeScenario makeLossyWideAreaTree(
     std::uint64_t seed, std::int32_t numVertices = 48,
-    std::int32_t numNetworks = 3, std::int32_t numDemands = 36,
+    std::int32_t numNetworks = 3,
+    std::int32_t numDemands = kLossyWideAreaTreeDemands,
     std::int32_t shardProcessors = 6);
 
 /// Line variant of the same wide-area wire.
 LossyWideAreaLineScenario makeLossyWideAreaLine(
     std::uint64_t seed, std::int32_t numSlots = 96,
-    std::int32_t numResources = 3, std::int32_t numDemands = 30,
+    std::int32_t numResources = 3,
+    std::int32_t numDemands = kLossyWideAreaLineDemands,
     std::int32_t shardProcessors = 5);
 
 // ---- Production-scale parallel-engine presets --------------------------
@@ -79,13 +94,63 @@ LossyWideAreaLineScenario makeLossyWideAreaLine(
 /// jobs (tight windows, processing 2..6 slots) over ~numDemands/16 line
 /// resources, 1-2 accessible resources each, power-law profits.
 LineProblem makeMetroLine100k(std::uint64_t seed,
-                              std::int32_t numDemands = 100'000);
+                              std::int32_t numDemands = kMetroLineDemands);
 
 /// cdn_tree_250k: a content-delivery fabric — numDemands transfer
 /// demands over ~numDemands/16 low-diameter (random-attachment) trees on
 /// a shared 48-vertex site set, 1-2 accessible trees each, power-law
 /// profits.
 TreeProblem makeCdnTree250k(std::uint64_t seed,
-                            std::int32_t numDemands = 250'000);
+                            std::int32_t numDemands = kCdnTreeDemands);
+
+// ---- Online churn presets (src/online/) --------------------------------
+//
+// A churn preset ships a demand pool together with the arrival process
+// and the epoch length the churn engine batches it into, so the bench
+// (bench_online, BENCH_online.json), the tests and the demo all replay
+// identical time-varying workloads for a given seed. Both pools use
+// count-based accessibility over many networks, so per-epoch churn
+// touches a strict subset of the networks and the incremental re-solver's
+// affected region stays well below the whole instance (the re-solve
+// fraction the bench tracks).
+
+struct ChurnTreeScenario {
+  TreeProblem pool;
+  ArrivalConfig arrivals;
+  double epochLength = 8.0;
+};
+
+struct ChurnLineScenario {
+  LineProblem pool;
+  ArrivalConfig arrivals;
+  double epochLength = 8.0;
+};
+
+/// flash_crowd_50k: the CDN fabric under a viral spike — numDemands
+/// transfer demands (cdn_tree_250k pool shape, ~numDemands/8 networks);
+/// 60% of them arrive inside a burst of ~2 epochs at a quarter of the
+/// horizon, the rest trickle in Poisson-style.
+ChurnTreeScenario makeFlashCrowdTree50k(
+    std::uint64_t seed, std::int32_t numDemands = kFlashCrowdDemands);
+
+/// diurnal_metro_100k: the metropolitan line schedule under a day/night
+/// wave — numDemands window jobs (metro_line_100k pool shape,
+/// ~numDemands/8 resources) arriving along two sinusoidal cycles.
+ChurnLineScenario makeDiurnalMetroLine100k(
+    std::uint64_t seed, std::int32_t numDemands = kDiurnalMetroDemands);
+
+// ---- Preset registry ---------------------------------------------------
+
+/// One row per named preset, so tools can enumerate the catalogue
+/// (examples/distributed_demo --list-presets) without reading source.
+struct ScenarioPresetInfo {
+  std::string name;
+  std::string kind;  ///< "tree", "line", "tree+churn", "line+churn", ...
+  std::int32_t defaultDemands = 0;
+  std::string summary;
+};
+
+/// Every named preset of this header, in declaration order.
+std::vector<ScenarioPresetInfo> scenarioPresets();
 
 }  // namespace treesched

@@ -41,7 +41,6 @@ AsyncNetwork::AsyncNetwork(std::int32_t numEndpoints,
   // Per-link overrides: normalize to endpointA < endpointB, validate the
   // configs, reject duplicate links.
   double slowestBase = config_.latency.base;
-  double slowestUpper = latencyUpperBound(config_.latency);
   overrides_.reserve(config_.latencyOverrides.size());
   for (const LinkLatencyOverride& entry : config_.latencyOverrides) {
     LinkLatencyOverride normalized = entry;
@@ -54,8 +53,6 @@ AsyncNetwork::AsyncNetwork(std::int32_t numEndpoints,
     }
     validateLatencyConfig(normalized.latency);
     slowestBase = std::max(slowestBase, normalized.latency.base);
-    slowestUpper =
-        std::max(slowestUpper, latencyUpperBound(normalized.latency));
     overrides_.push_back(normalized);
   }
   std::sort(overrides_.begin(), overrides_.end(),
@@ -79,8 +76,24 @@ AsyncNetwork::AsyncNetwork(std::int32_t numEndpoints,
             __LINE__);
   timeout_ = config_.retransmitTimeout;
   if (timeout_ == 0) {
-    timeout_ = 2 * slowestUpper + config_.latency.base;
+    // Auto mode derives the timeout per link from that link's own model:
+    // a trans-continental override must never make the metro links wait
+    // for its round trip before retransmitting (the per-link timeout fix;
+    // the virtual-time regression lives in tests/net_test.cpp).
+    timeout_ = 2 * latencyUpperBound(config_.latency) + config_.latency.base;
+    overrideTimeout_.reserve(overrides_.size());
+    for (const LinkLatencyOverride& entry : overrides_) {
+      overrideTimeout_.push_back(2 * latencyUpperBound(entry.latency) +
+                                 entry.latency.base);
+    }
   }
+}
+
+double AsyncNetwork::timeoutFor(const Flight& flight) const {
+  if (flight.latencyOverride < 0 || overrideTimeout_.empty()) {
+    return timeout_;
+  }
+  return overrideTimeout_[static_cast<std::size_t>(flight.latencyOverride)];
 }
 
 std::int32_t AsyncNetwork::overrideIndex(std::int32_t a, std::int32_t b) const {
@@ -174,7 +187,7 @@ double AsyncNetwork::flush() {
                    EventKind::Deliver, event.flight, event.attempt);
         }
         // The next attempt fires unless the ack lands first.
-        schedule(now_ + timeout_, EventKind::Attempt, event.flight,
+        schedule(now_ + timeoutFor(flight), EventKind::Attempt, event.flight,
                  event.attempt + 1);
         break;
       }

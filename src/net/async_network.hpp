@@ -60,11 +60,13 @@ struct AsyncLinkConfig {
   /// (duplicating-link fault, [0, 0.9]). The receiver's dedup path
   /// suppresses the copy; runs stay bit-identical.
   double duplicateProbability = 0.0;
-  /// Retransmit if no ack after this long; 0 derives a round-trip upper
-  /// bound (2 * latencyUpperBound) plus slack from the slowest latency
-  /// model of the network. When set, must be >= every link's base
-  /// latency (below that the sender would retransmit in a tight loop
-  /// before any ack could round-trip).
+  /// Retransmit if no ack after this long; 0 derives a per-link
+  /// round-trip upper bound (2 * latencyUpperBound + base) from each
+  /// link's own latency model — a slow override never inflates the
+  /// timeout (and hence the virtual time) of the fast links around it.
+  /// When set explicitly, one global timeout covers every link and must
+  /// be >= every link's base latency (below that the sender would
+  /// retransmit in a tight loop before any ack could round-trip).
   double retransmitTimeout = 0.0;
 };
 
@@ -164,6 +166,7 @@ class AsyncNetwork {
   double delay(const Flight& flight, std::int32_t attempt,
                std::uint64_t salt) const;
   const LatencyConfig& linkLatency(const Flight& flight) const;
+  double timeoutFor(const Flight& flight) const;
   std::int32_t overrideIndex(std::int32_t a, std::int32_t b) const;
   void deliverPayload(Flight& flight);
   void collateDeliveries();
@@ -171,7 +174,10 @@ class AsyncNetwork {
   AsyncLinkConfig config_;
   std::vector<LinkLatencyOverride> overrides_;  ///< validated, a < b
   std::uint64_t seed_ = 0;
-  double timeout_ = 0;
+  double timeout_ = 0;  ///< links on the global latency model
+  /// Auto-derived per-override timeouts (aligned with overrides_); empty
+  /// when an explicit global timeout is configured.
+  std::vector<double> overrideTimeout_;
   double now_ = 0;
   std::uint64_t nextPacketId_ = 0;
   std::uint64_t nextEventSeq_ = 0;

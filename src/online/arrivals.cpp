@@ -1,0 +1,141 @@
+#include "online/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "net/latency.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace treesched {
+
+namespace {
+
+// Salts separating the independent hash draws of one demand.
+constexpr std::uint64_t kSaltArrival = 0x10;
+constexpr std::uint64_t kSaltBurstMember = 0x11;
+constexpr std::uint64_t kSaltLifetime = 0x12;
+constexpr std::uint64_t kSaltDiurnalTime = 0x13;
+constexpr std::uint64_t kSaltDiurnalAccept = 0x14;
+
+// Rejection-sampling attempts for the diurnal wave. The acceptance rate
+// is >= (1 - waveDepth) / 2 per attempt at the deepest trough; 64
+// attempts make a miss astronomically unlikely, and the deterministic
+// fallback (the last attempted time) keeps the trace total anyway.
+constexpr std::int32_t kDiurnalAttempts = 64;
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+double draw(const ArrivalConfig& config, DemandId d, std::uint64_t salt) {
+  return unitInterval(keyedHash(config.seed, static_cast<std::uint64_t>(d),
+                                salt));
+}
+
+double arrivalTime(const ArrivalConfig& config, DemandId d) {
+  switch (config.model) {
+    case ArrivalModel::Poisson:
+      return config.horizon * draw(config, d, kSaltArrival);
+    case ArrivalModel::FlashCrowd: {
+      if (draw(config, d, kSaltBurstMember) < config.burstFraction) {
+        const double begin =
+            config.horizon *
+            (config.burstCenter - 0.5 * config.burstWidth);
+        const double t = begin + config.horizon * config.burstWidth *
+                                     draw(config, d, kSaltArrival);
+        return std::clamp(t, 0.0, config.horizon);
+      }
+      return config.horizon * draw(config, d, kSaltArrival);
+    }
+    case ArrivalModel::Diurnal: {
+      // Intensity(t) = 1 + waveDepth * sin(2 pi waves t / horizon),
+      // sampled by hash-keyed rejection: attempt a is accepted with
+      // probability intensity / (1 + waveDepth).
+      double t = 0;
+      for (std::int32_t a = 0; a < kDiurnalAttempts; ++a) {
+        const auto salt = static_cast<std::uint64_t>(a);
+        t = config.horizon *
+            unitInterval(keyedHash(config.seed,
+                                   static_cast<std::uint64_t>(d),
+                                   kSaltDiurnalTime, salt));
+        const double intensity =
+            1.0 + config.waveDepth *
+                      std::sin(kTwoPi * config.waves * t / config.horizon);
+        const double accept =
+            unitInterval(keyedHash(config.seed,
+                                   static_cast<std::uint64_t>(d),
+                                   kSaltDiurnalAccept, salt));
+        if (accept * (1.0 + config.waveDepth) < intensity) {
+          return t;
+        }
+      }
+      return t;
+    }
+  }
+  throw CheckError("unknown ArrivalModel");
+}
+
+double lifetime(const ArrivalConfig& config, DemandId d) {
+  // Inverse-CDF exponential; the draw is < 1, so the log argument is
+  // strictly positive.
+  const double u = draw(config, d, kSaltLifetime);
+  return -config.meanLifetime * std::log1p(-u);
+}
+
+}  // namespace
+
+void validateArrivalConfig(const ArrivalConfig& config) {
+  checkThat(config.horizon > 0, "arrival horizon positive", __FILE__,
+            __LINE__);
+  checkThat(config.meanLifetime > 0, "mean lifetime positive", __FILE__,
+            __LINE__);
+  checkThat(config.burstFraction >= 0 && config.burstFraction <= 1,
+            "burst fraction in [0, 1]", __FILE__, __LINE__);
+  checkThat(config.burstWidth > 0 && config.burstWidth <= 1,
+            "burst width in (0, 1]", __FILE__, __LINE__);
+  checkThat(config.burstCenter >= 0 && config.burstCenter <= 1,
+            "burst center in [0, 1]", __FILE__, __LINE__);
+  checkThat(config.waves > 0, "diurnal waves positive", __FILE__, __LINE__);
+  checkThat(config.waveDepth >= 0 && config.waveDepth < 1,
+            "wave depth in [0, 1)", __FILE__, __LINE__);
+}
+
+ChurnTrace generateChurnTrace(const ArrivalConfig& config,
+                              std::int32_t numDemands) {
+  validateArrivalConfig(config);
+  checkThat(numDemands >= 0, "demand count non-negative", __FILE__, __LINE__);
+
+  ChurnTrace trace;
+  trace.horizon = config.horizon;
+  trace.events.reserve(static_cast<std::size_t>(numDemands) * 2);
+  for (DemandId d = 0; d < numDemands; ++d) {
+    const double arrive = arrivalTime(config, d);
+    trace.events.push_back({arrive, d, true});
+    const double depart = arrive + lifetime(config, d);
+    if (depart < config.horizon) {
+      trace.events.push_back({depart, d, false});
+    }
+  }
+  // Total deterministic order; a demand's arrival sorts before its
+  // departure even in the (measure-zero) case of a zero lifetime draw.
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              return std::tuple(a.time, a.demand, !a.arrival) <
+                     std::tuple(b.time, b.demand, !b.arrival);
+            });
+  return trace;
+}
+
+const char* arrivalModelName(ArrivalModel model) {
+  switch (model) {
+    case ArrivalModel::Poisson:
+      return "poisson";
+    case ArrivalModel::FlashCrowd:
+      return "flash_crowd";
+    case ArrivalModel::Diurnal:
+      return "diurnal";
+  }
+  return "unknown";
+}
+
+}  // namespace treesched

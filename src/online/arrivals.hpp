@@ -1,0 +1,81 @@
+// Pluggable arrival processes for the online churn engine.
+//
+// A churn trace assigns every demand of a pool an arrival time and an
+// (exponential) lifetime in virtual time. Three processes cover the
+// workloads the ROADMAP north star cares about:
+//
+//  * Poisson     — arrivals uniform over the horizon (a Poisson process
+//                  conditioned on the demand count): steady traffic.
+//  * FlashCrowd  — a configurable fraction of the demands piles into a
+//                  narrow burst window; the rest trickle in uniformly:
+//                  the viral-content spike.
+//  * Diurnal     — arrival intensity follows a sinusoidal day/night wave
+//                  (sampled by hash-keyed rejection): the metro rush
+//                  hour.
+//
+// Every draw is a stable hash of (seed, demand, salt[, attempt]) — the
+// net/latency.hpp discipline — so a trace is a pure function of its
+// config: no stateful RNG, no generation-order coupling, bit-identical
+// on every platform.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/demand.hpp"
+
+namespace treesched {
+
+enum class ArrivalModel : std::uint8_t { Poisson, FlashCrowd, Diurnal };
+
+struct ArrivalConfig {
+  ArrivalModel model = ArrivalModel::Poisson;
+  std::uint64_t seed = 1;
+  /// Virtual-time window in which demands may arrive (> 0). Departures
+  /// past the horizon are dropped: those demands stay until the end.
+  double horizon = 100.0;
+  /// Mean of the exponential lifetime (> 0).
+  double meanLifetime = 40.0;
+
+  // ---- FlashCrowd ----
+  double burstCenter = 0.5;    ///< burst midpoint as a fraction of horizon
+  double burstWidth = 0.05;    ///< burst window width, fraction of horizon
+  double burstFraction = 0.7;  ///< fraction of demands arriving in the burst
+
+  // ---- Diurnal ----
+  double waves = 2.0;      ///< full day/night cycles over the horizon
+  double waveDepth = 0.9;  ///< intensity swing in [0, 1]; 0 = flat
+};
+
+/// Throws CheckError unless the config is well-formed.
+void validateArrivalConfig(const ArrivalConfig& config);
+
+/// One churn event: demand `demand` arrives (or departs) at `time`.
+struct ChurnEvent {
+  double time = 0;
+  DemandId demand = 0;
+  bool arrival = true;
+};
+
+/// A complete trace over a demand pool: every demand arrives exactly
+/// once; a demand departs at most once, strictly after its arrival.
+/// Events are sorted by (time, demand, departure-before-arrival) — a
+/// total deterministic order.
+struct ChurnTrace {
+  std::vector<ChurnEvent> events;
+  double horizon = 0;
+
+  /// Virtual time of the last event (0 when empty).
+  double lastEventTime() const {
+    return events.empty() ? 0.0 : events.back().time;
+  }
+};
+
+/// Generates the trace for `numDemands` pool demands (ids 0..n-1).
+ChurnTrace generateChurnTrace(const ArrivalConfig& config,
+                              std::int32_t numDemands);
+
+/// Human-readable model name ("poisson", "flash_crowd", "diurnal").
+const char* arrivalModelName(ArrivalModel model);
+
+}  // namespace treesched

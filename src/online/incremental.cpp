@@ -1,0 +1,364 @@
+#include "online/incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "framework/lhs_tracker.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace treesched {
+
+namespace {
+
+// Salt separating the per-epoch protocol seeds from every other keyed
+// stream in the library.
+constexpr std::uint64_t kEpochSeedSalt = 0x0e90c4;
+
+std::vector<std::vector<std::int32_t>> emptyAdjacency(std::int32_t n) {
+  return std::vector<std::vector<std::int32_t>>(
+      static_cast<std::size_t>(std::max(1, n)));
+}
+
+}  // namespace
+
+IncrementalSolver::IncrementalSolver(
+    const InstanceUniverse& universe, const Layering& layering,
+    const std::vector<std::vector<std::int32_t>>& access,
+    const OnlineSolverConfig& config)
+    : u_(universe),
+      lay_(layering),
+      access_(access),
+      cfg_(config),
+      bus_(emptyAdjacency(universe.numDemands())),
+      active_(static_cast<std::size_t>(universe.numDemands()), 0),
+      networkMembers_(static_cast<std::size_t>(universe.numNetworks())),
+      dual_(universe),
+      lhs_(static_cast<std::size_t>(universe.numInstances()), 0.0),
+      raisesOfDemand_(static_cast<std::size_t>(universe.numDemands())) {
+  checkThat(u_.conflictsBuilt(), "conflicts built before online solve",
+            __FILE__, __LINE__);
+  checkThat(u_.numDemands() > 0, "online solver needs a demand pool",
+            __FILE__, __LINE__);
+  checkThat(static_cast<std::int32_t>(access_.size()) == u_.numDemands(),
+            "one accessibility list per pool demand", __FILE__, __LINE__);
+  checkThat(cfg_.stepsPerStage > 0,
+            "online epochs run the fixed schedule (stepsPerStage > 0)",
+            __FILE__, __LINE__);
+}
+
+std::uint64_t IncrementalSolver::pairKey(std::int32_t a, std::int32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
+}
+
+void IncrementalSolver::activate(DemandId d) {
+  checkThat(active_[static_cast<std::size_t>(d)] == 0,
+            "arrival of an inactive demand", __FILE__, __LINE__);
+  active_[static_cast<std::size_t>(d)] = 1;
+  ++activeDemandCount_;
+  activeInstanceCount_ +=
+      static_cast<std::int64_t>(u_.instancesOfDemand(d).size());
+
+  // New communication edges: one per active demand first found sharing a
+  // network with d; further shared networks only bump the edge's count.
+  newNeighbors_.clear();
+  for (const std::int32_t t : access_[static_cast<std::size_t>(d)]) {
+    auto& members = networkMembers_[static_cast<std::size_t>(t)];
+    for (const DemandId m : members) {
+      if (++sharedNetworks_[pairKey(d, m)] == 1) {
+        newNeighbors_.push_back(m);
+      }
+    }
+    members.insert(std::lower_bound(members.begin(), members.end(), d), d);
+  }
+  std::sort(newNeighbors_.begin(), newNeighbors_.end());
+  bus_.connectDemand(d, newNeighbors_);
+}
+
+void IncrementalSolver::deactivate(DemandId d) {
+  checkThat(active_[static_cast<std::size_t>(d)] != 0,
+            "departure of an active demand", __FILE__, __LINE__);
+  active_[static_cast<std::size_t>(d)] = 0;
+  --activeDemandCount_;
+  activeInstanceCount_ -=
+      static_cast<std::int64_t>(u_.instancesOfDemand(d).size());
+
+  for (const std::int32_t t : access_[static_cast<std::size_t>(d)]) {
+    auto& members = networkMembers_[static_cast<std::size_t>(t)];
+    const auto pos = std::lower_bound(members.begin(), members.end(), d);
+    checkThat(pos != members.end() && *pos == d, "departing demand listed",
+              __FILE__, __LINE__);
+    members.erase(pos);
+  }
+  for (const std::int32_t m : bus_.neighbors(d)) {
+    sharedNetworks_.erase(pairKey(d, m));
+  }
+  bus_.disconnectDemand(d);
+}
+
+void IncrementalSolver::applyRaiseSigned(const RaiseRecord& record,
+                                         double sign) {
+  const InstanceRecord& rec = u_.instance(record.instance);
+  const double alphaInc = sign * record.amounts.alphaIncrement;
+  const double betaInc = sign * record.amounts.betaIncrement;
+  // Alpha first, then the critical edges — the exact accumulation order
+  // of the centralized LhsTracker (whose shared helpers define the
+  // update rule), so a post-reset replay reproduces the from-scratch
+  // LHS (and hence lambda) bit for bit.
+  dual_.raiseAlpha(rec.demand, alphaInc);
+  applyAlphaToLhs(u_, rec.demand, alphaInc, lhs_);
+  for (const GlobalEdgeId e : lay_.critical(record.instance)) {
+    dual_.raiseBeta(e, betaInc);
+    applyBetaToLhs(u_, cfg_.rule, e, betaInc, lhs_);
+  }
+}
+
+void IncrementalSolver::purgeRaisesOf(DemandId d) {
+  for (const std::int32_t idx : raisesOfDemand_[static_cast<std::size_t>(d)]) {
+    RaiseRecord& record = raises_[static_cast<std::size_t>(idx)];
+    if (!record.live) continue;
+    record.live = false;
+    applyRaiseSigned(record, -1.0);
+    auto& set = stack_[static_cast<std::size_t>(record.stackEntry)];
+    const auto pos =
+        std::lower_bound(set.begin(), set.end(), record.instance);
+    checkThat(pos != set.end() && *pos == record.instance,
+              "purged raise present in its stack set", __FILE__, __LINE__);
+    set.erase(pos);
+  }
+  raisesOfDemand_[static_cast<std::size_t>(d)].clear();
+}
+
+void IncrementalSolver::resetDualState() {
+  dual_ = DualState(u_);
+  std::fill(lhs_.begin(), lhs_.end(), 0.0);
+  raises_.clear();
+  for (auto& list : raisesOfDemand_) {
+    list.clear();
+  }
+  stack_.clear();
+}
+
+void IncrementalSolver::popPersistentStack() {
+  // Exactly runTwoPhase's phase 2 over the merged persistent stack:
+  // newest set first, members ascending, greedy feasibility-oracle
+  // admission. Every member is owned by an active demand (departed
+  // demands' raises were purged).
+  FeasibilityOracle oracle(u_);
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    for (const InstanceId i : *it) {
+      if (oracle.canAdd(i)) {
+        oracle.add(i);
+      }
+    }
+  }
+  solution_ = oracle.solution();
+  profit_ = oracle.profit();
+}
+
+std::vector<InstanceId> IncrementalSolver::activeInstanceIds() const {
+  std::vector<InstanceId> ids;
+  ids.reserve(static_cast<std::size_t>(activeInstanceCount_));
+  for (DemandId d = 0; d < u_.numDemands(); ++d) {
+    if (active_[static_cast<std::size_t>(d)] == 0) continue;
+    const auto span = u_.instancesOfDemand(d);
+    ids.insert(ids.end(), span.begin(), span.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+EpochOutcome IncrementalSolver::applyEpoch(
+    std::span<const DemandId> arrivals, std::span<const DemandId> departures) {
+  EpochOutcome outcome;
+  outcome.epoch = epoch_;
+  outcome.arrivals = static_cast<std::int32_t>(arrivals.size());
+  outcome.departures = static_cast<std::int32_t>(departures.size());
+  outcome.protocolSeed = keyedHash(cfg_.seed, kEpochSeedSalt,
+                                   static_cast<std::uint64_t>(epoch_));
+
+  // Zero-churn epoch: nothing changed, so the previous epoch's
+  // admission, duals and slackness carry over verbatim — no stack
+  // re-pop, no lambda scan, no protocol run.
+  if (arrivals.empty() && departures.empty()) {
+    outcome.activeDemands = activeDemandCount_;
+    outcome.activeInstances = activeInstanceCount_;
+    outcome.solution = solution_;
+    outcome.profit = profit_;
+    outcome.lambdaMeasured = lambdaMeasured_;
+    outcome.dualObjective = dualObjective_;
+    outcome.dualUpperBound =
+        lambdaMeasured_ > 0 ? dualObjective_ / lambdaMeasured_
+                            : std::numeric_limits<double>::infinity();
+    ++epoch_;
+    return outcome;
+  }
+
+  // Networks whose demand population changes this epoch — the changed
+  // set that defines the affected region.
+  changedNetworks_.clear();
+  for (const DemandId d : departures) {
+    checkIndex(d, u_.numDemands(), "departing demand");
+    const auto& nets = access_[static_cast<std::size_t>(d)];
+    changedNetworks_.insert(changedNetworks_.end(), nets.begin(), nets.end());
+  }
+  for (const DemandId d : arrivals) {
+    checkIndex(d, u_.numDemands(), "arriving demand");
+    const auto& nets = access_[static_cast<std::size_t>(d)];
+    changedNetworks_.insert(changedNetworks_.end(), nets.begin(), nets.end());
+  }
+  std::sort(changedNetworks_.begin(), changedNetworks_.end());
+  changedNetworks_.erase(
+      std::unique(changedNetworks_.begin(), changedNetworks_.end()),
+      changedNetworks_.end());
+
+  // Departures first (their raises purge exactly), then arrivals extend
+  // the live communication graph.
+  for (const DemandId d : departures) {
+    purgeRaisesOf(d);
+    deactivate(d);
+  }
+  for (const DemandId d : arrivals) {
+    activate(d);
+  }
+
+  // Affected region: active demands on a changed network.
+  affected_.clear();
+  for (const std::int32_t t : changedNetworks_) {
+    const auto& members = networkMembers_[static_cast<std::size_t>(t)];
+    affected_.insert(affected_.end(), members.begin(), members.end());
+  }
+  std::sort(affected_.begin(), affected_.end());
+  affected_.erase(std::unique(affected_.begin(), affected_.end()),
+                  affected_.end());
+
+  outcome.activeDemands = activeDemandCount_;
+  outcome.activeInstances = activeInstanceCount_;
+  outcome.affectedDemands = static_cast<std::int32_t>(affected_.size());
+  outcome.fullResolve =
+      activeDemandCount_ > 0 &&
+      static_cast<std::int32_t>(affected_.size()) == activeDemandCount_;
+
+  if (outcome.fullResolve) {
+    // The whole instance is affected: drop the warm state and solve from
+    // scratch — this is the epoch the equivalence gate compares bit for
+    // bit against runTwoPhaseRestricted on the active set.
+    resetDualState();
+  }
+  restricted_.clear();
+  for (const DemandId d : affected_) {
+    const auto span = u_.instancesOfDemand(d);
+    restricted_.insert(restricted_.end(), span.begin(), span.end());
+  }
+  std::sort(restricted_.begin(), restricted_.end());
+  outcome.affectedInstances = static_cast<std::int64_t>(restricted_.size());
+  outcome.resolveFraction =
+      activeInstanceCount_ > 0
+          ? static_cast<double>(restricted_.size()) /
+                static_cast<double>(activeInstanceCount_)
+          : 0.0;
+
+  if (!restricted_.empty()) {
+    DistributedOptions options;
+    options.epsilon = cfg_.epsilon;
+    options.rule = cfg_.rule;
+    options.hmin = cfg_.hmin;
+    options.seed = outcome.protocolSeed;
+    options.threads = cfg_.threads;
+    options.misRoundBudget = cfg_.misRoundBudget;
+    options.stepsPerStage = cfg_.stepsPerStage;
+    options.recordRaiseLog = true;
+
+    WarmStart warm;
+    warm.activeInstances = restricted_;
+    if (!outcome.fullResolve) {
+      warm.priorLhs = lhs_;
+    }
+
+    const std::int64_t roundsBefore = bus_.stats().rounds;
+    const std::int64_t messagesBefore = bus_.stats().messages;
+    const DistributedResult run =
+        runDistributedWarmStart(u_, lay_, bus_, options, warm);
+    outcome.raises = run.raises;
+    outcome.rounds = bus_.stats().rounds - roundsBefore;
+    outcome.messages = bus_.stats().messages - messagesBefore;
+
+    // Replay the epoch's raises into the persistent duals/LHS and append
+    // its stack sets (one per schedule tuple that raised).
+    std::int64_t lastTuple = -1;
+    for (const DualRaiseRecord& entry : run.raiseLog) {
+      if (entry.tuple != lastTuple) {
+        stack_.emplace_back();
+        lastTuple = entry.tuple;
+      }
+      RaiseRecord record;
+      record.instance = entry.instance;
+      record.amounts = {entry.alphaIncrement, entry.betaIncrement};
+      record.stackEntry = static_cast<std::int32_t>(stack_.size()) - 1;
+      record.live = true;
+      stack_.back().push_back(entry.instance);
+      raisesOfDemand_[static_cast<std::size_t>(
+                          u_.instance(entry.instance).demand)]
+          .push_back(static_cast<std::int32_t>(raises_.size()));
+      raises_.push_back(record);
+      applyRaiseSigned(record, 1.0);
+    }
+  }
+
+  // Admission: phase 2 over the merged persistent stack.
+  popPersistentStack();
+  outcome.solution = solution_;
+  outcome.profit = profit_;
+
+  // Slackness over the whole active set (warm epochs inherit the old
+  // epochs' satisfaction; the dual pair scaled by lambda is feasible for
+  // the active universe, so objective / lambda upper-bounds OPT).
+  double lambda = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (DemandId d = 0; d < u_.numDemands(); ++d) {
+    if (active_[static_cast<std::size_t>(d)] == 0) continue;
+    for (const InstanceId i : u_.instancesOfDemand(d)) {
+      any = true;
+      lambda = std::min(lambda, lhs_[static_cast<std::size_t>(i)] /
+                                    u_.instance(i).profit);
+    }
+  }
+  lambdaMeasured_ = any ? lambda : 1.0;
+  dualObjective_ = dual_.objective();
+  outcome.lambdaMeasured = lambdaMeasured_;
+  outcome.dualObjective = dualObjective_;
+  outcome.dualUpperBound =
+      outcome.lambdaMeasured > 0
+          ? outcome.dualObjective / outcome.lambdaMeasured
+          : std::numeric_limits<double>::infinity();
+
+  ++epoch_;
+  return outcome;
+}
+
+double IncrementalSolver::maxLhsDeviationFromReplay() const {
+  std::vector<double> replay(lhs_.size(), 0.0);
+  for (const RaiseRecord& record : raises_) {
+    if (!record.live) continue;
+    const InstanceRecord& rec = u_.instance(record.instance);
+    applyAlphaToLhs(u_, rec.demand, record.amounts.alphaIncrement, replay);
+    for (const GlobalEdgeId e : lay_.critical(record.instance)) {
+      applyBetaToLhs(u_, cfg_.rule, e, record.amounts.betaIncrement, replay);
+    }
+  }
+  double deviation = 0;
+  for (DemandId d = 0; d < u_.numDemands(); ++d) {
+    if (active_[static_cast<std::size_t>(d)] == 0) continue;
+    for (const InstanceId i : u_.instancesOfDemand(d)) {
+      deviation = std::max(
+          deviation, std::abs(replay[static_cast<std::size_t>(i)] -
+                              lhs_[static_cast<std::size_t>(i)]));
+    }
+  }
+  return deviation;
+}
+
+}  // namespace treesched

@@ -1,0 +1,187 @@
+// Warm-started incremental epoch re-solver (the online tentpole).
+//
+// The solver owns a *pool* universe (every demand that can ever exist)
+// and a live SimNetwork over it. Demands arrive and depart in epoch
+// batches; each batch triggers an incremental re-solve instead of a
+// from-scratch run:
+//
+//  * The communication graph is extended incrementally — arrival of d
+//    adds node d plus edges to active demands sharing a network (via a
+//    shared-network edge count, so duplicated shared networks never
+//    duplicate edges); departure removes d's edges. Never a full
+//    rebuild, and the transport (with its warmed-up message plane and
+//    cumulative stats) persists across every epoch.
+//  * Departures are *purged exactly*: every surviving dual is the dual
+//    of a raise owned by a still-active demand. A departed demand's
+//    alpha/beta increments are subtracted and its instances leave the
+//    persistent phase-1 stack. Locality makes this safe: a purged beta
+//    lives on a critical edge of the departed demand, so only demands
+//    sharing one of its networks — the affected region by definition —
+//    can see their LHS move.
+//  * The distributed protocol then re-runs ONLY over the affected
+//    region (active demands whose accessible networks intersect the
+//    changed networks), warm-started from the surviving LHS
+//    (dist/protocol.hpp runDistributedWarmStart). Unaffected instances
+//    keep their lambda-satisfaction from earlier epochs, so the
+//    slackness invariant holds over the whole active set after every
+//    epoch.
+//  * Phase 2 re-pops the persistent stack (old surviving sets + the
+//    epoch's new sets) with the centralized feasibility oracle — the
+//    admission step. Because every surviving raise's instance is popped
+//    and every active instance is lambda-satisfied, the paper's
+//    approximation argument goes through unchanged: epoch profit >=
+//    val(alpha, beta) / bound >= lambda * OPT(active) / bound.
+//
+// Equivalence gate (tests/online_test.cpp): when the affected region is
+// the whole active set the solver drops the warm state and the epoch is
+// bit-identical to runTwoPhaseRestricted on the surviving demand set;
+// otherwise the epoch must stay feasible and within the approximation
+// factor of the from-scratch solve.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/solution.hpp"
+#include "core/universe.hpp"
+#include "decomp/layering.hpp"
+#include "dist/protocol.hpp"
+#include "dist/sim_network.hpp"
+#include "framework/dual_state.hpp"
+#include "framework/raise_policy.hpp"
+
+namespace treesched {
+
+struct OnlineSolverConfig {
+  double epsilon = 0.3;
+  RaiseRule rule = RaiseRule::Unit;
+  double hmin = 1.0;
+  std::uint64_t seed = 1;
+  std::int32_t misRoundBudget = 4;
+  /// Fixed-schedule steps per stage (> 0: the online path always runs
+  /// the fixed global schedule so epochs are comparable and the
+  /// full-region gate can be bit-identical).
+  std::int32_t stepsPerStage = 2;
+  std::int32_t threads = 1;
+};
+
+/// Everything one epoch reports. `solution` is the admitted set over the
+/// current active demands (acceptance order).
+struct EpochOutcome {
+  std::int32_t epoch = 0;
+  std::uint64_t protocolSeed = 0;  ///< seed of this epoch's protocol run
+  std::int32_t arrivals = 0;
+  std::int32_t departures = 0;
+  std::int32_t activeDemands = 0;
+  std::int64_t activeInstances = 0;
+  std::int32_t affectedDemands = 0;
+  std::int64_t affectedInstances = 0;
+  /// |affected instances| / |active instances| — the work the epoch
+  /// re-solved relative to a from-scratch run (1 on a full re-solve,
+  /// 0 on a no-churn epoch).
+  double resolveFraction = 0;
+  /// True when the affected region covered every active demand: the warm
+  /// state was dropped and the epoch equals the from-scratch solve bit
+  /// for bit.
+  bool fullResolve = false;
+  Solution solution;  ///< acceptance order (phase-2 pop order)
+  double profit = 0;
+  double dualObjective = 0;
+  double dualUpperBound = 0;
+  double lambdaMeasured = 0;
+  std::int64_t raises = 0;
+  std::int64_t rounds = 0;    ///< protocol rounds spent by this epoch
+  std::int64_t messages = 0;  ///< messages delivered during this epoch
+};
+
+class IncrementalSolver {
+ public:
+  /// `universe` must have conflicts built; `access` are the pool
+  /// problem's accessibility lists (one per demand, network ids). The
+  /// references must outlive the solver.
+  IncrementalSolver(const InstanceUniverse& universe, const Layering& layering,
+                    const std::vector<std::vector<std::int32_t>>& access,
+                    const OnlineSolverConfig& config);
+
+  /// Admits one epoch batch: `arrivals` must be inactive pool demands,
+  /// `departures` active ones (both duplicate-free). Returns the epoch
+  /// report; the admitted solution is also retained (solution()).
+  EpochOutcome applyEpoch(std::span<const DemandId> arrivals,
+                          std::span<const DemandId> departures);
+
+  std::int32_t numEpochs() const { return epoch_; }
+  std::int32_t activeDemands() const { return activeDemandCount_; }
+  bool isActive(DemandId d) const {
+    return active_[static_cast<std::size_t>(d)] != 0;
+  }
+  /// Active instances, ascending (rebuilt on demand).
+  std::vector<InstanceId> activeInstanceIds() const;
+  const Solution& solution() const { return solution_; }
+  double profit() const { return profit_; }
+  const SimNetwork& transport() const { return bus_; }
+  double lhs(InstanceId i) const {
+    return lhs_[static_cast<std::size_t>(i)];
+  }
+
+  /// Test audit: max absolute deviation between the persistent LHS of
+  /// active instances and a fresh replay of the surviving raise log
+  /// (bounds the floating-point residue of departure purges).
+  double maxLhsDeviationFromReplay() const;
+
+ private:
+  struct RaiseRecord {
+    InstanceId instance = kNoInstance;
+    RaiseAmounts amounts;
+    std::int32_t stackEntry = -1;
+    bool live = false;
+  };
+
+  static std::uint64_t pairKey(std::int32_t a, std::int32_t b);
+
+  void activate(DemandId d);
+  void deactivate(DemandId d);
+  void purgeRaisesOf(DemandId d);
+  void applyRaiseSigned(const RaiseRecord& record, double sign);
+  void resetDualState();
+  void popPersistentStack();
+
+  const InstanceUniverse& u_;
+  const Layering& lay_;
+  const std::vector<std::vector<std::int32_t>>& access_;
+  OnlineSolverConfig cfg_;
+
+  SimNetwork bus_;  ///< the live transport, persistent across epochs
+
+  // Active set + incremental communication graph bookkeeping.
+  std::vector<std::uint8_t> active_;
+  std::int32_t activeDemandCount_ = 0;
+  std::int64_t activeInstanceCount_ = 0;
+  std::vector<std::vector<DemandId>> networkMembers_;  ///< active, sorted
+  /// Shared-network count per unordered demand pair with >= 1 common
+  /// active network; an edge exists while the count is positive.
+  std::unordered_map<std::uint64_t, std::int32_t> sharedNetworks_;
+
+  // Persistent primal-dual state: duals/LHS of the surviving raises, the
+  // surviving raise log, and the phase-1 stack across epochs.
+  DualState dual_;
+  std::vector<double> lhs_;
+  std::vector<RaiseRecord> raises_;
+  std::vector<std::vector<std::int32_t>> raisesOfDemand_;
+  std::vector<std::vector<InstanceId>> stack_;
+
+  Solution solution_;
+  double profit_ = 0;
+  double lambdaMeasured_ = 1.0;
+  double dualObjective_ = 0;
+  std::int32_t epoch_ = 0;
+
+  // Scratch (reused per epoch).
+  std::vector<std::int32_t> changedNetworks_;
+  std::vector<DemandId> affected_;
+  std::vector<InstanceId> restricted_;
+  std::vector<std::int32_t> newNeighbors_;
+};
+
+}  // namespace treesched

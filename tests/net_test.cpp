@@ -7,6 +7,7 @@
 
 #include "net/async_network.hpp"
 #include "net/latency.hpp"
+#include "net/runner.hpp"
 #include "net/synchronizer.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -225,6 +226,80 @@ TEST(AsyncNetwork, PerLinkOverrideValidation) {
   link.retransmitTimeout = 10.0;
   AsyncNetwork ok(2, link, 1);
   EXPECT_EQ(ok.numEndpoints(), 2);
+}
+
+TEST(AsyncNetwork, AutoTimeoutIsDerivedPerLink) {
+  // Regression on virtual time: the auto timeout used to be one global
+  // value covering the slowest link of the network, so a slow override
+  // inflated every retransmission wait on the fast links. It is now
+  // derived per link — an override pinning an *unused* link pair to a
+  // far slower model must leave the fast-link traffic untouched.
+  AsyncLinkConfig link = losslessLink();  // global base 1.0
+  link.dropProbability = 0.5;
+  const auto run = [](const AsyncLinkConfig& cfg) {
+    AsyncNetwork net(3, cfg, 42);
+    for (int i = 0; i < 40; ++i) {
+      net.send(0, 1, {MessageKind::MisActive, 0, i, 0.0});
+    }
+    const double time = net.flush();
+    return std::pair(time, net.retransmissions());
+  };
+  const auto baseline = run(link);
+  ASSERT_GT(baseline.second, 0);  // the timeout path was exercised
+
+  LinkLatencyOverride slow;
+  slow.endpointA = 0;
+  slow.endpointB = 2;  // never transmits below
+  slow.latency.base = 200.0;
+  link.latencyOverrides.push_back(slow);
+  const auto withUnusedSlowLink = run(link);
+  EXPECT_EQ(withUnusedSlowLink.first, baseline.first);
+  EXPECT_EQ(withUnusedSlowLink.second, baseline.second);
+  // With the old global derivation a single retransmission would already
+  // have pushed virtual time past the slow link's timeout.
+  EXPECT_LT(withUnusedSlowLink.first, 200.0);
+}
+
+TEST(AsyncNetwork, PerLinkTimeoutKeepsProtocolVirtualTimeFlat) {
+  // Same regression at the NetworkStats level: demands 0 and 1 share
+  // network 0, demand 2 sits alone on network 1, so the only physical
+  // link is (0, 1) and an override on (0, 2) is dead weight. The
+  // protocol's reported virtualTime must be bit-identical with and
+  // without it.
+  TreeProblem problem;
+  problem.numVertices = 4;
+  problem.networks.push_back(
+      TreeNetwork(0, 4, {{0, 1}, {1, 2}, {2, 3}}));
+  problem.networks.push_back(
+      TreeNetwork(1, 4, {{0, 2}, {2, 1}, {1, 3}}));
+  problem.demands.push_back({0, 0, 3, 5.0, 1.0});
+  problem.demands.push_back({1, 1, 2, 3.0, 1.0});
+  problem.demands.push_back({2, 0, 3, 4.0, 1.0});
+  problem.access = {{0}, {0}, {1}};
+  problem.validate();
+
+  DistributedOptions options;
+  options.seed = 5;
+  options.misRoundBudget = 3;
+  options.stepsPerStage = 2;
+  AsyncConfig net;
+  net.seed = 77;
+  net.link.latency.base = 1.0;
+  net.link.dropProbability = 0.3;
+  const DistributedResult fast = runAsyncUnitTree(problem, options, net);
+  ASSERT_GT(fast.network.retransmissions, 0);
+
+  LinkLatencyOverride slow;
+  slow.endpointA = 0;
+  slow.endpointB = 2;
+  slow.latency.base = 500.0;
+  net.link.latencyOverrides.push_back(slow);
+  const DistributedResult withUnused =
+      runAsyncUnitTree(problem, options, net);
+  EXPECT_EQ(withUnused.network.virtualTime, fast.network.virtualTime);
+  EXPECT_EQ(withUnused.network.retransmissions,
+            fast.network.retransmissions);
+  EXPECT_EQ(withUnused.solution.instances, fast.solution.instances);
 }
 
 TEST(AsyncNetwork, AutoTimeoutCoversSlowestOverride) {

@@ -291,6 +291,65 @@ TEST(MessagePlane, ParallelSegmentSortMatchesSerial) {
   }
 }
 
+TEST(MessagePlane, ParallelFanoutMatchesSerialStaging) {
+  // The deferred broadcast fan-out (stageFanout) must deliver exactly
+  // what the serial per-neighbour stage() loop delivers — at any thread
+  // count, and mixed with direct stage() rows in the same round.
+  ParallelRunner runner(4);
+  MessagePlane parallel(12);
+  MessagePlane serial(12);
+  parallel.attachRunner(&runner);
+  Rng rng(13);
+  std::vector<std::vector<std::int32_t>> destLists;
+  for (int f = 0; f < 40; ++f) {
+    std::vector<std::int32_t> dests;
+    for (std::int32_t d = 0; d < 12; ++d) {
+      if (rng.nextBool(0.4)) dests.push_back(d);
+    }
+    destLists.push_back(std::move(dests));
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t f = 0; f < destLists.size(); ++f) {
+      const Message message =
+          msg(f % 2 == 0 ? MessageKind::MisActive : MessageKind::DualRaise,
+              static_cast<DemandId>(f % 12),
+              static_cast<InstanceId>(rng.nextBounded(64)),
+              rng.nextDouble());
+      parallel.stageFanout(message, destLists[f]);
+      for (const std::int32_t d : destLists[f]) {
+        serial.stage(d, message);
+      }
+      if (f % 7 == 0) {  // direct rows interleaved with fan-outs
+        const Message direct = msg(MessageKind::Accept, 3, 5);
+        parallel.stage(4, direct);
+        serial.stage(4, direct);
+      }
+    }
+    EXPECT_EQ(parallel.stagedCount(), serial.stagedCount());
+    EXPECT_TRUE(parallel.hasStaged());
+    parallel.deliver();
+    serial.deliver();
+    ASSERT_EQ(parallel.deliveredCount(), serial.deliveredCount());
+    for (std::int32_t p = 0; p < 12; ++p) {
+      const auto a = parallel.inbox(p);
+      const auto b = serial.inbox(p);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].from, b[i].from);
+        EXPECT_EQ(a[i].instance, b[i].instance);
+        EXPECT_EQ(a[i].value, b[i].value);
+      }
+    }
+  }
+  // Queued fan-outs guard the silent-round contract like staged rows.
+  parallel.stageFanout(msg(MessageKind::MisActive, 0, 1), destLists[0]);
+  if (!destLists[0].empty()) {
+    EXPECT_THROW(parallel.clearInboxes(), CheckError);
+    parallel.deliver();
+  }
+}
+
 // ---- ParallelRunner units ----
 
 TEST(ParallelRunner, PlanCoversRangeExactlyOnce) {

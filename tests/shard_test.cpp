@@ -3,8 +3,10 @@
 // processor-level collapse of the communication graph.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
+#include "gen/scenario.hpp"
 #include "net/shard.hpp"
 #include "util/check.hpp"
 
@@ -104,6 +106,109 @@ TEST(ShardPlacement, RejectsDegenerateInputs) {
   EXPECT_THROW(
       ShardPlacement::build(ShardStrategy::RoundRobin, stripedAccess(4, 2), 0),
       CheckError);
+}
+
+TEST(ShardPlacement, ZeroDemandProcessorsStayValidEndToEnd) {
+  // More processors than demands clamps (never an empty shard), but an
+  // explicitly sparse placement with empty processors must also survive
+  // the whole stack: partition audit + adjacency collapse.
+  const ShardPlacement clamped = ShardPlacement::build(
+      ShardStrategy::Locality, stripedAccess(3, 2), 8);
+  expectPartition(clamped, 3);
+  EXPECT_EQ(clamped.numProcessors, 3);
+  for (const auto& shard : clamped.demandsOfProcessor) {
+    EXPECT_FALSE(shard.empty());
+  }
+
+  ShardPlacement sparse;
+  sparse.numProcessors = 4;
+  sparse.processorOfDemand = {0, 3, 3};  // processors 1 and 2 host nothing
+  sparse.demandsOfProcessor = {{0}, {}, {}, {1, 2}};
+  const std::vector<std::vector<std::int32_t>> demandAdjacency = {
+      {1, 2}, {0, 2}, {0, 1}};
+  const auto adjacency = shardAdjacency(demandAdjacency, sparse);
+  ASSERT_EQ(adjacency.size(), 4u);
+  EXPECT_EQ(adjacency[0], (std::vector<std::int32_t>{3}));
+  EXPECT_TRUE(adjacency[1].empty());
+  EXPECT_TRUE(adjacency[2].empty());
+  EXPECT_EQ(adjacency[3], (std::vector<std::int32_t>{0}));
+}
+
+TEST(ShardPlacement, AllDemandsOnOneNetworkSplitIntoBalancedBlocks) {
+  // One shared network: locality has a single home-network class, so the
+  // split degenerates to contiguous near-equal blocks — never one
+  // overloaded processor.
+  std::vector<std::vector<std::int32_t>> access(
+      10, std::vector<std::int32_t>{0});
+  const ShardPlacement placement =
+      ShardPlacement::build(ShardStrategy::Locality, access, 3);
+  expectPartition(placement, 10);
+  for (const auto& shard : placement.demandsOfProcessor) {
+    EXPECT_GE(static_cast<std::int32_t>(shard.size()), 3);
+    EXPECT_LE(static_cast<std::int32_t>(shard.size()), 4);
+  }
+  // Contiguity: each shard hosts a consecutive demand-id range here
+  // (stable sort on equal home networks preserves id order).
+  for (const auto& shard : placement.demandsOfProcessor) {
+    for (std::size_t i = 1; i < shard.size(); ++i) {
+      EXPECT_EQ(shard[i], shard[i - 1] + 1);
+    }
+  }
+}
+
+TEST(ShardPlacement, LocalityGroupsAccessCountMaxInstances) {
+  // The count-based accessibility generator of the scale presets: every
+  // demand accesses 1-2 of many networks. Locality must (a) keep the
+  // partition exact and (b) co-locate most demands with at least one
+  // same-home-network demand, which is what keeps their chatter off the
+  // wire.
+  const TreeProblem pool = makeCdnTree250k(11, 320);
+  const std::int32_t processors = 16;
+  const ShardPlacement placement = ShardPlacement::build(
+      ShardStrategy::Locality, pool.access, processors);
+  expectPartition(placement, pool.numDemands());
+  EXPECT_EQ(placement.numProcessors, processors);
+
+  const auto homeNetwork = [&pool](DemandId d) {
+    const auto& nets = pool.access[static_cast<std::size_t>(d)];
+    return *std::min_element(nets.begin(), nets.end());
+  };
+  // Contiguous-cut invariant: consecutive shards cover non-decreasing
+  // home-network bands (a class may straddle one boundary, never two).
+  std::int32_t previousMax = -1;
+  for (const auto& shard : placement.demandsOfProcessor) {
+    ASSERT_FALSE(shard.empty());
+    std::int32_t lo = homeNetwork(shard.front());
+    std::int32_t hi = lo;
+    for (const DemandId d : shard) {
+      lo = std::min(lo, homeNetwork(d));
+      hi = std::max(hi, homeNetwork(d));
+    }
+    if (previousMax >= 0) {
+      EXPECT_GE(lo, previousMax);
+    }
+    previousMax = hi;
+  }
+  // And the locality payoff: demands sharing a home network land on the
+  // same processor far more often than round-robin would manage.
+  std::int64_t localityTogether = 0;
+  std::int64_t roundRobinTogether = 0;
+  const ShardPlacement roundRobin = ShardPlacement::build(
+      ShardStrategy::RoundRobin, pool.access, processors);
+  for (DemandId a = 0; a < pool.numDemands(); ++a) {
+    for (DemandId b = a + 1; b < pool.numDemands(); ++b) {
+      if (homeNetwork(a) != homeNetwork(b)) continue;
+      if (placement.processorOfDemand[static_cast<std::size_t>(a)] ==
+          placement.processorOfDemand[static_cast<std::size_t>(b)]) {
+        ++localityTogether;
+      }
+      if (roundRobin.processorOfDemand[static_cast<std::size_t>(a)] ==
+          roundRobin.processorOfDemand[static_cast<std::size_t>(b)]) {
+        ++roundRobinTogether;
+      }
+    }
+  }
+  EXPECT_GT(localityTogether, 2 * roundRobinTogether);
 }
 
 TEST(ShardAdjacency, CollapsesToProcessorLevel) {

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Bench-report schema drift guard.
+
+The bench binaries emit machine-readable BENCH_*.json reports (arrays of
+flat objects) that CI uploads as artifacts and downstream tooling tracks
+across PRs. A refactor that silently drops a report file or renames a
+field breaks that trajectory without failing any test. This guard pins
+the schema: `bench/BENCH_SCHEMA.json` lists, per report file, the keys
+every consumer may rely on; the check fails when a baseline file is
+missing or any baseline key disappeared from it.
+
+New files and new keys are allowed (the schema only grows); removing or
+renaming either requires a deliberate baseline update in the same PR.
+
+Usage:
+  tools/bench_schema_guard.py --baseline bench/BENCH_SCHEMA.json \
+      --dir build            # check reports in build/ (CI step)
+  tools/bench_schema_guard.py --baseline bench/BENCH_SCHEMA.json \
+      --dir build --update   # regenerate the baseline from the reports
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def report_keys(path):
+    """Union of keys over all rows of one report."""
+    with open(path, "r", encoding="utf-8") as handle:
+        rows = json.load(handle)
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: expected a JSON array of rows")
+    keys = set()
+    for row in rows:
+        if not isinstance(row, dict):
+            raise ValueError(f"{path}: expected flat JSON objects")
+        keys.update(row.keys())
+    return keys
+
+
+def collect(directory):
+    reports = {}
+    for name in sorted(os.listdir(directory)):
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            reports[name] = report_keys(os.path.join(directory, name))
+    return reports
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="path to BENCH_SCHEMA.json")
+    parser.add_argument("--dir", required=True,
+                        help="directory holding the produced BENCH_*.json")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the produced reports")
+    args = parser.parse_args()
+
+    produced = collect(args.dir)
+    if args.update:
+        baseline = {name: sorted(keys) for name, keys in produced.items()}
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.baseline} ({len(baseline)} reports)")
+        return 0
+
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    failures = []
+    for name, keys in sorted(baseline.items()):
+        if name not in produced:
+            failures.append(f"{name}: report file missing (baseline has it)")
+            continue
+        missing = sorted(set(keys) - produced[name])
+        if missing:
+            failures.append(f"{name}: baseline keys disappeared: "
+                            f"{', '.join(missing)}")
+    for name in sorted(set(produced) - set(baseline)):
+        print(f"note: {name} is not in the baseline yet "
+              f"(add it via --update)")
+
+    if failures:
+        print("bench schema drift detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("If the change is intentional, regenerate the baseline:\n"
+              f"  tools/bench_schema_guard.py --baseline {args.baseline} "
+              f"--dir {args.dir} --update", file=sys.stderr)
+        return 1
+    print(f"bench schema OK ({len(baseline)} reports, "
+          f"{sum(len(k) for k in baseline.values())} keys)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
