@@ -1,15 +1,23 @@
 // Experiment E14 — the online churn engine: epoch-batched admission with
 // warm-started incremental re-solves (src/online/).
 //
-// Replays the churn presets (flash_crowd_50k, diurnal_metro_100k, plus a
-// Poisson control on each pool) through the churn engine and reports,
-// per arrival pattern: epochs/sec, the mean re-solve fraction (how much
-// of the instance each epoch actually re-ran — the number that must sit
-// below 1.0 on locality-heavy traces), and the revenue ratio of the
-// final incremental solution against the from-scratch two-phase solve on
-// the surviving demand set. Emits BENCH_online.json next to the table;
-// CI uploads it with the other bench reports and the schema guard keeps
-// its keys stable.
+// Replays the churn presets (flash_crowd_50k, diurnal_metro_100k,
+// hotspot_tree_50k, plus a Poisson control on each pool) through the
+// churn engine and reports, per arrival pattern: epochs/sec, the mean
+// re-solve fraction (how much of the instance each epoch actually re-ran
+// — the number that must sit below 1.0 on locality-heavy traces), the
+// admission-latency SLA (mean/max epochs from arrival to first
+// admission) and the revenue ratio of the final incremental solution
+// against the from-scratch two-phase solve on the surviving demand set.
+//
+// The transport dimension runs the hotspot preset over every live
+// transport (sync bus / async lossy wire / live-sharded wire) at a
+// smaller pool — epoch outcomes are bit-identical by contract
+// (tests/online_transport_test.cpp), so the rows isolate what the wire
+// costs: epochs/sec, physical transmissions and virtual time.
+//
+// Emits BENCH_online.json next to the table; CI uploads it with the
+// other bench reports and the schema guard keeps its keys stable.
 #include <chrono>
 #include <iostream>
 #include <string>
@@ -28,6 +36,7 @@ namespace {
 struct PatternRun {
   std::string preset;
   std::string pattern;
+  std::string transport = "sync";
   std::int32_t demands = 0;
   std::int32_t epochs = 0;
   double wallMs = 0;
@@ -49,6 +58,7 @@ void report(Table& table, bench::JsonReport& json, const PatternRun& run) {
   table.row()
       .cell(run.preset)
       .cell(run.pattern)
+      .cell(run.transport)
       .cell(run.demands)
       .cell(run.epochs)
       .cell(run.wallMs, 1)
@@ -56,11 +66,14 @@ void report(Table& table, bench::JsonReport& json, const PatternRun& run) {
       .cell(run.churn.meanResolveFraction, 3)
       .cell(run.churn.fullResolves)
       .cell(revenueRatio, 3)
+      .cell(run.churn.sla.meanLatencyEpochs, 2)
+      .cell(run.churn.sla.maxLatencyEpochs)
       .cell(run.churn.totalRounds)
-      .cell(run.churn.totalMessages);
+      .cell(run.churn.network.transmissions);
   json.row()
       .field("preset", run.preset)
       .field("pattern", run.pattern)
+      .field("transport", run.transport)
       .field("demands", run.demands)
       .field("epochs", run.epochs)
       .field("wall_ms", run.wallMs)
@@ -72,6 +85,14 @@ void report(Table& table, bench::JsonReport& json, const PatternRun& run) {
       .field("revenue_ratio", revenueRatio)
       .field("rounds", run.churn.totalRounds)
       .field("messages", run.churn.totalMessages)
+      .field("transmissions", run.churn.network.transmissions)
+      .field("retransmissions", run.churn.network.retransmissions)
+      .field("virtual_time", run.churn.network.virtualTime)
+      .field("mean_admission_latency_epochs",
+             run.churn.sla.meanLatencyEpochs)
+      .field("max_admission_latency_epochs", run.churn.sla.maxLatencyEpochs)
+      .field("admitted_demands", run.churn.sla.admittedDemands)
+      .field("departed_unadmitted", run.churn.sla.departedUnadmitted)
       .field("final_epoch_full_resolve", run.finalEpochFullResolve)
       .field("final_full_resolve_matches_scratch",
              run.finalFullResolveMatchesScratch);
@@ -101,7 +122,8 @@ template <typename Pool>
 PatternRun runPattern(const std::string& preset, const std::string& pattern,
                       const Pool& pool, const PreparedRun& prepared,
                       const ArrivalConfig& arrivals, double epochLength,
-                      std::uint64_t seed, std::int32_t threads) {
+                      std::uint64_t seed, std::int32_t threads,
+                      const LiveTransportConfig& transport = {}) {
   ChurnEngineConfig config;
   config.epochLength = epochLength;
   config.solver.seed = seed + 13;
@@ -109,13 +131,14 @@ PatternRun runPattern(const std::string& preset, const std::string& pattern,
   config.solver.misRoundBudget = 4;
   config.solver.stepsPerStage = 2;
   config.solver.threads = threads;
+  config.transport = transport;
 
-  const ChurnTrace trace =
-      generateChurnTrace(arrivals, pool.numDemands());
+  const ChurnTrace trace = generateChurnTrace(arrivals, pool.access);
 
   PatternRun run;
   run.preset = preset;
   run.pattern = pattern;
+  run.transport = liveTransportKindName(transport.kind);
   run.demands = pool.numDemands();
 
   // The engine (with its live transport) is rebuilt per pattern; trace
@@ -146,6 +169,10 @@ int main(int argc, char** argv) {
   flags.intFlag("seed", 1, "base RNG seed");
   flags.intFlag("tree-demands", 50'000, "flash_crowd preset demand count");
   flags.intFlag("line-demands", 100'000, "diurnal preset demand count");
+  flags.intFlag("hotspot-demands", 50'000, "hotspot preset demand count");
+  flags.intFlag("transport-demands", 2'000,
+                "pool size of the per-transport matrix (event-driven "
+                "wires are simulated packet by packet)");
   flags.intFlag("threads", 1, "worker threads for the epoch re-solves");
   flags.stringFlag("json", "BENCH_online.json",
                    "machine-readable report path ('' disables)");
@@ -155,20 +182,26 @@ int main(int argc, char** argv) {
       static_cast<std::int32_t>(flags.getInt("tree-demands"));
   const auto lineDemands =
       static_cast<std::int32_t>(flags.getInt("line-demands"));
+  const auto hotspotDemands =
+      static_cast<std::int32_t>(flags.getInt("hotspot-demands"));
+  const auto transportDemands =
+      static_cast<std::int32_t>(flags.getInt("transport-demands"));
   const auto threads = static_cast<std::int32_t>(flags.getInt("threads"));
 
   bench::banner(
       "E14",
       "epoch-batched admission with warm-started incremental re-solves "
       "tracks the from-scratch two-phase engine at a fraction of the "
-      "phase-1 work",
+      "phase-1 work, over any transport (sync bus / async lossy wire / "
+      "live-sharded wire)",
       "mean re-solve fraction < 1.0 on the locality-heavy churn presets; "
       "revenue ratio vs from-scratch within the approximation factor "
-      "(empirically near 1); full-resolve epochs identical to scratch");
+      "(empirically near 1); full-resolve epochs identical to scratch; "
+      "per-transport epochs identical, only wire accounting moves");
 
-  Table table({"preset", "pattern", "demands", "epochs", "wall ms",
-               "epochs/s", "resolve frac", "full", "rev ratio", "rounds",
-               "messages"});
+  Table table({"preset", "pattern", "transport", "demands", "epochs",
+               "wall ms", "epochs/s", "resolve frac", "full", "rev ratio",
+               "sla mean", "sla max", "rounds", "wire tx"});
   bench::JsonReport json(flags.getString("json"));
 
   {
@@ -199,6 +232,44 @@ int main(int argc, char** argv) {
            runPattern("diurnal_metro_100k", "poisson", scenario.pool,
                       prepared, poisson, scenario.epochLength, seed,
                       threads));
+  }
+  {
+    // The adversarial preset: a targeted arrival wave plus a correlated
+    // mass departure on the same hot networks.
+    const ChurnTreeScenario scenario = makeHotspotTree50k(seed,
+                                                          hotspotDemands);
+    const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
+    report(table, json,
+           runPattern("hotspot_tree_50k", "targeted_burst", scenario.pool,
+                      prepared, scenario.arrivals, scenario.epochLength,
+                      seed, threads));
+  }
+  {
+    // Transport matrix: identical epochs (by the Transport contract),
+    // per-wire cost.
+    const ChurnTreeScenario scenario =
+        makeHotspotTree50k(seed, transportDemands);
+    const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
+    AsyncConfig wire;
+    wire.seed = seed ^ 0x3b9ULL;
+    wire.link.latency.model = LatencyModel::HeavyTail;
+    wire.link.latency.base = 1.0;
+    wire.link.latency.tailShape = 1.5;
+    wire.link.latency.tailCap = 64.0;
+    wire.link.dropProbability = 0.05;
+    wire.link.retransmitTimeout = 16.0;
+    for (const LiveTransportKind kind :
+         {LiveTransportKind::SyncBus, LiveTransportKind::Async,
+          LiveTransportKind::Sharded}) {
+      LiveTransportConfig transport;
+      transport.kind = kind;
+      transport.async = wire;
+      transport.async.shardProcessors = std::max(2, transportDemands / 64);
+      report(table, json,
+             runPattern("hotspot_tree_50k", "targeted_burst", scenario.pool,
+                        prepared, scenario.arrivals, scenario.epochLength,
+                        seed, threads, transport));
+    }
   }
 
   table.print(std::cout);

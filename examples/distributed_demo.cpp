@@ -13,6 +13,7 @@
 #include "core/universe.hpp"
 #include "decomp/layering.hpp"
 #include "dist/protocol.hpp"
+#include "dist/sim_network.hpp"
 #include "framework/two_phase.hpp"
 #include "gen/scenario.hpp"
 #include "util/check.hpp"

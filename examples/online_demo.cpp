@@ -7,6 +7,12 @@
 // only on the affected region, then re-admits from the persistent
 // phase-1 stack. The final epoch is contrasted with a from-scratch
 // two-phase solve on the surviving demand set.
+//
+// --transport picks the wire (sync bus, async lossy, live-sharded):
+// epoch outcomes are bit-identical across all of them, only the wire
+// accounting printed at the end moves. --pattern targeted_burst runs
+// the adversarial hotspot model (correlated arrival + departure waves
+// on hash-picked target networks).
 #include <algorithm>
 #include <iostream>
 #include <string>
@@ -24,7 +30,10 @@ int main(int argc, char** argv) {
   flags.intFlag("seed", 2027, "scenario RNG seed");
   flags.intFlag("demands", 480, "pool demand count");
   flags.stringFlag("pattern", "flash_crowd",
-                   "arrival process: poisson, flash_crowd or diurnal");
+                   "arrival process: poisson, flash_crowd, diurnal or "
+                   "targeted_burst");
+  flags.stringFlag("transport", "sync",
+                   "wire the epochs run over: sync, async or sharded");
   flags.intFlag("threads", 1, "worker threads for the epoch re-solves");
   if (!flags.parse(argc, argv)) return 0;
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
@@ -36,14 +45,16 @@ int main(int argc, char** argv) {
     scenario.arrivals.model = ArrivalModel::Poisson;
   } else if (pattern == "diurnal") {
     scenario.arrivals.model = ArrivalModel::Diurnal;
+  } else if (pattern == "targeted_burst") {
+    scenario = makeHotspotTree50k(seed, demands);
   } else if (pattern != "flash_crowd") {
     std::cout << "unknown --pattern '" << pattern
-              << "' (use poisson, flash_crowd or diurnal)\n";
+              << "' (use poisson, flash_crowd, diurnal or targeted_burst)\n";
     return 1;
   }
 
   const ChurnTrace trace =
-      generateChurnTrace(scenario.arrivals, scenario.pool.numDemands());
+      generateChurnTrace(scenario.arrivals, scenario.pool.access);
   std::cout << "pool: " << scenario.pool.numDemands() << " demands over "
             << scenario.pool.numNetworks() << " networks; trace: "
             << trace.events.size() << " events ("
@@ -55,6 +66,17 @@ int main(int argc, char** argv) {
   config.solver.seed = seed + 13;
   config.solver.threads =
       static_cast<std::int32_t>(flags.getInt("threads"));
+  config.transport.kind =
+      parseLiveTransportKind(flags.getString("transport"));
+  // The demo's wire: heavy-tail latency with 5% loss, locality-sharded
+  // onto ~demands/16 processors when --transport sharded.
+  config.transport.async.seed = seed ^ 0x11feULL;
+  config.transport.async.link.latency.model = LatencyModel::HeavyTail;
+  config.transport.async.link.latency.tailShape = 1.5;
+  config.transport.async.link.latency.tailCap = 64.0;
+  config.transport.async.link.dropProbability = 0.05;
+  config.transport.async.link.retransmitTimeout = 16.0;
+  config.transport.async.shardProcessors = std::max(2, demands / 16);
 
   const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
   const ChurnRunResult result = runChurnOverTrace(
@@ -100,6 +122,16 @@ int main(int argc, char** argv) {
             << "mean re-solve fraction over churn epochs: "
             << result.meanResolveFraction << " ("
             << result.fullResolves << " full re-solves in "
-            << result.epochs.size() << " epochs)\n";
+            << result.epochs.size() << " epochs)\n"
+            << "admission SLA: " << result.sla.admittedDemands
+            << " demands admitted, mean latency "
+            << result.sla.meanLatencyEpochs << " epochs (max "
+            << result.sla.maxLatencyEpochs << "), "
+            << result.sla.departedUnadmitted << " departed unadmitted\n"
+            << "wire (" << flags.getString("transport")
+            << "): " << result.network.transmissions << " transmissions, "
+            << result.network.retransmissions << " retransmissions, "
+            << result.network.drops << " drops, virtual time "
+            << result.network.virtualTime << "\n";
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "core/tolerances.hpp"
 #include "core/universe.hpp"
 #include "decomp/layering.hpp"
+#include "dist/sim_network.hpp"
 #include "engine/parallel_runner.hpp"
 #include "framework/dual_state.hpp"
 #include "framework/lhs_tracker.hpp"

@@ -41,7 +41,6 @@
 #include "core/universe.hpp"
 #include "decomp/layering.hpp"
 #include "dist/observer.hpp"
-#include "dist/sim_network.hpp"
 #include "framework/raise_policy.hpp"
 #include "net/transport.hpp"
 

@@ -27,11 +27,13 @@
 
 namespace treesched {
 
-/// Deterministic message bus over a fixed undirected communication graph.
+/// Deterministic message bus over an undirected communication graph.
 ///
 /// Construction validates the adjacency (symmetric, loop-free, in-range,
-/// duplicate-free) and throws CheckError otherwise.
-class SimNetwork : public Transport {
+/// duplicate-free) and throws CheckError otherwise. The graph is live:
+/// SimNetwork is the reference implementation of the MutableTopology
+/// capability (net/transport.hpp) alongside the Transport contract.
+class SimNetwork : public Transport, public MutableTopology {
  public:
   explicit SimNetwork(std::vector<std::vector<std::int32_t>> adjacency);
 
@@ -66,7 +68,7 @@ class SimNetwork : public Transport {
 
   const NetworkStats& stats() const override { return stats_; }
 
-  // ---- Live topology mutation (the online churn engine, src/online/) ----
+  // ---- MutableTopology (the online churn engine, src/online/) ----
   //
   // Demands arrive and depart on a *running* bus: the plane, the stats
   // and the untouched adjacency lists all persist, so consecutive epoch
@@ -76,12 +78,19 @@ class SimNetwork : public Transport {
   /// Attaches demand `p` (currently isolated) with the given sorted,
   /// duplicate-free neighbour list; every neighbour's list gains `p`.
   void connectDemand(std::int32_t p,
-                     std::span<const std::int32_t> neighbors);
+                     std::span<const std::int32_t> neighbors) override;
 
   /// Detaches demand `p`: removes every edge of `p` (both sides). The
   /// processor stays addressable — it simply has no neighbours, exactly
   /// like a demand that has departed.
-  void disconnectDemand(std::int32_t p);
+  void disconnectDemand(std::int32_t p) override;
+
+  std::int32_t numDemands() const override { return numProcessors(); }
+
+  std::span<const std::int32_t> currentNeighbors(
+      std::int32_t demand) const override {
+    return neighbors(demand);
+  }
 
  private:
   std::vector<std::vector<std::int32_t>> adjacency_;

@@ -142,6 +142,25 @@ ChurnLineScenario makeDiurnalMetroLine100k(std::uint64_t seed,
   return scenario;
 }
 
+ChurnTreeScenario makeHotspotTree50k(std::uint64_t seed,
+                                     std::int32_t numDemands) {
+  // The pool is the flash-crowd CDN fabric; only the churn process (and
+  // its seed stream) differs — the adversarial targeted burst.
+  ChurnTreeScenario scenario = makeFlashCrowdTree50k(seed, numDemands);
+  scenario.arrivals.model = ArrivalModel::TargetedBurst;
+  scenario.arrivals.seed = seed ^ 0x407502ULL;
+  scenario.arrivals.burstCenter = 0.3;
+  scenario.arrivals.burstWidth = 0.05;
+  // Hit ~1/16 of the networks: churn concentrates on a region small
+  // enough that the incremental re-solver's locality must pay off, large
+  // enough that the waves dominate the trace.
+  scenario.arrivals.targetNetworkCount =
+      std::max(2, numDemands / 8 / 16);
+  scenario.arrivals.targetFraction = 0.85;
+  scenario.arrivals.correlatedLifetime = 0.3;
+  return scenario;
+}
+
 std::vector<ScenarioPresetInfo> scenarioPresets() {
   return {
       {"lossy_wide_area_tree", "tree+async", kLossyWideAreaTreeDemands,
@@ -156,6 +175,9 @@ std::vector<ScenarioPresetInfo> scenarioPresets() {
        "CDN pool under a viral arrival spike (online churn engine)"},
       {"diurnal_metro_100k", "line+churn", kDiurnalMetroDemands,
        "metro pool under a day/night arrival wave (online churn engine)"},
+      {"hotspot_tree_50k", "tree+churn", kHotspotTreeDemands,
+       "CDN pool under a targeted burst: hot networks absorb a "
+       "synchronized arrival wave + correlated mass departure"},
   };
 }
 

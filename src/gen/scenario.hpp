@@ -63,6 +63,7 @@ inline constexpr std::int32_t kMetroLineDemands = 100'000;
 inline constexpr std::int32_t kCdnTreeDemands = 250'000;
 inline constexpr std::int32_t kFlashCrowdDemands = 50'000;
 inline constexpr std::int32_t kDiurnalMetroDemands = 100'000;
+inline constexpr std::int32_t kHotspotTreeDemands = 50'000;
 
 /// Tree variant: `numDemands` demands over `numNetworks` trees on
 /// `numVertices` vertices, sharded onto `shardProcessors` simulated
@@ -138,6 +139,15 @@ ChurnTreeScenario makeFlashCrowdTree50k(
 /// ~numDemands/8 resources) arriving along two sinusoidal cycles.
 ChurnLineScenario makeDiurnalMetroLine100k(
     std::uint64_t seed, std::int32_t numDemands = kDiurnalMetroDemands);
+
+/// hotspot_tree_50k: the CDN fabric under attack — the adversarial
+/// targeted_burst churn model hammers a hash-picked set of hot networks
+/// with a synchronized arrival wave AND a correlated mass departure a
+/// few epochs later, concentrating both churn waves on one region
+/// (online/arrivals.hpp ArrivalModel::TargetedBurst; generate the trace
+/// with the access-aware generateChurnTrace overload).
+ChurnTreeScenario makeHotspotTree50k(
+    std::uint64_t seed, std::int32_t numDemands = kHotspotTreeDemands);
 
 // ---- Preset registry ---------------------------------------------------
 

@@ -86,6 +86,113 @@ ShardPlacement ShardPlacement::build(
   return placement;
 }
 
+ShardPlacement ShardPlacement::livePool(
+    const std::vector<std::vector<std::int32_t>>& access,
+    std::int32_t numProcessors) {
+  const auto numDemands = static_cast<std::int32_t>(access.size());
+  checkThat(numDemands > 0, "placement needs demands", __FILE__, __LINE__);
+  checkThat(numProcessors > 0, "placement needs processors", __FILE__,
+            __LINE__);
+  numProcessors = std::min(numProcessors, numDemands);
+
+  ShardPlacement placement;
+  placement.live = true;
+  placement.numProcessors = numProcessors;
+  placement.processorOfDemand.assign(static_cast<std::size_t>(numDemands),
+                                     kUnplaced);
+  placement.demandsOfProcessor.assign(
+      static_cast<std::size_t>(numProcessors), {});
+  placement.liveOfProcessor.assign(static_cast<std::size_t>(numProcessors),
+                                   0);
+  placement.tombstonesOfProcessor.assign(
+      static_cast<std::size_t>(numProcessors), 0);
+  placement.homeNetwork.resize(static_cast<std::size_t>(numDemands));
+  for (DemandId d = 0; d < numDemands; ++d) {
+    placement.homeNetwork[static_cast<std::size_t>(d)] =
+        homeNetworkOf(access[static_cast<std::size_t>(d)]);
+  }
+  return placement;
+}
+
+std::int32_t homeNetworkOf(const std::vector<std::int32_t>& access) {
+  if (access.empty()) return -1;
+  return *std::min_element(access.begin(), access.end());
+}
+
+std::int32_t ShardPlacement::placeDemand(DemandId d) {
+  checkThat(live, "placeDemand on a live placement", __FILE__, __LINE__);
+  checkIndex(d, numDemands(), "placeDemand");
+  checkThat(!isPlaced(d), "placeDemand target unplaced", __FILE__, __LINE__);
+
+  const std::int32_t net = homeNetwork[static_cast<std::size_t>(d)];
+  std::int32_t p = kUnplaced;
+  if (net >= 0) {
+    const auto anchor = networkAnchors.find(net);
+    if (anchor != networkAnchors.end()) {
+      p = anchor->second.processor;
+      ++anchor->second.refs;
+    }
+  }
+  if (p == kUnplaced) {
+    p = 0;
+    for (std::int32_t q = 1; q < numProcessors; ++q) {
+      if (liveOfProcessor[static_cast<std::size_t>(q)] <
+          liveOfProcessor[static_cast<std::size_t>(p)]) {
+        p = q;
+      }
+    }
+    if (net >= 0) {
+      networkAnchors.emplace(net, NetworkAnchor{p, 1});
+    }
+  }
+  processorOfDemand[static_cast<std::size_t>(d)] = p;
+  demandsOfProcessor[static_cast<std::size_t>(p)].push_back(d);
+  ++liveOfProcessor[static_cast<std::size_t>(p)];
+  return p;
+}
+
+void ShardPlacement::removeDemand(DemandId d) {
+  checkThat(live, "removeDemand on a live placement", __FILE__, __LINE__);
+  checkIndex(d, numDemands(), "removeDemand");
+  checkThat(isPlaced(d), "removeDemand target placed", __FILE__, __LINE__);
+  const std::int32_t p = processorOfDemand[static_cast<std::size_t>(d)];
+  processorOfDemand[static_cast<std::size_t>(d)] = kUnplaced;
+
+  auto& hosted = demandsOfProcessor[static_cast<std::size_t>(p)];
+  const auto pos = std::find(hosted.begin(), hosted.end(), d);
+  checkThat(pos != hosted.end(), "removed demand hosted", __FILE__, __LINE__);
+  *pos = kUnplaced;
+  --liveOfProcessor[static_cast<std::size_t>(p)];
+  ++tombstonesOfProcessor[static_cast<std::size_t>(p)];
+
+  const std::int32_t net = homeNetwork[static_cast<std::size_t>(d)];
+  if (net >= 0) {
+    const auto anchor = networkAnchors.find(net);
+    checkThat(anchor != networkAnchors.end(), "home network anchored",
+              __FILE__, __LINE__);
+    if (--anchor->second.refs == 0) {
+      networkAnchors.erase(anchor);
+    }
+  }
+
+  // Periodic compaction: amortized O(1) — a tombstone is erased at most
+  // once, and a compaction halves the list it runs on.
+  if (tombstonesOfProcessor[static_cast<std::size_t>(p)] >
+      liveOfProcessor[static_cast<std::size_t>(p)]) {
+    compactProcessor(p);
+  }
+}
+
+void ShardPlacement::compactProcessor(std::int32_t p) {
+  checkIndex(p, numProcessors, "compactProcessor");
+  auto& hosted = demandsOfProcessor[static_cast<std::size_t>(p)];
+  if (tombstonesOfProcessor[static_cast<std::size_t>(p)] == 0) return;
+  hosted.erase(std::remove(hosted.begin(), hosted.end(), kUnplaced),
+               hosted.end());
+  tombstonesOfProcessor[static_cast<std::size_t>(p)] = 0;
+  ++compactions;
+}
+
 std::vector<std::vector<std::int32_t>> shardAdjacency(
     const std::vector<std::vector<std::int32_t>>& demandAdjacency,
     const ShardPlacement& placement) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/demand.hpp"
@@ -23,11 +24,21 @@ enum class ShardStrategy : std::uint8_t {
   Locality,
 };
 
-/// A total map of demands onto physical processors: every demand is placed
-/// on exactly one processor (build() validates the partition).
+/// A map of demands onto physical processors. Placements built by
+/// identity()/build() are total (every demand placed — validated); a
+/// livePool() placement starts empty and demands are placed/removed as
+/// they arrive and depart (the online churn engine's sharded transport).
 struct ShardPlacement {
+  /// processorOfDemand value of a demand not currently hosted anywhere;
+  /// also the tombstone marker inside demandsOfProcessor lists.
+  static constexpr std::int32_t kUnplaced = -1;
+
   std::int32_t numProcessors = 0;
-  std::vector<std::int32_t> processorOfDemand;      ///< demand -> processor
+  /// demand -> processor; kUnplaced when the demand is not hosted.
+  std::vector<std::int32_t> processorOfDemand;
+  /// Hosted demands per processor. Live placements tombstone departures
+  /// in place (entry == kUnplaced) and compact periodically; consumers
+  /// iterating the lists must skip tombstones.
   std::vector<std::vector<DemandId>> demandsOfProcessor;
 
   std::int32_t numDemands() const {
@@ -46,7 +57,71 @@ struct ShardPlacement {
       ShardStrategy strategy,
       const std::vector<std::vector<std::int32_t>>& access,
       std::int32_t numProcessors);
+
+  // ---- Live shard membership (the online churn engine) -----------------
+  //
+  // A live pool starts with every demand unplaced. Arrivals are placed
+  // locality-aware: the first live demand of a home network anchors that
+  // network to the then-least-loaded processor, and later arrivals
+  // sharing the network join it (their chatter stays off the wire) until
+  // its last live demand departs and the anchor is released. Departures
+  // are tombstoned in demandsOfProcessor and compacted away once they
+  // outnumber the live entries.
+
+  /// An all-unplaced placement over `access.size()` pool demands and
+  /// `numProcessors` processors, with per-demand home networks (smallest
+  /// accessible id) precomputed for locality-aware arrival placement.
+  static ShardPlacement livePool(
+      const std::vector<std::vector<std::int32_t>>& access,
+      std::int32_t numProcessors);
+
+  bool isPlaced(DemandId d) const {
+    return processorOfDemand[static_cast<std::size_t>(d)] != kUnplaced;
+  }
+
+  /// Places an unplaced demand (live pools only) and returns its
+  /// processor: the home-network anchor when one is live, else the
+  /// least-loaded processor (lowest id on ties), which then anchors the
+  /// network.
+  std::int32_t placeDemand(DemandId d);
+
+  /// Tombstones a placed demand (live pools only) and releases its
+  /// home-network anchor reference; compacts the processor's hosted list
+  /// when tombstones outnumber live entries.
+  void removeDemand(DemandId d);
+
+  /// Erases the tombstones of processor `p`'s hosted list eagerly.
+  void compactProcessor(std::int32_t p);
+
+  std::int32_t liveDemandCount(std::int32_t p) const {
+    return liveOfProcessor[static_cast<std::size_t>(p)];
+  }
+  std::int32_t tombstoneCount(std::int32_t p) const {
+    return tombstonesOfProcessor[static_cast<std::size_t>(p)];
+  }
+
+  /// True when built by livePool() — the synchronizer places arrivals
+  /// and removes departures only on live placements.
+  bool live = false;
+  /// Per pool demand: smallest accessible network id, -1 when none.
+  /// Filled by livePool().
+  std::vector<std::int32_t> homeNetwork;
+  std::vector<std::int32_t> liveOfProcessor;        ///< live entries per proc
+  std::vector<std::int32_t> tombstonesOfProcessor;  ///< tombstones per proc
+  /// Sticky network -> (processor, live refcount) anchors.
+  struct NetworkAnchor {
+    std::int32_t processor = 0;
+    std::int32_t refs = 0;
+  };
+  std::unordered_map<std::int32_t, NetworkAnchor> networkAnchors;
+  std::int64_t compactions = 0;  ///< hosted-list compactions, whole run
 };
+
+/// A demand's home network: the smallest accessible network id, -1 when
+/// it can access none. THE locality convention — live shard placement
+/// anchors by it and the targeted-burst churn model attacks by it
+/// (online/arrivals.cpp), so both must share this definition.
+std::int32_t homeNetworkOf(const std::vector<std::int32_t>& access);
 
 /// Collapses a demand-level communication graph to the processor level:
 /// processors P, Q are adjacent iff some demand on P is adjacent to some

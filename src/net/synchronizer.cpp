@@ -8,8 +8,9 @@ namespace treesched {
 
 namespace {
 
-/// Validation must precede shardAdjacency in the member-init list, else
-/// a malformed graph hits out-of-range placement reads before the check.
+/// Validation must run in the member-init list, before the constructor
+/// body's edge loop reads placements for the adjacency's endpoints —
+/// a malformed graph would hit out-of-range reads there otherwise.
 std::vector<std::vector<std::int32_t>> validated(
     std::vector<std::vector<std::int32_t>> adjacency) {
   validateCommunicationAdjacency(adjacency);
@@ -23,25 +24,143 @@ AlphaSynchronizer::AlphaSynchronizer(
     ShardPlacement placement, const AsyncConfig& config)
     : adjacency_(validated(std::move(demandAdjacency))),
       placement_(std::move(placement)),
-      physAdjacency_(shardAdjacency(adjacency_, placement_)),
+      physAdjacency_(static_cast<std::size_t>(placement_.numProcessors)),
       phys_(placement_.numProcessors, config.link, config.seed),
       silentRoundCost_(config.link.latency.base),
       plane_(std::max<std::int32_t>(
           1, static_cast<std::int32_t>(adjacency_.size()))) {
+  checkThat(static_cast<std::int32_t>(adjacency_.size()) ==
+                placement_.numDemands(),
+            "placement covers the communication graph", __FILE__, __LINE__);
   remoteProcsOf_.resize(adjacency_.size());
   for (DemandId d = 0; d < numProcessors(); ++d) {
-    auto& remote = remoteProcsOf_[static_cast<std::size_t>(d)];
-    const std::int32_t home = processorOf(d);
+    checkThat(placement_.isPlaced(d) ||
+                  adjacency_[static_cast<std::size_t>(d)].empty(),
+              "unplaced demands must be isolated", __FILE__, __LINE__);
+    rebuildRemoteProcs(d);
     for (const std::int32_t e : adjacency_[static_cast<std::size_t>(d)]) {
-      if (processorOf(e) != home) {
-        remote.push_back(processorOf(e));
+      if (d < e) {
+        addPhysicalEdge(d, e);
       }
     }
-    std::sort(remote.begin(), remote.end());
-    remote.erase(std::unique(remote.begin(), remote.end()), remote.end());
   }
   stats_.processorLoad.assign(
       static_cast<std::size_t>(placement_.numProcessors), 0);
+}
+
+std::uint64_t AlphaSynchronizer::linkKey(std::int32_t p, std::int32_t q) {
+  if (p > q) std::swap(p, q);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(q));
+}
+
+void AlphaSynchronizer::rebuildRemoteProcs(std::int32_t d) {
+  auto& remote = remoteProcsOf_[static_cast<std::size_t>(d)];
+  remote.clear();
+  const std::int32_t home = processorOf(d);
+  for (const std::int32_t e : adjacency_[static_cast<std::size_t>(d)]) {
+    if (processorOf(e) != home) {
+      remote.push_back(processorOf(e));
+    }
+  }
+  std::sort(remote.begin(), remote.end());
+  remote.erase(std::unique(remote.begin(), remote.end()), remote.end());
+}
+
+void AlphaSynchronizer::addPhysicalEdge(std::int32_t a, std::int32_t b) {
+  const std::int32_t p = processorOf(a);
+  const std::int32_t q = processorOf(b);
+  if (p == q) return;
+  if (++physEdgeCount_[linkKey(p, q)] == 1) {
+    auto& ofP = physAdjacency_[static_cast<std::size_t>(p)];
+    ofP.insert(std::lower_bound(ofP.begin(), ofP.end(), q), q);
+    auto& ofQ = physAdjacency_[static_cast<std::size_t>(q)];
+    ofQ.insert(std::lower_bound(ofQ.begin(), ofQ.end(), p), p);
+  }
+}
+
+void AlphaSynchronizer::removePhysicalEdge(std::int32_t a, std::int32_t b) {
+  const std::int32_t p = processorOf(a);
+  const std::int32_t q = processorOf(b);
+  if (p == q) return;
+  const auto count = physEdgeCount_.find(linkKey(p, q));
+  checkThat(count != physEdgeCount_.end() && count->second > 0,
+            "physical link backed by a demand edge", __FILE__, __LINE__);
+  if (--count->second == 0) {
+    physEdgeCount_.erase(count);
+    auto& ofP = physAdjacency_[static_cast<std::size_t>(p)];
+    ofP.erase(std::lower_bound(ofP.begin(), ofP.end(), q));
+    auto& ofQ = physAdjacency_[static_cast<std::size_t>(q)];
+    ofQ.erase(std::lower_bound(ofQ.begin(), ofQ.end(), p));
+  }
+}
+
+void AlphaSynchronizer::connectDemand(
+    std::int32_t d, std::span<const std::int32_t> neighbors) {
+  checkIndex(d, numProcessors(), "AlphaSynchronizer::connectDemand");
+  checkThat(!plane_.hasStaged() && pendingPayload_ == 0,
+            "topology mutation only between rounds", __FILE__, __LINE__);
+  auto& own = adjacency_[static_cast<std::size_t>(d)];
+  checkThat(own.empty(), "connectDemand target must be isolated", __FILE__,
+            __LINE__);
+  // Validate the whole list before touching any state (strong guarantee:
+  // a rejected call leaves the live topology unchanged).
+  for (std::size_t idx = 0; idx < neighbors.size(); ++idx) {
+    const std::int32_t n = neighbors[idx];
+    checkIndex(n, numProcessors(), "connectDemand neighbour");
+    checkThat(n != d, "no self links", __FILE__, __LINE__);
+    checkThat(idx == 0 || neighbors[idx - 1] < n,
+              "connectDemand neighbours sorted, duplicate-free", __FILE__,
+              __LINE__);
+  }
+  // Live placements host arrivals on demand: d first, then any
+  // still-isolated neighbour, in list order — deterministic.
+  if (placement_.live && !placement_.isPlaced(d)) {
+    placement_.placeDemand(d);
+  }
+  for (const std::int32_t n : neighbors) {
+    if (placement_.live && !placement_.isPlaced(n)) {
+      placement_.placeDemand(n);
+    }
+  }
+  own.assign(neighbors.begin(), neighbors.end());
+  for (const std::int32_t n : neighbors) {
+    auto& theirs = adjacency_[static_cast<std::size_t>(n)];
+    const auto pos = std::lower_bound(theirs.begin(), theirs.end(), d);
+    checkThat(pos == theirs.end() || *pos != d,
+              "connectDemand edge already present", __FILE__, __LINE__);
+    theirs.insert(pos, d);
+    addPhysicalEdge(d, n);
+  }
+  // Safe-marker bookkeeping rebuilt only for the touched demands.
+  rebuildRemoteProcs(d);
+  for (const std::int32_t n : neighbors) {
+    rebuildRemoteProcs(n);
+  }
+}
+
+void AlphaSynchronizer::disconnectDemand(std::int32_t d) {
+  checkIndex(d, numProcessors(), "AlphaSynchronizer::disconnectDemand");
+  checkThat(!plane_.hasStaged() && pendingPayload_ == 0,
+            "topology mutation only between rounds", __FILE__, __LINE__);
+  auto& own = adjacency_[static_cast<std::size_t>(d)];
+  const std::vector<std::int32_t> former(own.begin(), own.end());
+  for (const std::int32_t n : former) {
+    auto& theirs = adjacency_[static_cast<std::size_t>(n)];
+    const auto pos = std::lower_bound(theirs.begin(), theirs.end(), d);
+    checkThat(pos != theirs.end() && *pos == d,
+              "disconnectDemand edge symmetric", __FILE__, __LINE__);
+    theirs.erase(pos);
+    removePhysicalEdge(d, n);
+  }
+  own.clear();
+  rebuildRemoteProcs(d);
+  for (const std::int32_t n : former) {
+    rebuildRemoteProcs(n);
+  }
+  if (placement_.live && placement_.isPlaced(d)) {
+    placement_.removeDemand(d);
+  }
 }
 
 std::span<const std::int32_t> AlphaSynchronizer::neighbors(

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/message_plane.hpp"
@@ -41,10 +42,20 @@ struct AsyncConfig {
   std::int32_t shardProcessors = 0;
 };
 
-class AlphaSynchronizer : public Transport {
+/// The synchronizer's topology is live (MutableTopology): demands can
+/// connect and disconnect between rounds, exactly like on the
+/// round-synchronous bus. The safe-marker bookkeeping — the physical
+/// link set markers ride on — is maintained incrementally: a mutation
+/// updates per-link demand-edge refcounts and rebuilds the remote
+/// processor sets only for the touched demands, never the whole graph.
+/// On a live ShardPlacement arrivals are placed locality-aware and
+/// departures tombstoned (net/shard.hpp).
+class AlphaSynchronizer : public Transport, public MutableTopology {
  public:
   /// `demandAdjacency` is the protocol's communication graph (validated);
-  /// `placement` maps its vertices onto physical processors.
+  /// `placement` maps its vertices onto physical processors. Demands may
+  /// be unplaced only while isolated (live placements place them on
+  /// connect).
   AlphaSynchronizer(std::vector<std::vector<std::int32_t>> demandAdjacency,
                     ShardPlacement placement, const AsyncConfig& config);
 
@@ -64,14 +75,52 @@ class AlphaSynchronizer : public Transport {
 
   const ShardPlacement& placement() const { return placement_; }
 
+  // ---- MutableTopology -------------------------------------------------
+
+  /// Attaches demand `d` (currently isolated) with the given sorted,
+  /// duplicate-free neighbour list. On a live placement, `d` (and any
+  /// still-unplaced neighbour) is placed locality-aware first; new
+  /// physical links appear only where a demand edge first crosses a
+  /// processor pair.
+  void connectDemand(std::int32_t d,
+                     std::span<const std::int32_t> neighbors) override;
+
+  /// Detaches demand `d`: every edge is removed (both sides), physical
+  /// links whose last crossing demand edge disappeared are dropped from
+  /// the safe-marker set, and on a live placement the demand is
+  /// tombstoned out of its shard.
+  void disconnectDemand(std::int32_t d) override;
+
+  std::int32_t numDemands() const override { return numProcessors(); }
+
+  std::span<const std::int32_t> currentNeighbors(
+      std::int32_t demand) const override {
+    return neighbors(demand);
+  }
+
  private:
   std::int32_t processorOf(DemandId d) const {
     return placement_.processorOfDemand[static_cast<std::size_t>(d)];
   }
 
+  static std::uint64_t linkKey(std::int32_t p, std::int32_t q);
+
+  /// Rebuilds the remote-processor broadcast set of one demand from its
+  /// current adjacency — O(degree), called only for touched demands.
+  void rebuildRemoteProcs(std::int32_t d);
+
+  /// Adds/removes one demand edge's contribution to the physical link
+  /// (processorOf(a), processorOf(b)); the link itself appears/disappears
+  /// when its crossing-edge refcount moves between 0 and 1.
+  void addPhysicalEdge(std::int32_t a, std::int32_t b);
+  void removePhysicalEdge(std::int32_t a, std::int32_t b);
+
   std::vector<std::vector<std::int32_t>> adjacency_;  ///< demand-level
   ShardPlacement placement_;
   std::vector<std::vector<std::int32_t>> physAdjacency_;  ///< processor-level
+  /// Demand edges crossing each physical link (unordered processor-pair
+  /// key) — the incremental safe-marker bookkeeping.
+  std::unordered_map<std::uint64_t, std::int32_t> physEdgeCount_;
   /// Remote processors hosting at least one neighbour of demand d —
   /// each broadcast goes to the wire once per entry, not once per demand.
   std::vector<std::vector<std::int32_t>> remoteProcsOf_;

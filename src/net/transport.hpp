@@ -110,4 +110,51 @@ class Transport {
 void validateCommunicationAdjacency(
     const std::vector<std::vector<std::int32_t>>& adjacency);
 
+/// Live demand-level topology mutation — the capability the online churn
+/// engine (src/online/) requires of its transport. Demands arrive and
+/// depart on a *running* transport: buffers, placement and cumulative
+/// stats persist, so consecutive epoch re-solves share one warmed-up
+/// wire. Implemented by SimNetwork (the reference) and AlphaSynchronizer
+/// (async/lossy wire, optionally sharded); a transport that cannot
+/// mutate simply does not derive from this.
+///
+/// Contract (all calls require a round boundary — no staged traffic):
+///  * connectDemand attaches an isolated demand with a sorted,
+///    duplicate-free neighbour list; every neighbour's list gains it.
+///  * disconnectDemand removes every edge of the demand (both sides);
+///    the endpoint stays addressable with no neighbours, exactly like a
+///    departed demand. Disconnecting an isolated (never-connected or
+///    already-departed) demand is a no-op.
+///  * After any mutation the live adjacency must still satisfy
+///    validateCommunicationAdjacency — validateLiveTopology() re-checks.
+class MutableTopology {
+ public:
+  virtual ~MutableTopology() = default;
+
+  virtual void connectDemand(std::int32_t demand,
+                             std::span<const std::int32_t> neighbors) = 0;
+
+  virtual void disconnectDemand(std::int32_t demand) = 0;
+
+  /// Number of demand-level endpoints the topology addresses.
+  virtual std::int32_t numDemands() const = 0;
+
+  /// Current neighbours of `demand` (sorted, duplicate-free); the live
+  /// adjacency query. Invalidated by the next mutation.
+  virtual std::span<const std::int32_t> currentNeighbors(
+      std::int32_t demand) const = 0;
+};
+
+/// The mutable-topology facet of `transport`, or nullptr when the
+/// transport's topology is fixed.
+MutableTopology* mutableTopologyOf(Transport& transport);
+
+/// Checked variant: throws CheckError when the transport cannot mutate
+/// its topology. The online solver funnels through this.
+MutableTopology& requireMutableTopology(Transport& transport);
+
+/// Re-runs validateCommunicationAdjacency on the live adjacency — the
+/// post-mutation audit of the MutableTopology contract.
+void validateLiveTopology(const MutableTopology& topology);
+
 }  // namespace treesched

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "net/latency.hpp"
+#include "net/shard.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -18,6 +19,11 @@ constexpr std::uint64_t kSaltBurstMember = 0x11;
 constexpr std::uint64_t kSaltLifetime = 0x12;
 constexpr std::uint64_t kSaltDiurnalTime = 0x13;
 constexpr std::uint64_t kSaltDiurnalAccept = 0x14;
+// TargetedBurst: target-network picks (per network), the one shared
+// correlated-lifetime draw (per trace) and its per-demand jitter.
+constexpr std::uint64_t kSaltTargetPick = 0x15;
+constexpr std::uint64_t kSaltSharedLifetime = 0x16;
+constexpr std::uint64_t kSaltLifetimeJitter = 0x17;
 
 // Rejection-sampling attempts for the diurnal wave. The acceptance rate
 // is >= (1 - waveDepth) / 2 per attempt at the deepest trough; 64
@@ -32,18 +38,25 @@ double draw(const ArrivalConfig& config, DemandId d, std::uint64_t salt) {
                                 salt));
 }
 
+/// Burst-window arrival shared by FlashCrowd members and TargetedBurst
+/// victims: uniform over [center - width/2, center + width/2] * horizon.
+double burstArrival(const ArrivalConfig& config, DemandId d) {
+  const double begin =
+      config.horizon * (config.burstCenter - 0.5 * config.burstWidth);
+  const double t = begin + config.horizon * config.burstWidth *
+                               draw(config, d, kSaltArrival);
+  return std::clamp(t, 0.0, config.horizon);
+}
+
 double arrivalTime(const ArrivalConfig& config, DemandId d) {
   switch (config.model) {
     case ArrivalModel::Poisson:
+    case ArrivalModel::TargetedBurst:  // non-members; members use
+                                       // burstArrival directly
       return config.horizon * draw(config, d, kSaltArrival);
     case ArrivalModel::FlashCrowd: {
       if (draw(config, d, kSaltBurstMember) < config.burstFraction) {
-        const double begin =
-            config.horizon *
-            (config.burstCenter - 0.5 * config.burstWidth);
-        const double t = begin + config.horizon * config.burstWidth *
-                                     draw(config, d, kSaltArrival);
-        return std::clamp(t, 0.0, config.horizon);
+        return burstArrival(config, d);
       }
       return config.horizon * draw(config, d, kSaltArrival);
     }
@@ -82,6 +95,67 @@ double lifetime(const ArrivalConfig& config, DemandId d) {
   return -config.meanLifetime * std::log1p(-u);
 }
 
+ChurnTrace generateTrace(
+    const ArrivalConfig& config, std::int32_t numDemands,
+    const std::vector<std::vector<std::int32_t>>* access) {
+  validateArrivalConfig(config);
+  checkThat(numDemands >= 0, "demand count non-negative", __FILE__, __LINE__);
+  const bool targeted = config.model == ArrivalModel::TargetedBurst;
+  checkThat(!targeted || access != nullptr,
+            "targeted_burst needs the pool's access lists", __FILE__,
+            __LINE__);
+
+  // TargetedBurst state: the attacked networks and the one shared
+  // correlated-lifetime draw all burst members depart on.
+  std::vector<std::int32_t> targets;
+  double sharedLifetime = 0;
+  if (targeted) {
+    targets = targetedNetworks(config, *access);
+    const double u = unitInterval(
+        keyedHash(config.seed, 0, kSaltSharedLifetime));
+    sharedLifetime =
+        -config.meanLifetime * config.correlatedLifetime * std::log1p(-u);
+  }
+  const auto isTargetedMember = [&](DemandId d) {
+    const std::int32_t home =
+        homeNetworkOf((*access)[static_cast<std::size_t>(d)]);
+    return home >= 0 &&
+           std::binary_search(targets.begin(), targets.end(), home) &&
+           draw(config, d, kSaltBurstMember) < config.targetFraction;
+  };
+
+  ChurnTrace trace;
+  trace.horizon = config.horizon;
+  trace.events.reserve(static_cast<std::size_t>(numDemands) * 2);
+  for (DemandId d = 0; d < numDemands; ++d) {
+    double arrive = 0;
+    double life = 0;
+    if (targeted && isTargetedMember(d)) {
+      arrive = burstArrival(config, d);
+      // ±10% per-demand jitter around the shared draw: the mass
+      // departure lands in one narrow window.
+      life = sharedLifetime *
+             (0.9 + 0.2 * draw(config, d, kSaltLifetimeJitter));
+    } else {
+      arrive = arrivalTime(config, d);
+      life = lifetime(config, d);
+    }
+    trace.events.push_back({arrive, d, true});
+    const double depart = arrive + life;
+    if (depart < config.horizon) {
+      trace.events.push_back({depart, d, false});
+    }
+  }
+  // Total deterministic order; a demand's arrival sorts before its
+  // departure even in the (measure-zero) case of a zero lifetime draw.
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              return std::tuple(a.time, a.demand, !a.arrival) <
+                     std::tuple(b.time, b.demand, !b.arrival);
+            });
+  return trace;
+}
+
 }  // namespace
 
 void validateArrivalConfig(const ArrivalConfig& config) {
@@ -98,32 +172,64 @@ void validateArrivalConfig(const ArrivalConfig& config) {
   checkThat(config.waves > 0, "diurnal waves positive", __FILE__, __LINE__);
   checkThat(config.waveDepth >= 0 && config.waveDepth < 1,
             "wave depth in [0, 1)", __FILE__, __LINE__);
+  checkThat(config.targetNetworkCount > 0, "target network count positive",
+            __FILE__, __LINE__);
+  checkThat(config.targetFraction >= 0 && config.targetFraction <= 1,
+            "target fraction in [0, 1]", __FILE__, __LINE__);
+  checkThat(config.correlatedLifetime > 0 && config.correlatedLifetime <= 1,
+            "correlated lifetime in (0, 1]", __FILE__, __LINE__);
 }
 
 ChurnTrace generateChurnTrace(const ArrivalConfig& config,
                               std::int32_t numDemands) {
-  validateArrivalConfig(config);
-  checkThat(numDemands >= 0, "demand count non-negative", __FILE__, __LINE__);
+  return generateTrace(config, numDemands, nullptr);
+}
 
-  ChurnTrace trace;
-  trace.horizon = config.horizon;
-  trace.events.reserve(static_cast<std::size_t>(numDemands) * 2);
-  for (DemandId d = 0; d < numDemands; ++d) {
-    const double arrive = arrivalTime(config, d);
-    trace.events.push_back({arrive, d, true});
-    const double depart = arrive + lifetime(config, d);
-    if (depart < config.horizon) {
-      trace.events.push_back({depart, d, false});
+ChurnTrace generateChurnTrace(
+    const ArrivalConfig& config,
+    const std::vector<std::vector<std::int32_t>>& access) {
+  return generateTrace(config, static_cast<std::int32_t>(access.size()),
+                       &access);
+}
+
+std::vector<std::int32_t> targetedNetworks(const ArrivalConfig& config,
+                                           std::int32_t numNetworks) {
+  checkThat(config.targetNetworkCount > 0, "target network count positive",
+            __FILE__, __LINE__);
+  // Rank networks by their pick hash (computed once each) and take the
+  // smallest k — a deterministic, seed-keyed sample without replacement.
+  std::vector<std::pair<std::uint64_t, std::int32_t>> ranked;
+  ranked.reserve(static_cast<std::size_t>(std::max(0, numNetworks)));
+  for (std::int32_t t = 0; t < numNetworks; ++t) {
+    ranked.emplace_back(
+        keyedHash(config.seed, static_cast<std::uint64_t>(t),
+                  kSaltTargetPick),
+        t);
+  }
+  const auto count = static_cast<std::size_t>(std::max(
+      0, std::min(config.targetNetworkCount, numNetworks)));
+  std::nth_element(ranked.begin(),
+                   ranked.begin() + static_cast<std::ptrdiff_t>(count),
+                   ranked.end());
+  std::vector<std::int32_t> targets;
+  targets.reserve(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    targets.push_back(ranked[r].second);
+  }
+  std::sort(targets.begin(), targets.end());
+  return targets;
+}
+
+std::vector<std::int32_t> targetedNetworks(
+    const ArrivalConfig& config,
+    const std::vector<std::vector<std::int32_t>>& access) {
+  std::int32_t numNetworks = 0;
+  for (const auto& nets : access) {
+    for (const std::int32_t t : nets) {
+      numNetworks = std::max(numNetworks, t + 1);
     }
   }
-  // Total deterministic order; a demand's arrival sorts before its
-  // departure even in the (measure-zero) case of a zero lifetime draw.
-  std::sort(trace.events.begin(), trace.events.end(),
-            [](const ChurnEvent& a, const ChurnEvent& b) {
-              return std::tuple(a.time, a.demand, !a.arrival) <
-                     std::tuple(b.time, b.demand, !b.arrival);
-            });
-  return trace;
+  return targetedNetworks(config, numNetworks);
 }
 
 const char* arrivalModelName(ArrivalModel model) {
@@ -134,6 +240,8 @@ const char* arrivalModelName(ArrivalModel model) {
       return "flash_crowd";
     case ArrivalModel::Diurnal:
       return "diurnal";
+    case ArrivalModel::TargetedBurst:
+      return "targeted_burst";
   }
   return "unknown";
 }

@@ -12,6 +12,13 @@
 //  * Diurnal     — arrival intensity follows a sinusoidal day/night wave
 //                  (sampled by hash-keyed rejection): the metro rush
 //                  hour.
+//  * TargetedBurst — the adversarial model: a hash-picked set of target
+//                  networks is hammered — demands homed on them pile
+//                  into the burst window AND depart together (one shared
+//                  correlated-lifetime draw, per-demand jitter), so the
+//                  same region absorbs an arrival wave and a departure
+//                  wave a few epochs apart. Needs the pool's access
+//                  lists (the access overload below).
 //
 // Every draw is a stable hash of (seed, demand, salt[, attempt]) — the
 // net/latency.hpp discipline — so a trace is a pure function of its
@@ -26,7 +33,12 @@
 
 namespace treesched {
 
-enum class ArrivalModel : std::uint8_t { Poisson, FlashCrowd, Diurnal };
+enum class ArrivalModel : std::uint8_t {
+  Poisson,
+  FlashCrowd,
+  Diurnal,
+  TargetedBurst
+};
 
 struct ArrivalConfig {
   ArrivalModel model = ArrivalModel::Poisson;
@@ -45,6 +57,18 @@ struct ArrivalConfig {
   // ---- Diurnal ----
   double waves = 2.0;      ///< full day/night cycles over the horizon
   double waveDepth = 0.9;  ///< intensity swing in [0, 1]; 0 = flat
+
+  // ---- TargetedBurst (reuses burstCenter/burstWidth for the window) ----
+  /// Networks under attack, hash-picked from the pool's network set
+  /// (> 0; clamped to the network count).
+  std::int32_t targetNetworkCount = 2;
+  /// Probability that a demand homed on a target network joins the
+  /// burst (in [0, 1]); non-targeted demands arrive Poisson-style.
+  double targetFraction = 0.8;
+  /// Burst members share ONE lifetime draw with mean `meanLifetime *
+  /// correlatedLifetime` (in (0, 1]), jittered ±10% per demand — the
+  /// correlated mass departure.
+  double correlatedLifetime = 0.25;
 };
 
 /// Throws CheckError unless the config is well-formed.
@@ -72,10 +96,36 @@ struct ChurnTrace {
 };
 
 /// Generates the trace for `numDemands` pool demands (ids 0..n-1).
+/// Throws CheckError for ArrivalModel::TargetedBurst — that model needs
+/// the access overload below.
 ChurnTrace generateChurnTrace(const ArrivalConfig& config,
                               std::int32_t numDemands);
 
-/// Human-readable model name ("poisson", "flash_crowd", "diurnal").
+/// Access-aware overload: `access[d]` lists the networks demand d may
+/// use — the targeting signal of ArrivalModel::TargetedBurst (a demand
+/// is targeted when its home network, the smallest accessible id, is in
+/// the hash-picked target set). Other models ignore `access` and
+/// produce the exact same trace as the plain overload.
+ChurnTrace generateChurnTrace(
+    const ArrivalConfig& config,
+    const std::vector<std::vector<std::int32_t>>& access);
+
+/// The hash-picked target networks of a TargetedBurst config over
+/// `numNetworks` pool networks (sorted, duplicate-free; exposed so
+/// tests and tools can see where the attack lands).
+std::vector<std::int32_t> targetedNetworks(const ArrivalConfig& config,
+                                           std::int32_t numNetworks);
+
+/// Access-list variant: derives the network universe exactly like trace
+/// generation does (largest accessed id + 1 — ids no demand can reach
+/// are never targeted), so the returned set is precisely where the
+/// generated burst lands.
+std::vector<std::int32_t> targetedNetworks(
+    const ArrivalConfig& config,
+    const std::vector<std::vector<std::int32_t>>& access);
+
+/// Human-readable model name ("poisson", "flash_crowd", "diurnal",
+/// "targeted_burst").
 const char* arrivalModelName(ArrivalModel model);
 
 }  // namespace treesched

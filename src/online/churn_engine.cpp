@@ -56,7 +56,19 @@ ChurnRunResult runChurnOverTrace(
     const InstanceUniverse& universe, const Layering& layering,
     const std::vector<std::vector<std::int32_t>>& access,
     const ChurnTrace& trace, const ChurnEngineConfig& config) {
-  IncrementalSolver solver(universe, layering, access, config.solver);
+  const std::unique_ptr<Transport> transport =
+      makeLiveTransport(universe.numDemands(), access, config.transport);
+  return runChurnOverTransport(universe, layering, access, trace, config,
+                               *transport);
+}
+
+ChurnRunResult runChurnOverTransport(
+    const InstanceUniverse& universe, const Layering& layering,
+    const std::vector<std::vector<std::int32_t>>& access,
+    const ChurnTrace& trace, const ChurnEngineConfig& config,
+    Transport& transport) {
+  IncrementalSolver solver(universe, layering, access, config.solver,
+                           transport);
   ChurnRunResult result;
   const std::vector<EpochBatch> batches =
       batchTrace(trace, config.epochLength);
@@ -81,6 +93,8 @@ ChurnRunResult runChurnOverTrace(
   result.finalActiveInstances = solver.activeInstanceIds();
   result.meanResolveFraction =
       churnEpochs > 0 ? fractionSum / static_cast<double>(churnEpochs) : 0.0;
+  result.sla = solver.admissionSla();
+  result.network = solver.transport().stats();
   return result;
 }
 

@@ -6,6 +6,11 @@
 // to the IncrementalSolver — one warm-started incremental re-solve per
 // epoch over the live transport. It is the online counterpart of the
 // one-shot runDistributedUnit{Tree,Line} entry points.
+//
+// The transport is selected by ChurnEngineConfig::transport
+// (net/live_transport.hpp): the synchronous bus, the async lossy wire or
+// the sharded wire. Epoch outcomes are bit-identical across all of them
+// (the Transport contract); the choice moves only the wire accounting.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,7 @@
 
 #include "core/line_problem.hpp"
 #include "core/tree_problem.hpp"
+#include "net/live_transport.hpp"
 #include "online/arrivals.hpp"
 #include "online/incremental.hpp"
 
@@ -22,6 +28,8 @@ struct ChurnEngineConfig {
   /// Virtual time per epoch batch (> 0).
   double epochLength = 8.0;
   OnlineSolverConfig solver;
+  /// Which wire the epochs run over (sync bus by default).
+  LiveTransportConfig transport;
 };
 
 struct ChurnRunResult {
@@ -39,14 +47,28 @@ struct ChurnRunResult {
   std::int32_t fullResolves = 0;
   std::int64_t totalRounds = 0;
   std::int64_t totalMessages = 0;
+  /// Admission-latency SLA aggregates after the last epoch.
+  AdmissionSla sla;
+  /// The transport's cumulative accounting after the last epoch (wire
+  /// transmissions, virtual time, ... — the per-transport bench axis).
+  NetworkStats network;
 };
 
-/// Runs the trace over a prepared pool (universe + layering + access).
-/// The pool structures must outlive the call.
+/// Runs the trace over a prepared pool (universe + layering + access),
+/// building the transport from config.transport. The pool structures
+/// must outlive the call.
 ChurnRunResult runChurnOverTrace(
     const InstanceUniverse& universe, const Layering& layering,
     const std::vector<std::vector<std::int32_t>>& access,
     const ChurnTrace& trace, const ChurnEngineConfig& config);
+
+/// Same, over a caller-owned live transport (must expose one isolated
+/// endpoint per pool demand and support MutableTopology).
+ChurnRunResult runChurnOverTransport(
+    const InstanceUniverse& universe, const Layering& layering,
+    const std::vector<std::vector<std::int32_t>>& access,
+    const ChurnTrace& trace, const ChurnEngineConfig& config,
+    Transport& transport);
 
 /// Convenience entry points building the pool structures first.
 ChurnRunResult runChurnTree(const TreeProblem& pool, const ChurnTrace& trace,

@@ -16,27 +16,25 @@ namespace {
 // stream in the library.
 constexpr std::uint64_t kEpochSeedSalt = 0x0e90c4;
 
-std::vector<std::vector<std::int32_t>> emptyAdjacency(std::int32_t n) {
-  return std::vector<std::vector<std::int32_t>>(
-      static_cast<std::size_t>(std::max(1, n)));
-}
-
 }  // namespace
 
 IncrementalSolver::IncrementalSolver(
     const InstanceUniverse& universe, const Layering& layering,
     const std::vector<std::vector<std::int32_t>>& access,
-    const OnlineSolverConfig& config)
+    const OnlineSolverConfig& config, Transport& transport)
     : u_(universe),
       lay_(layering),
       access_(access),
       cfg_(config),
-      bus_(emptyAdjacency(universe.numDemands())),
+      bus_(transport),
+      topo_(requireMutableTopology(transport)),
       active_(static_cast<std::size_t>(universe.numDemands()), 0),
       networkMembers_(static_cast<std::size_t>(universe.numNetworks())),
       dual_(universe),
       lhs_(static_cast<std::size_t>(universe.numInstances()), 0.0),
-      raisesOfDemand_(static_cast<std::size_t>(universe.numDemands())) {
+      raisesOfDemand_(static_cast<std::size_t>(universe.numDemands())),
+      arrivalEpoch_(static_cast<std::size_t>(universe.numDemands()), -1),
+      admittedEpoch_(static_cast<std::size_t>(universe.numDemands()), -1) {
   checkThat(u_.conflictsBuilt(), "conflicts built before online solve",
             __FILE__, __LINE__);
   checkThat(u_.numDemands() > 0, "online solver needs a demand pool",
@@ -46,6 +44,14 @@ IncrementalSolver::IncrementalSolver(
   checkThat(cfg_.stepsPerStage > 0,
             "online epochs run the fixed schedule (stepsPerStage > 0)",
             __FILE__, __LINE__);
+  checkThat(bus_.numProcessors() == u_.numDemands(),
+            "transport exposes one endpoint per pool demand", __FILE__,
+            __LINE__);
+  for (DemandId d = 0; d < u_.numDemands(); ++d) {
+    checkThat(topo_.currentNeighbors(d).empty(),
+              "pool demands start isolated on the live transport", __FILE__,
+              __LINE__);
+  }
 }
 
 std::uint64_t IncrementalSolver::pairKey(std::int32_t a, std::int32_t b) {
@@ -61,6 +67,9 @@ void IncrementalSolver::activate(DemandId d) {
   ++activeDemandCount_;
   activeInstanceCount_ +=
       static_cast<std::int64_t>(u_.instancesOfDemand(d).size());
+  // A (re-)arrival restarts the demand's SLA clock.
+  arrivalEpoch_[static_cast<std::size_t>(d)] = epoch_;
+  admittedEpoch_[static_cast<std::size_t>(d)] = -1;
 
   // New communication edges: one per active demand first found sharing a
   // network with d; further shared networks only bump the edge's count.
@@ -75,7 +84,7 @@ void IncrementalSolver::activate(DemandId d) {
     members.insert(std::lower_bound(members.begin(), members.end(), d), d);
   }
   std::sort(newNeighbors_.begin(), newNeighbors_.end());
-  bus_.connectDemand(d, newNeighbors_);
+  topo_.connectDemand(d, newNeighbors_);
 }
 
 void IncrementalSolver::deactivate(DemandId d) {
@@ -85,6 +94,9 @@ void IncrementalSolver::deactivate(DemandId d) {
   --activeDemandCount_;
   activeInstanceCount_ -=
       static_cast<std::int64_t>(u_.instancesOfDemand(d).size());
+  if (admittedEpoch_[static_cast<std::size_t>(d)] < 0) {
+    ++departedUnadmitted_;
+  }
 
   for (const std::int32_t t : access_[static_cast<std::size_t>(d)]) {
     auto& members = networkMembers_[static_cast<std::size_t>(t)];
@@ -93,10 +105,10 @@ void IncrementalSolver::deactivate(DemandId d) {
               __FILE__, __LINE__);
     members.erase(pos);
   }
-  for (const std::int32_t m : bus_.neighbors(d)) {
+  for (const std::int32_t m : topo_.currentNeighbors(d)) {
     sharedNetworks_.erase(pairKey(d, m));
   }
-  bus_.disconnectDemand(d);
+  topo_.disconnectDemand(d);
 }
 
 void IncrementalSolver::applyRaiseSigned(const RaiseRecord& record,
@@ -121,6 +133,7 @@ void IncrementalSolver::purgeRaisesOf(DemandId d) {
     RaiseRecord& record = raises_[static_cast<std::size_t>(idx)];
     if (!record.live) continue;
     record.live = false;
+    ++deadRaises_;
     applyRaiseSigned(record, -1.0);
     auto& set = stack_[static_cast<std::size_t>(record.stackEntry)];
     const auto pos =
@@ -140,6 +153,52 @@ void IncrementalSolver::resetDualState() {
     list.clear();
   }
   stack_.clear();
+  deadRaises_ = 0;
+}
+
+void IncrementalSolver::compactStack() {
+  // Drop fully-purged tuple sets eagerly (they would otherwise linger
+  // until the next full re-solve) and compact the dead raise records out
+  // with them, remapping the survivors' set indices in one pass. The
+  // pass costs O(live raises), so dead records alone only trigger it
+  // once they outnumber the live ones (amortized O(1) per purge, the
+  // net/shard.cpp tombstone discipline); an emptied set triggers it
+  // immediately — that is the eager-drop guarantee.
+  std::vector<std::int32_t> setRemap(stack_.size(), -1);
+  std::size_t keptSets = 0;
+  for (std::size_t s = 0; s < stack_.size(); ++s) {
+    if (stack_[s].empty()) continue;
+    setRemap[s] = static_cast<std::int32_t>(keptSets);
+    if (keptSets != s) {
+      stack_[keptSets] = std::move(stack_[s]);
+    }
+    ++keptSets;
+  }
+  if (keptSets == stack_.size() &&
+      deadRaises_ * 2 <= static_cast<std::int64_t>(raises_.size())) {
+    return;
+  }
+  stack_.resize(keptSets);
+
+  std::vector<std::int32_t> raiseRemap(raises_.size(), -1);
+  std::size_t keptRaises = 0;
+  for (std::size_t r = 0; r < raises_.size(); ++r) {
+    if (!raises_[r].live) continue;
+    RaiseRecord record = raises_[r];
+    record.stackEntry = setRemap[static_cast<std::size_t>(record.stackEntry)];
+    checkThat(record.stackEntry >= 0, "live raise keeps its stack set",
+              __FILE__, __LINE__);
+    raiseRemap[r] = static_cast<std::int32_t>(keptRaises);
+    raises_[keptRaises] = record;
+    ++keptRaises;
+  }
+  raises_.resize(keptRaises);
+  deadRaises_ = 0;
+  for (auto& list : raisesOfDemand_) {
+    for (std::int32_t& idx : list) {
+      idx = raiseRemap[static_cast<std::size_t>(idx)];
+    }
+  }
 }
 
 void IncrementalSolver::popPersistentStack() {
@@ -157,6 +216,33 @@ void IncrementalSolver::popPersistentStack() {
   }
   solution_ = oracle.solution();
   profit_ = oracle.profit();
+}
+
+void IncrementalSolver::recordAdmissions(EpochOutcome& outcome) {
+  for (const InstanceId i : solution_.instances) {
+    const DemandId d = u_.instance(i).demand;
+    auto& admitted = admittedEpoch_[static_cast<std::size_t>(d)];
+    if (admitted >= 0) continue;
+    admitted = epoch_;
+    const std::int64_t latency =
+        epoch_ - arrivalEpoch_[static_cast<std::size_t>(d)];
+    ++admittedCount_;
+    latencySumEpochs_ += latency;
+    latencyMaxEpochs_ = std::max(latencyMaxEpochs_, latency);
+    ++outcome.newlyAdmittedDemands;
+  }
+}
+
+AdmissionSla IncrementalSolver::admissionSla() const {
+  AdmissionSla sla;
+  sla.admittedDemands = admittedCount_;
+  sla.departedUnadmitted = departedUnadmitted_;
+  sla.meanLatencyEpochs =
+      admittedCount_ > 0 ? static_cast<double>(latencySumEpochs_) /
+                               static_cast<double>(admittedCount_)
+                         : 0.0;
+  sla.maxLatencyEpochs = latencyMaxEpochs_;
+  return sla;
 }
 
 std::vector<InstanceId> IncrementalSolver::activeInstanceIds() const {
@@ -215,11 +301,15 @@ EpochOutcome IncrementalSolver::applyEpoch(
       std::unique(changedNetworks_.begin(), changedNetworks_.end()),
       changedNetworks_.end());
 
-  // Departures first (their raises purge exactly), then arrivals extend
-  // the live communication graph.
+  // Departures first (their raises purge exactly; fully-purged stack
+  // sets compact away eagerly), then arrivals extend the live
+  // communication graph.
   for (const DemandId d : departures) {
     purgeRaisesOf(d);
     deactivate(d);
+  }
+  if (!departures.empty()) {
+    compactStack();
   }
   for (const DemandId d : arrivals) {
     activate(d);
@@ -312,6 +402,7 @@ EpochOutcome IncrementalSolver::applyEpoch(
   popPersistentStack();
   outcome.solution = solution_;
   outcome.profit = profit_;
+  recordAdmissions(outcome);
 
   // Slackness over the whole active set (warm epochs inherit the old
   // epochs' satisfaction; the dual pair scaled by lambda is feasible for

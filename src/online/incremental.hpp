@@ -1,23 +1,29 @@
 // Warm-started incremental epoch re-solver (the online tentpole).
 //
 // The solver owns a *pool* universe (every demand that can ever exist)
-// and a live SimNetwork over it. Demands arrive and depart in epoch
-// batches; each batch triggers an incremental re-solve instead of a
-// from-scratch run:
+// and drives a live Transport over it. Demands arrive and depart in
+// epoch batches; each batch triggers an incremental re-solve instead of
+// a from-scratch run:
 //
 //  * The communication graph is extended incrementally — arrival of d
 //    adds node d plus edges to active demands sharing a network (via a
 //    shared-network edge count, so duplicated shared networks never
 //    duplicate edges); departure removes d's edges. Never a full
-//    rebuild, and the transport (with its warmed-up message plane and
-//    cumulative stats) persists across every epoch.
+//    rebuild, and the transport (with its warmed-up buffers and
+//    cumulative stats) persists across every epoch. The solver speaks
+//    only the Transport + MutableTopology contracts (net/transport.hpp):
+//    the same solver runs over the synchronous bus, the asynchronous
+//    lossy wire and the sharded wire (net/live_transport.hpp), and every
+//    epoch is bit-identical across them.
 //  * Departures are *purged exactly*: every surviving dual is the dual
 //    of a raise owned by a still-active demand. A departed demand's
 //    alpha/beta increments are subtracted and its instances leave the
-//    persistent phase-1 stack. Locality makes this safe: a purged beta
-//    lives on a critical edge of the departed demand, so only demands
-//    sharing one of its networks — the affected region by definition —
-//    can see their LHS move.
+//    persistent phase-1 stack; tuple sets the purge empties are dropped
+//    eagerly (with the dead raise records), so the stack never
+//    accumulates fully-purged sets between full re-solves. Locality
+//    makes the purge safe: a purged beta lives on a critical edge of the
+//    departed demand, so only demands sharing one of its networks — the
+//    affected region by definition — can see their LHS move.
 //  * The distributed protocol then re-runs ONLY over the affected
 //    region (active demands whose accessible networks intersect the
 //    changed networks), warm-started from the surviving LHS
@@ -32,11 +38,16 @@
 //    approximation argument goes through unchanged: epoch profit >=
 //    val(alpha, beta) / bound >= lambda * OPT(active) / bound.
 //
-// Equivalence gate (tests/online_test.cpp): when the affected region is
-// the whole active set the solver drops the warm state and the epoch is
-// bit-identical to runTwoPhaseRestricted on the surviving demand set;
-// otherwise the epoch must stay feasible and within the approximation
-// factor of the from-scratch solve.
+// SLA accounting: the solver tracks, per demand, the number of epochs
+// from arrival to first admission (admissionSla()); a demand departing
+// unadmitted is counted separately, and a re-arrival restarts its clock.
+//
+// Equivalence gates: when the affected region is the whole active set
+// the solver drops the warm state and the epoch is bit-identical to
+// runTwoPhaseRestricted on the surviving demand set (tests/online_test);
+// and for any fixed trace the per-epoch outcomes over the async lossy
+// and sharded transports are bit-identical to the synchronous bus
+// (tests/online_transport_test).
 #pragma once
 
 #include <cstdint>
@@ -48,9 +59,9 @@
 #include "core/universe.hpp"
 #include "decomp/layering.hpp"
 #include "dist/protocol.hpp"
-#include "dist/sim_network.hpp"
 #include "framework/dual_state.hpp"
 #include "framework/raise_policy.hpp"
+#include "net/transport.hpp"
 
 namespace treesched {
 
@@ -94,16 +105,34 @@ struct EpochOutcome {
   std::int64_t raises = 0;
   std::int64_t rounds = 0;    ///< protocol rounds spent by this epoch
   std::int64_t messages = 0;  ///< messages delivered during this epoch
+  /// Active demands first admitted by this epoch (their SLA clocks
+  /// stop here).
+  std::int32_t newlyAdmittedDemands = 0;
+};
+
+/// Aggregate per-demand admission-latency statistics (epochs from
+/// arrival to first admission). Re-arrivals restart the clock and count
+/// as fresh admissions. Scope: demands the solver actually saw — a
+/// demand whose arrival and departure were netted away inside one epoch
+/// window (online/churn_engine.hpp batchTrace) never reaches the solver
+/// and appears in neither counter.
+struct AdmissionSla {
+  std::int64_t admittedDemands = 0;     ///< admission events observed
+  std::int64_t departedUnadmitted = 0;  ///< departures never admitted
+  double meanLatencyEpochs = 0;         ///< mean over admission events
+  std::int64_t maxLatencyEpochs = 0;
 };
 
 class IncrementalSolver {
  public:
   /// `universe` must have conflicts built; `access` are the pool
-  /// problem's accessibility lists (one per demand, network ids). The
-  /// references must outlive the solver.
+  /// problem's accessibility lists (one per demand, network ids);
+  /// `transport` must expose one endpoint per pool demand, all isolated,
+  /// and support MutableTopology (net/live_transport.hpp builds one).
+  /// The references must outlive the solver.
   IncrementalSolver(const InstanceUniverse& universe, const Layering& layering,
                     const std::vector<std::vector<std::int32_t>>& access,
-                    const OnlineSolverConfig& config);
+                    const OnlineSolverConfig& config, Transport& transport);
 
   /// Admits one epoch batch: `arrivals` must be inactive pool demands,
   /// `departures` active ones (both duplicate-free). Returns the epoch
@@ -120,9 +149,32 @@ class IncrementalSolver {
   std::vector<InstanceId> activeInstanceIds() const;
   const Solution& solution() const { return solution_; }
   double profit() const { return profit_; }
-  const SimNetwork& transport() const { return bus_; }
+  const Transport& transport() const { return bus_; }
   double lhs(InstanceId i) const {
     return lhs_[static_cast<std::size_t>(i)];
+  }
+
+  // ---- Phase-1 stack accounting (compaction regression surface) ----
+  /// Tuple sets currently on the persistent stack; fully-purged sets are
+  /// dropped eagerly, so this never exceeds the sets with live members.
+  std::int64_t stackSets() const {
+    return static_cast<std::int64_t>(stack_.size());
+  }
+  /// Raise records currently stored. Purged records compact away with
+  /// their sets (or once they outnumber the live records — amortized),
+  /// so at most half the stored records are ever dead.
+  std::int64_t storedRaises() const {
+    return static_cast<std::int64_t>(raises_.size());
+  }
+
+  // ---- SLA accounting ----
+  AdmissionSla admissionSla() const;
+  /// Epochs from demand `d`'s (latest) arrival to its first admission;
+  /// -1 while never admitted since that arrival.
+  std::int64_t admissionLatencyEpochs(DemandId d) const {
+    const auto admitted = admittedEpoch_[static_cast<std::size_t>(d)];
+    if (admitted < 0) return -1;
+    return admitted - arrivalEpoch_[static_cast<std::size_t>(d)];
   }
 
   /// Test audit: max absolute deviation between the persistent LHS of
@@ -145,14 +197,17 @@ class IncrementalSolver {
   void purgeRaisesOf(DemandId d);
   void applyRaiseSigned(const RaiseRecord& record, double sign);
   void resetDualState();
+  void compactStack();
   void popPersistentStack();
+  void recordAdmissions(EpochOutcome& outcome);
 
   const InstanceUniverse& u_;
   const Layering& lay_;
   const std::vector<std::vector<std::int32_t>>& access_;
   OnlineSolverConfig cfg_;
 
-  SimNetwork bus_;  ///< the live transport, persistent across epochs
+  Transport& bus_;         ///< the live transport, persistent across epochs
+  MutableTopology& topo_;  ///< its mutation facet (same object)
 
   // Active set + incremental communication graph bookkeeping.
   std::vector<std::uint8_t> active_;
@@ -170,12 +225,22 @@ class IncrementalSolver {
   std::vector<RaiseRecord> raises_;
   std::vector<std::vector<std::int32_t>> raisesOfDemand_;
   std::vector<std::vector<InstanceId>> stack_;
+  std::int64_t deadRaises_ = 0;  ///< purged records awaiting compaction
 
   Solution solution_;
   double profit_ = 0;
   double lambdaMeasured_ = 1.0;
   double dualObjective_ = 0;
   std::int32_t epoch_ = 0;
+
+  // SLA clocks: per demand, epoch of the latest arrival and of the first
+  // admission since (-1 while unadmitted), plus the running aggregates.
+  std::vector<std::int64_t> arrivalEpoch_;
+  std::vector<std::int64_t> admittedEpoch_;
+  std::int64_t admittedCount_ = 0;
+  std::int64_t departedUnadmitted_ = 0;
+  std::int64_t latencySumEpochs_ = 0;
+  std::int64_t latencyMaxEpochs_ = 0;
 
   // Scratch (reused per epoch).
   std::vector<std::int32_t> changedNetworks_;

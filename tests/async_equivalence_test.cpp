@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "dist/protocol.hpp"
+#include "dist/sim_network.hpp"
 #include "gen/scenario.hpp"
 #include "net/runner.hpp"
 

@@ -300,8 +300,10 @@ TEST(IncrementalSolver, LiveGraphMatchesFromScratchEveryEpoch) {
   const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
   OnlineSolverConfig solver;
   solver.seed = 99;
+  SimNetwork bus(std::vector<std::vector<std::int32_t>>(
+      static_cast<std::size_t>(scenario.pool.numDemands())));
   IncrementalSolver engine(prepared.universe, prepared.layering,
-                           scenario.pool.access, solver);
+                           scenario.pool.access, solver, bus);
 
   const ChurnTrace trace = generateChurnTrace(
       sweepArrivals(ArrivalModel::Poisson, 7), scenario.pool.numDemands());
@@ -327,7 +329,110 @@ TEST(IncrementalSolver, LiveGraphMatchesFromScratchEveryEpoch) {
     // The persistent LHS stays a replay of the surviving raises (bounds
     // the floating-point residue of departure purges).
     EXPECT_LT(engine.maxLhsDeviationFromReplay(), 1e-7);
+    // Stack compaction invariant: purged records leave with their sets,
+    // so every stored raise is live and every stored set non-empty.
+    EXPECT_LE(engine.stackSets(), engine.storedRaises());
   }
+}
+
+// ---- Phase-1 stack compaction (ROADMAP follow-up) ----
+
+// Fully-purged tuple sets must be dropped the epoch their last member
+// departs — not accumulate until the next full re-solve. Departing every
+// active demand therefore leaves a completely empty stack.
+TEST(IncrementalSolver, StackCompactionDropsFullyPurgedSets) {
+  const ChurnTreeScenario scenario = makeFlashCrowdTree50k(11, 96);
+  const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
+  OnlineSolverConfig solver;
+  solver.seed = 41;
+  SimNetwork bus(std::vector<std::vector<std::int32_t>>(
+      static_cast<std::size_t>(scenario.pool.numDemands())));
+  IncrementalSolver engine(prepared.universe, prepared.layering,
+                           scenario.pool.access, solver, bus);
+
+  const ChurnTrace trace = generateChurnTrace(
+      sweepArrivals(ArrivalModel::Poisson, 11), scenario.pool.numDemands());
+  for (const EpochBatch& batch : batchTrace(trace, 8.0)) {
+    engine.applyEpoch(batch.arrivals, batch.departures);
+    EXPECT_LE(engine.stackSets(), engine.storedRaises());
+  }
+  ASSERT_GT(engine.activeDemands(), 0);
+  ASSERT_GT(engine.storedRaises(), 0);
+
+  // Depart everyone: every raise purges, every set empties, and the
+  // eager compaction must leave nothing behind.
+  std::vector<DemandId> everyone;
+  for (DemandId d = 0; d < scenario.pool.numDemands(); ++d) {
+    if (engine.isActive(d)) everyone.push_back(d);
+  }
+  const EpochOutcome outcome = engine.applyEpoch({}, everyone);
+  EXPECT_EQ(engine.activeDemands(), 0);
+  EXPECT_EQ(engine.stackSets(), 0);
+  EXPECT_EQ(engine.storedRaises(), 0);
+  EXPECT_TRUE(outcome.solution.instances.empty());
+}
+
+// ---- SLA metrics: admission latency in epochs ----
+
+TEST(IncrementalSolver, AdmissionSlaTracksFirstAdmission) {
+  const ChurnTreeScenario scenario = makeFlashCrowdTree50k(13, 64);
+  const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
+  OnlineSolverConfig solver;
+  solver.seed = 57;
+  SimNetwork bus(std::vector<std::vector<std::int32_t>>(
+      static_cast<std::size_t>(scenario.pool.numDemands())));
+  IncrementalSolver engine(prepared.universe, prepared.layering,
+                           scenario.pool.access, solver, bus);
+
+  std::vector<DemandId> all;
+  for (DemandId d = 0; d < scenario.pool.numDemands(); ++d) {
+    all.push_back(d);
+  }
+  const EpochOutcome first = engine.applyEpoch(all, {});
+
+  // Every demand of the first admitted solution was admitted in its
+  // arrival epoch: latency 0.
+  std::vector<DemandId> admitted;
+  for (const InstanceId i : first.solution.instances) {
+    admitted.push_back(prepared.universe.instance(i).demand);
+  }
+  std::sort(admitted.begin(), admitted.end());
+  admitted.erase(std::unique(admitted.begin(), admitted.end()),
+                 admitted.end());
+  ASSERT_FALSE(admitted.empty());
+  EXPECT_EQ(first.newlyAdmittedDemands,
+            static_cast<std::int32_t>(admitted.size()));
+  AdmissionSla sla = engine.admissionSla();
+  EXPECT_EQ(sla.admittedDemands,
+            static_cast<std::int64_t>(admitted.size()));
+  EXPECT_EQ(sla.departedUnadmitted, 0);
+  EXPECT_EQ(sla.meanLatencyEpochs, 0.0);
+  EXPECT_EQ(sla.maxLatencyEpochs, 0);
+  for (const DemandId d : admitted) {
+    EXPECT_EQ(engine.admissionLatencyEpochs(d), 0);
+  }
+
+  // Departing everyone counts the never-admitted demands exactly once.
+  const auto unadmittedCount =
+      static_cast<std::int64_t>(all.size() - admitted.size());
+  engine.applyEpoch({}, all);
+  sla = engine.admissionSla();
+  EXPECT_EQ(sla.departedUnadmitted, unadmittedCount);
+
+  // A re-arrival restarts the clock: re-admitting in its re-arrival
+  // epoch keeps max latency at 0 and counts a fresh admission event.
+  const EpochOutcome redo = engine.applyEpoch(all, {});
+  std::int64_t readmitted = 0;
+  for (const InstanceId i : redo.solution.instances) {
+    (void)i;
+    ++readmitted;
+  }
+  ASSERT_GT(readmitted, 0);
+  sla = engine.admissionSla();
+  EXPECT_EQ(sla.admittedDemands,
+            static_cast<std::int64_t>(admitted.size()) +
+                redo.newlyAdmittedDemands);
+  EXPECT_EQ(sla.maxLatencyEpochs, 0);
 }
 
 TEST(SimNetworkLiveTopology, ConnectAndDisconnectMaintainSymmetry) {
