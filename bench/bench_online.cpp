@@ -26,6 +26,7 @@
 #include "framework/two_phase.hpp"
 #include "gen/scenario.hpp"
 #include "online/churn_engine.hpp"
+#include "policy/config.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -105,16 +106,14 @@ double scratchProfitOnSurvivors(const InstanceUniverse& universe,
                                 const ChurnEngineConfig& config,
                                 const ChurnRunResult& churn,
                                 std::span<const InstanceId> activeInstances) {
-  FrameworkConfig cfg;
-  cfg.epsilon = config.solver.epsilon;
-  cfg.raise = config.solver.rule;
-  cfg.hmin = config.solver.hmin;
-  cfg.seed = churn.epochs.empty() ? config.solver.seed
-                                  : churn.epochs.back().protocolSeed;
-  cfg.misRoundBudget = config.solver.misRoundBudget;
-  cfg.fixedSchedule = true;
-  cfg.stepsPerStage = config.solver.stepsPerStage;
-  return runTwoPhaseRestricted(universe, layering, cfg, activeInstances)
+  // Lift to the unified SchedulerConfig (policy/config.hpp) and project
+  // back instead of copying fields by hand; the lifting keeps the
+  // online path's fixed-schedule contract.
+  SchedulerConfig sched = SchedulerConfig::fromOnlineSolver(config.solver);
+  sched.core.seed = churn.epochs.empty() ? config.solver.seed
+                                         : churn.epochs.back().protocolSeed;
+  return runTwoPhaseRestricted(universe, layering, sched.framework(),
+                               activeInstances)
       .profit;
 }
 

@@ -16,6 +16,7 @@
 #include "dist/sim_network.hpp"
 #include "framework/two_phase.hpp"
 #include "gen/scenario.hpp"
+#include "policy/registry.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -23,6 +24,71 @@
 using namespace treesched;
 
 namespace {
+
+void listPolicies() {
+  const SchedulerRegistry& registry = SchedulerRegistry::all();
+  Table table({"policy", "certified", "distributed", "summary"});
+  for (const std::string& id : registry.ids()) {
+    const SchedulerInfo& info = registry.info(id);
+    table.row()
+        .cell(info.id)
+        .cell(info.certified ? "yes" : "no")
+        .cell(info.distributed ? "yes" : "no")
+        .cell(info.summary);
+  }
+  table.print(std::cout);
+}
+
+/// Runs one registry scheduler (policy/registry.hpp) over a scenario
+/// preset and reports its revenue/round/message line — the single-row
+/// version of bench_tournament.
+int runPolicy(const std::string& policyId, std::string preset,
+              std::uint64_t seed, std::int32_t demands) {
+  const SchedulerRegistry& registry = SchedulerRegistry::all();
+  if (!registry.has(policyId)) {
+    std::cout << "unknown --policy '" << policyId
+              << "' (use --list-policies)\n";
+    return 1;
+  }
+  if (preset.empty()) preset = "cdn_tree_250k";
+  if (demands <= 0) demands = 2'000;  // keep the demo interactive
+  const ScenarioProblem scenario =
+      buildScenarioProblem(preset, seed, demands);
+
+  SchedulerConfig config;
+  config.core.seed = seed + 7;
+  config.core.epsilon = 0.3;
+  config.core.misRoundBudget = 4;
+  config.core.stepsPerStage = 2;
+  const auto scheduler = registry.make(policyId, config);
+
+  const auto begin = std::chrono::steady_clock::now();
+  const ScheduleOutcome outcome = scheduler->solve(
+      {scenario.universe, scenario.layering, scenario.access, {}, nullptr});
+  const auto end = std::chrono::steady_clock::now();
+  const double wallMs =
+      std::chrono::duration<double, std::milli>(end - begin).count();
+
+  const SchedulerInfo& info = registry.info(policyId);
+  std::cout << "policy " << info.id << " (" << info.summary << ")\n"
+            << "preset " << preset << ": " << demands << " demands, "
+            << scenario.universe.numInstances() << " instances\n\n";
+  Table table({"metric", "value"});
+  table.row().cell("wall time (ms)").cell(wallMs, 1);
+  table.row().cell("revenue").cell(outcome.profit, 2);
+  table.row()
+      .cell("admitted instances")
+      .cell(static_cast<std::int64_t>(outcome.solution.instances.size()));
+  if (info.certified) {
+    table.row().cell("dual upper bound").cell(outcome.dualUpperBound, 2);
+    table.row().cell("lambda reached").cell(outcome.lambdaMeasured, 4);
+  }
+  table.row().cell("simulated rounds").cell(outcome.rounds);
+  table.row().cell("messages delivered").cell(outcome.messages);
+  table.row().cell("dual raises").cell(outcome.raises);
+  table.print(std::cout);
+  return 0;
+}
 
 /// Exercises the parallel engine on one of the production-scale presets
 /// (gen/scenario.hpp) at the requested thread count. Bit-identity across
@@ -41,12 +107,13 @@ int runPreset(const std::string& preset, std::uint64_t seed,
           ? prepareUnitLineRun(makeMetroLine100k(seed, demands))
           : prepareUnitTreeRun(makeCdnTree250k(seed, demands));
 
-  DistributedOptions dopt;
-  dopt.seed = seed + 7;
-  dopt.epsilon = 0.3;
-  dopt.misRoundBudget = 4;
-  dopt.stepsPerStage = 2;
-  dopt.threads = threads;
+  SchedulerConfig sched;
+  sched.core.seed = seed + 7;
+  sched.core.epsilon = 0.3;
+  sched.core.misRoundBudget = 4;
+  sched.core.stepsPerStage = 2;
+  sched.distributed.threads = threads;
+  const DistributedOptions dopt = sched.distributedOptions();
 
   SimNetwork bus(std::move(prepared.adjacency));
   const auto begin = std::chrono::steady_clock::now();
@@ -94,8 +161,18 @@ int main(int argc, char** argv) {
                 "preset demand count override (0 = preset demo default)");
   flags.boolFlag("list-presets", false,
                  "enumerate every gen/scenario preset and exit");
+  flags.stringFlag("policy", "",
+                   "run a registered scheduler instead of the demo: any "
+                   "id from --list-policies, over --preset (default "
+                   "cdn_tree_250k)");
+  flags.boolFlag("list-policies", false,
+                 "enumerate every registered scheduler and exit");
   if (!flags.parse(argc, argv)) return 0;
 
+  if (flags.getBool("list-policies")) {
+    listPolicies();
+    return 0;
+  }
   if (flags.getBool("list-presets")) {
     Table table({"preset", "kind", "default demands", "summary"});
     for (const ScenarioPresetInfo& preset : scenarioPresets()) {
@@ -111,6 +188,11 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
   const auto threads = static_cast<std::int32_t>(flags.getInt("threads"));
 
+  if (!flags.getString("policy").empty()) {
+    return runPolicy(flags.getString("policy"), flags.getString("preset"),
+                     seed,
+                     static_cast<std::int32_t>(flags.getInt("demands")));
+  }
   if (!flags.getString("preset").empty()) {
     return runPreset(flags.getString("preset"), seed,
                      static_cast<std::int32_t>(flags.getInt("demands")),
@@ -161,27 +243,27 @@ int main(int argc, char** argv) {
   Tracer tracer;
 
   std::cout << "phase-1 trace (first steps):\n";
-  DistributedOptions dopt;
-  dopt.seed = 7;
-  dopt.epsilon = 0.1;
-  dopt.misRoundBudget = 32;
-  dopt.stepsPerStage = 10;
-  dopt.threads = threads;
-  dopt.observer = &tracer;
-  const DistributedResult dist = runDistributedUnitTree(problem, dopt);
+  // One layered config, projected onto both engines — the unified
+  // SchedulerConfig (policy/config.hpp) replaces the hand-copied
+  // DistributedOptions/FrameworkConfig pair this demo used to carry.
+  SchedulerConfig sched;
+  sched.core.seed = 7;
+  sched.core.epsilon = 0.1;
+  sched.core.misRoundBudget = 32;
+  sched.core.stepsPerStage = 10;
+  sched.distributed.threads = threads;
+  sched.distributed.observer = &tracer;
+  const DistributedResult dist =
+      runDistributedUnitTree(problem, sched.distributedOptions());
   std::cout << "\n";
 
-  // Centralized reference with the identical fixed schedule.
+  // Centralized reference with the identical fixed schedule (the
+  // framework() projection keeps fixedSchedule on by contract).
   InstanceUniverse universe = InstanceUniverse::fromTreeProblem(problem);
   universe.buildConflicts();
   const TreeLayeringResult layering = buildTreeLayering(problem, universe);
-  FrameworkConfig copt;
-  copt.seed = dopt.seed;
-  copt.epsilon = dopt.epsilon;
-  copt.misRoundBudget = dopt.misRoundBudget;
-  copt.fixedSchedule = true;
-  copt.stepsPerStage = dopt.stepsPerStage;
-  const TwoPhaseResult central = runTwoPhase(universe, layering.layering, copt);
+  const TwoPhaseResult central =
+      runTwoPhase(universe, layering.layering, sched.framework());
 
   Table table({"metric", "value"});
   table.row().cell("profit (distributed)").cell(dist.profit, 2);

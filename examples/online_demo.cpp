@@ -20,6 +20,8 @@
 #include "framework/two_phase.hpp"
 #include "gen/scenario.hpp"
 #include "online/churn_engine.hpp"
+#include "policy/online_policy.hpp"
+#include "policy/registry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -35,10 +37,36 @@ int main(int argc, char** argv) {
   flags.stringFlag("transport", "sync",
                    "wire the epochs run over: sync, async or sharded");
   flags.intFlag("threads", 1, "worker threads for the epoch re-solves");
+  flags.stringFlag("policy", "two_phase",
+                   "scheduler admitting each epoch: two_phase runs the "
+                   "warm-started incremental engine, any other "
+                   "--list-policies id a from-scratch solve per epoch");
+  flags.boolFlag("list-policies", false,
+                 "enumerate every registered scheduler and exit");
   if (!flags.parse(argc, argv)) return 0;
+  if (flags.getBool("list-policies")) {
+    const SchedulerRegistry& registry = SchedulerRegistry::all();
+    Table policies({"policy", "certified", "distributed", "summary"});
+    for (const std::string& id : registry.ids()) {
+      const SchedulerInfo& info = registry.info(id);
+      policies.row()
+          .cell(info.id)
+          .cell(info.certified ? "yes" : "no")
+          .cell(info.distributed ? "yes" : "no")
+          .cell(info.summary);
+    }
+    policies.print(std::cout);
+    return 0;
+  }
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
   const auto demands = static_cast<std::int32_t>(flags.getInt("demands"));
   const std::string pattern = flags.getString("pattern");
+  const std::string policy = flags.getString("policy");
+  if (!SchedulerRegistry::all().has(policy)) {
+    std::cout << "unknown --policy '" << policy
+              << "' (use --list-policies)\n";
+    return 1;
+  }
 
   ChurnTreeScenario scenario = makeFlashCrowdTree50k(seed, demands);
   if (pattern == "poisson") {
@@ -61,11 +89,19 @@ int main(int argc, char** argv) {
             << arrivalModelName(scenario.arrivals.model) << "), epoch length "
             << scenario.epochLength << "\n\n";
 
+  // One layered config (policy/config.hpp), projected onto the churn
+  // engine's solver view at the boundary.
+  SchedulerConfig sched;
+  sched.core.epsilon = 0.3;
+  sched.core.seed = seed + 13;
+  sched.core.misRoundBudget = 4;
+  sched.core.stepsPerStage = 2;
+  sched.distributed.threads =
+      static_cast<std::int32_t>(flags.getInt("threads"));
+
   ChurnEngineConfig config;
   config.epochLength = scenario.epochLength;
-  config.solver.seed = seed + 13;
-  config.solver.threads =
-      static_cast<std::int32_t>(flags.getInt("threads"));
+  config.solver = sched.onlineSolver();
   config.transport.kind =
       parseLiveTransportKind(flags.getString("transport"));
   // The demo's wire: heavy-tail latency with 5% loss, locality-sharded
@@ -79,9 +115,12 @@ int main(int argc, char** argv) {
   config.transport.async.shardProcessors = std::max(2, demands / 16);
 
   const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
-  const ChurnRunResult result = runChurnOverTrace(
+  // "two_phase" is the warm-started incremental engine; any other id
+  // runs the registry scheduler from scratch each churn epoch
+  // (policy/online_policy.hpp).
+  const ChurnRunResult result = runChurnWithScheduler(
       prepared.universe, prepared.layering, scenario.pool.access, trace,
-      config);
+      config, policy);
 
   Table table({"epoch", "arr", "dep", "active", "affected", "frac", "mode",
                "profit", "dual UB", "rounds"});
@@ -100,19 +139,17 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  // From-scratch contrast on the survivors.
+  // From-scratch contrast on the survivors: lift the engine's solver
+  // view back into the layered config and project the framework view.
   const std::vector<InstanceId>& survivors = result.finalActiveInstances;
-  FrameworkConfig scratch;
-  scratch.epsilon = config.solver.epsilon;
-  scratch.seed = result.epochs.empty() ? config.solver.seed
-                                       : result.epochs.back().protocolSeed;
-  scratch.misRoundBudget = config.solver.misRoundBudget;
-  scratch.fixedSchedule = true;
-  scratch.stepsPerStage = config.solver.stepsPerStage;
+  SchedulerConfig scratch = SchedulerConfig::fromOnlineSolver(config.solver);
+  scratch.core.seed = result.epochs.empty()
+                          ? config.solver.seed
+                          : result.epochs.back().protocolSeed;
   const TwoPhaseResult fromScratch = runTwoPhaseRestricted(
-      prepared.universe, prepared.layering, scratch, survivors);
+      prepared.universe, prepared.layering, scratch.framework(), survivors);
 
-  std::cout << "\nfinal incremental revenue: " << result.finalProfit
+  std::cout << "\nfinal revenue (" << policy << "): " << result.finalProfit
             << "  (from-scratch on survivors: " << fromScratch.profit
             << ", ratio "
             << (fromScratch.profit > 0

@@ -26,6 +26,10 @@
 namespace treesched {
 
 /// Options shared by the distributed solvers.
+///
+/// Legacy per-layer view: new code builds a layered SchedulerConfig
+/// (policy/config.hpp) and projects with solverOptions(); the one
+/// field-by-field mapping lives there.
 struct SolverOptions {
   double epsilon = 0.1;  ///< approximation slack (lambda = 1-eps staged)
   std::uint64_t seed = 1;

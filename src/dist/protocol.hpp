@@ -46,6 +46,9 @@
 
 namespace treesched {
 
+/// Legacy per-layer view: new code builds a layered SchedulerConfig
+/// (policy/config.hpp) and projects with distributedOptions(); the one
+/// field-by-field mapping lives there.
 struct DistributedOptions {
   double epsilon = 0.1;  ///< staged plan: lambda target = 1 - eps
   RaiseRule rule = RaiseRule::Unit;

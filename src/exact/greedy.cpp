@@ -6,10 +6,19 @@
 namespace treesched {
 
 GreedyResult greedyByProfit(const InstanceUniverse& universe) {
-  std::vector<InstanceId> order(
-      static_cast<std::size_t>(universe.numInstances()));
-  for (InstanceId i = 0; i < universe.numInstances(); ++i) {
-    order[static_cast<std::size_t>(i)] = i;
+  return greedyByProfitRestricted(universe, {});
+}
+
+GreedyResult greedyByProfitRestricted(const InstanceUniverse& universe,
+                                      std::span<const InstanceId> active) {
+  std::vector<InstanceId> order;
+  if (active.empty()) {
+    order.resize(static_cast<std::size_t>(universe.numInstances()));
+    for (InstanceId i = 0; i < universe.numInstances(); ++i) {
+      order[static_cast<std::size_t>(i)] = i;
+    }
+  } else {
+    order.assign(active.begin(), active.end());
   }
   std::sort(order.begin(), order.end(), [&](InstanceId a, InstanceId b) {
     const double pa = universe.instance(a).profit;

@@ -1,7 +1,10 @@
 // Profit-greedy baseline: instances in descending profit order, added when
 // feasible. No approximation guarantee on these problems; serves as the
-// "naive" comparator in the benchmark tables.
+// "naive" comparator in the benchmark tables and as the `greedy` entry of
+// the policy registry (policy/registry.hpp).
 #pragma once
+
+#include <span>
 
 #include "core/solution.hpp"
 #include "core/universe.hpp"
@@ -14,5 +17,12 @@ struct GreedyResult {
 };
 
 GreedyResult greedyByProfit(const InstanceUniverse& universe);
+
+/// Restricted variant: only instances in `active` (sorted ascending) are
+/// candidates — the form the online epoch loop and the policy registry
+/// consume. With `active` spanning the whole universe this is exactly
+/// greedyByProfit.
+GreedyResult greedyByProfitRestricted(const InstanceUniverse& universe,
+                                      std::span<const InstanceId> active);
 
 }  // namespace treesched

@@ -9,12 +9,18 @@ namespace treesched {
 
 namespace {
 
-/// Candidate instances ordered by (profit desc, id asc).
-std::vector<InstanceId> candidateOrder(const InstanceUniverse& universe) {
-  std::vector<InstanceId> order(
-      static_cast<std::size_t>(universe.numInstances()));
-  for (InstanceId i = 0; i < universe.numInstances(); ++i) {
-    order[static_cast<std::size_t>(i)] = i;
+/// Candidate instances ordered by (profit desc, id asc); restricted to
+/// `active` when non-empty.
+std::vector<InstanceId> candidateOrder(const InstanceUniverse& universe,
+                                       std::span<const InstanceId> active) {
+  std::vector<InstanceId> order;
+  if (active.empty()) {
+    order.resize(static_cast<std::size_t>(universe.numInstances()));
+    for (InstanceId i = 0; i < universe.numInstances(); ++i) {
+      order[static_cast<std::size_t>(i)] = i;
+    }
+  } else {
+    order.assign(active.begin(), active.end());
   }
   std::sort(order.begin(), order.end(), [&](InstanceId a, InstanceId b) {
     const double pa = universe.instance(a).profit;
@@ -45,8 +51,15 @@ double greedyFill(const InstanceUniverse& universe,
 LocalSearchResult improveSolution(const InstanceUniverse& universe,
                                   const Solution& start,
                                   std::int32_t maxPasses) {
+  return improveSolutionRestricted(universe, start, {}, maxPasses);
+}
+
+LocalSearchResult improveSolutionRestricted(const InstanceUniverse& universe,
+                                            const Solution& start,
+                                            std::span<const InstanceId> active,
+                                            std::int32_t maxPasses) {
   requireFeasible(universe, start);
-  const std::vector<InstanceId> order = candidateOrder(universe);
+  const std::vector<InstanceId> order = candidateOrder(universe, active);
 
   FeasibilityOracle oracle(universe);
   for (const InstanceId i : start.instances) {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "core/solution.hpp"
 #include "core/universe.hpp"
@@ -32,5 +33,14 @@ struct LocalSearchResult {
 LocalSearchResult improveSolution(const InstanceUniverse& universe,
                                   const Solution& start,
                                   std::int32_t maxPasses = 16);
+
+/// Restricted variant: ADD/SWAP candidates are drawn only from `active`
+/// (sorted ascending; `start` must use active instances only) — the form
+/// the online epoch loop and the policy registry consume. With `active`
+/// spanning the whole universe this is exactly improveSolution.
+LocalSearchResult improveSolutionRestricted(const InstanceUniverse& universe,
+                                            const Solution& start,
+                                            std::span<const InstanceId> active,
+                                            std::int32_t maxPasses = 16);
 
 }  // namespace treesched

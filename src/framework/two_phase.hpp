@@ -31,6 +31,12 @@
 
 namespace treesched {
 
+/// Core algorithmic knobs of the two-phase engine (the "two-phase
+/// config").
+///
+/// Legacy per-layer view: new code builds a layered SchedulerConfig
+/// (policy/config.hpp) and projects with framework(); the one
+/// field-by-field mapping lives there.
 struct FrameworkConfig {
   double epsilon = 0.1;  ///< staged: lambda = 1-eps; threshold: 1/(5+eps)
   RaiseRule raise = RaiseRule::Unit;
@@ -74,6 +80,14 @@ struct TwoPhaseResult {
 
 /// Runs both phases. `universe` must have conflicts built; `layering`
 /// must satisfy the interference property for the guarantees to hold.
+///
+/// This is, by definition, a one-line wrapper over runTwoPhaseRestricted
+/// with `active` = every instance of the universe (ascending). The
+/// restricted entry point is the primitive of the whole family — the
+/// distributed warm-start protocol, the online incremental engine and
+/// the policy registry (policy/registry.hpp) all solve restrictions of
+/// it — and this wrapper is the full-universe special case, kept as the
+/// ergonomic front door.
 TwoPhaseResult runTwoPhase(const InstanceUniverse& universe,
                            const Layering& layering,
                            const FrameworkConfig& config);

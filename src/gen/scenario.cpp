@@ -1,6 +1,10 @@
 #include "gen/scenario.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "dist/protocol.hpp"
+#include "util/check.hpp"
 
 namespace treesched {
 
@@ -196,6 +200,69 @@ LossyWideAreaLineScenario makeLossyWideAreaLine(std::uint64_t seed,
   cfg.demands.processingMax = 6;
   cfg.demands.accessProbability = 0.8;
   return {makeLineScenario(cfg), wideAreaWire(seed + 1, shardProcessors)};
+}
+
+ScenarioProblem buildScenarioProblem(const std::string& name,
+                                     std::uint64_t seed,
+                                     std::int32_t numDemands) {
+  const auto fromTree = [](const TreeProblem& problem) {
+    PreparedRun run = prepareUnitTreeRun(problem);
+    return ScenarioProblem{std::move(run.universe), std::move(run.layering),
+                           problem.access, problem.numNetworks(),
+                           false, {}, 8.0};
+  };
+  const auto fromLine = [](const LineProblem& problem) {
+    PreparedRun run = prepareUnitLineRun(problem);
+    return ScenarioProblem{std::move(run.universe), std::move(run.layering),
+                           problem.access, problem.numResources,
+                           false, {}, 8.0};
+  };
+  const auto scaled = [numDemands](std::int32_t presetDefault) {
+    return numDemands > 0 ? numDemands : presetDefault;
+  };
+  const auto fromChurnTree = [&fromTree](const ChurnTreeScenario& s) {
+    ScenarioProblem out = fromTree(s.pool);
+    out.hasChurn = true;
+    out.epochLength = s.epochLength;
+    out.trace = generateChurnTrace(s.arrivals, s.pool.access);
+    return out;
+  };
+  const auto fromChurnLine = [&fromLine](const ChurnLineScenario& s) {
+    ScenarioProblem out = fromLine(s.pool);
+    out.hasChurn = true;
+    out.epochLength = s.epochLength;
+    out.trace = generateChurnTrace(s.arrivals, s.pool.access);
+    return out;
+  };
+
+  if (name == "lossy_wide_area_tree") {
+    return fromTree(makeLossyWideAreaTree(seed, 48, 3,
+                                          scaled(kLossyWideAreaTreeDemands))
+                        .problem);
+  }
+  if (name == "lossy_wide_area_line") {
+    return fromLine(makeLossyWideAreaLine(seed, 96, 3,
+                                          scaled(kLossyWideAreaLineDemands))
+                        .problem);
+  }
+  if (name == "metro_line_100k") {
+    return fromLine(makeMetroLine100k(seed, scaled(kMetroLineDemands)));
+  }
+  if (name == "cdn_tree_250k") {
+    return fromTree(makeCdnTree250k(seed, scaled(kCdnTreeDemands)));
+  }
+  if (name == "flash_crowd_50k") {
+    return fromChurnTree(
+        makeFlashCrowdTree50k(seed, scaled(kFlashCrowdDemands)));
+  }
+  if (name == "diurnal_metro_100k") {
+    return fromChurnLine(
+        makeDiurnalMetroLine100k(seed, scaled(kDiurnalMetroDemands)));
+  }
+  checkThat(name == "hotspot_tree_50k",
+            "known scenario preset name (see scenarioPresets())", __FILE__,
+            __LINE__);
+  return fromChurnTree(makeHotspotTree50k(seed, scaled(kHotspotTreeDemands)));
 }
 
 }  // namespace treesched

@@ -8,6 +8,8 @@
 
 #include "core/line_problem.hpp"
 #include "core/tree_problem.hpp"
+#include "core/universe.hpp"
+#include "decomp/layering.hpp"
 #include "gen/demand_gen.hpp"
 #include "gen/tree_gen.hpp"
 #include "net/synchronizer.hpp"
@@ -162,5 +164,32 @@ struct ScenarioPresetInfo {
 
 /// Every named preset of this header, in declaration order.
 std::vector<ScenarioPresetInfo> scenarioPresets();
+
+// ---- Uniform preset instantiation --------------------------------------
+
+/// A named preset instantiated as a solver-ready problem: the instance
+/// universe (conflicts built), the unit-demand layering and the
+/// accessibility lists every Scheduler consumes (policy/scheduler.hpp).
+/// Churn presets additionally carry their generated trace and epoch
+/// length so online consumers replay the same time-varying workload.
+struct ScenarioProblem {
+  InstanceUniverse universe;
+  Layering layering;
+  /// Per-demand accessible network ids (the pool problem's lists).
+  std::vector<std::vector<std::int32_t>> access;
+  std::int32_t numNetworks = 0;
+  bool hasChurn = false;  ///< true for the "+churn" presets
+  ChurnTrace trace;       ///< empty unless hasChurn
+  double epochLength = 8.0;
+};
+
+/// Instantiates the preset called `name` (see scenarioPresets()) at
+/// `numDemands` demands (<= 0 keeps the preset default). One entry
+/// point over the whole catalogue, so the tournament bench, the policy
+/// tests and the demos all build byte-identical workloads from a
+/// (name, seed, scale) triple. Throws CheckError on an unknown name.
+ScenarioProblem buildScenarioProblem(const std::string& name,
+                                     std::uint64_t seed,
+                                     std::int32_t numDemands = 0);
 
 }  // namespace treesched

@@ -18,6 +18,11 @@ constexpr std::uint64_t kEpochSeedSalt = 0x0e90c4;
 
 }  // namespace
 
+std::uint64_t epochProtocolSeed(std::uint64_t solverSeed, std::int32_t epoch) {
+  return keyedHash(solverSeed, kEpochSeedSalt,
+                   static_cast<std::uint64_t>(epoch));
+}
+
 IncrementalSolver::IncrementalSolver(
     const InstanceUniverse& universe, const Layering& layering,
     const std::vector<std::vector<std::int32_t>>& access,
@@ -263,8 +268,7 @@ EpochOutcome IncrementalSolver::applyEpoch(
   outcome.epoch = epoch_;
   outcome.arrivals = static_cast<std::int32_t>(arrivals.size());
   outcome.departures = static_cast<std::int32_t>(departures.size());
-  outcome.protocolSeed = keyedHash(cfg_.seed, kEpochSeedSalt,
-                                   static_cast<std::uint64_t>(epoch_));
+  outcome.protocolSeed = epochProtocolSeed(cfg_.seed, epoch_);
 
   // Zero-churn epoch: nothing changed, so the previous epoch's
   // admission, duals and slackness carry over verbatim — no stack

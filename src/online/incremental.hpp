@@ -110,6 +110,12 @@ struct EpochOutcome {
   std::int32_t newlyAdmittedDemands = 0;
 };
 
+/// Per-epoch protocol seed — the one derivation every online engine
+/// shares (the incremental solver and the policy registry's scheduler
+/// epoch loop, policy/online_policy.hpp), so their epoch runs are
+/// seed-comparable for a given solver seed.
+std::uint64_t epochProtocolSeed(std::uint64_t solverSeed, std::int32_t epoch);
+
 /// Aggregate per-demand admission-latency statistics (epochs from
 /// arrival to first admission). Re-arrivals restart the clock and count
 /// as fresh admissions. Scope: demands the solver actually saw — a

@@ -1,0 +1,88 @@
+#include "policy/line_pack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace treesched {
+
+namespace {
+
+/// Geometric class index of `density` relative to `dmax`: 0 for
+/// [dmax/2, dmax], 1 for [dmax/4, dmax/2), ... Clamped so degenerate
+/// densities (0, or denormal ratios) land in a last catch-all class.
+std::int32_t densityClassOf(double density, double dmax) {
+  constexpr std::int32_t kMaxClass = 62;
+  if (!(density > 0) || !(dmax > 0)) return kMaxClass;
+  const double ratio = dmax / density;
+  if (ratio <= 1.0) return 0;
+  const auto k = static_cast<std::int32_t>(std::floor(std::log2(ratio)));
+  return std::min(std::max(k, 0), kMaxClass);
+}
+
+}  // namespace
+
+LinePackResult emrLinePack(const InstanceUniverse& universe,
+                           std::span<const InstanceId> active) {
+  std::vector<InstanceId> storage;
+  if (active.empty()) {
+    storage.resize(static_cast<std::size_t>(universe.numInstances()));
+    for (InstanceId i = 0; i < universe.numInstances(); ++i) {
+      storage[static_cast<std::size_t>(i)] = i;
+    }
+    active = storage;
+  }
+
+  LinePackResult result;
+  if (active.empty()) return result;
+
+  // Pass 1: the maximum profit density over the active set anchors the
+  // geometric classification.
+  double dmax = 0;
+  for (const InstanceId i : active) {
+    const InstanceRecord& record = universe.instance(i);
+    const double length = std::max(1, record.pathLength());
+    dmax = std::max(dmax, record.profit / length);
+  }
+
+  // Pass 2: order by (class ascending = densest first; max endpoint
+  // ascending = earliest-finishing within the class; id ascending).
+  struct Key {
+    InstanceId id;
+    std::int32_t klass;
+    VertexId endpoint;
+  };
+  std::vector<Key> keys;
+  keys.reserve(active.size());
+  for (const InstanceId i : active) {
+    const InstanceRecord& record = universe.instance(i);
+    const double length = std::max(1, record.pathLength());
+    keys.push_back({i, densityClassOf(record.profit / length, dmax),
+                    std::max(record.u, record.v)});
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.klass != b.klass) return a.klass < b.klass;
+    if (a.endpoint != b.endpoint) return a.endpoint < b.endpoint;
+    return a.id < b.id;
+  });
+
+  std::int32_t lastClass = -1;
+  FeasibilityOracle oracle(universe);
+  for (const Key& key : keys) {
+    if (key.klass != lastClass) {
+      lastClass = key.klass;
+      ++result.densityClasses;
+    }
+    if (oracle.canAdd(key.id)) {
+      oracle.add(key.id);
+    }
+  }
+
+  result.solution = oracle.solution();
+  std::sort(result.solution.instances.begin(),
+            result.solution.instances.end());
+  result.profit = oracle.profit();
+  return result;
+}
+
+}  // namespace treesched

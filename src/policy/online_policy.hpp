@@ -1,0 +1,41 @@
+// Scheduler-generic online epoch loop: any registry id over a churn
+// trace.
+//
+// The warm-started incremental engine (online/churn_engine.hpp) IS the
+// online form of the paper's two-phase scheduler; this module is what
+// "wired into the online epoch loop" means for everything else in the
+// registry. The trace is cut into the same epoch batches (batchTrace),
+// the same active-demand bookkeeping and admission-latency SLA clocks
+// run, but each churn epoch admits by a from-scratch scheduler solve on
+// the restricted active set instead of a warm incremental re-solve —
+// which is the only online form a baseline without persistent dual
+// state has. Per-epoch protocol seeds follow epochProtocolSeed, so a
+// registry two-phase epoch and an incremental epoch at the same index
+// run the same seed.
+//
+// Dispatch: the id "two_phase" routes to the incremental churn engine
+// (the reference path, warm re-solves over the live transport); every
+// other id runs the scheduler loop below. This is what lets benches and
+// demos say `--policy <id>` and mean the whole family.
+#pragma once
+
+#include <string>
+
+#include "online/churn_engine.hpp"
+#include "policy/scheduler.hpp"
+
+namespace treesched {
+
+/// Runs `trace` under the scheduler behind `policyId`
+/// (SchedulerRegistry::all()). "two_phase" delegates to
+/// runChurnOverTrace; other ids run the from-scratch-per-epoch
+/// scheduler loop (their ChurnRunResult reports resolveFraction 1 on
+/// every churn epoch, and wire accounting only when the scheduler is
+/// distributed). Throws CheckError on an unknown id.
+ChurnRunResult runChurnWithScheduler(
+    const InstanceUniverse& universe, const Layering& layering,
+    const std::vector<std::vector<std::int32_t>>& access,
+    const ChurnTrace& trace, const ChurnEngineConfig& config,
+    const std::string& policyId);
+
+}  // namespace treesched

@@ -43,6 +43,19 @@
 #include "exact/line_dp.hpp"
 #include "exact/local_search.hpp"
 
+// Online scheduling: churn traces, epoch-batched admission, incremental
+// re-solve.
+#include "online/arrivals.hpp"
+#include "online/churn_engine.hpp"
+#include "online/incremental.hpp"
+
+// Policy registry: the pluggable Scheduler API over every solver.
+#include "policy/config.hpp"
+#include "policy/line_pack.hpp"
+#include "policy/online_policy.hpp"
+#include "policy/registry.hpp"
+#include "policy/scheduler.hpp"
+
 // Workload generation.
 #include "gen/demand_gen.hpp"
 #include "gen/scenario.hpp"
