@@ -37,7 +37,9 @@ int main(int argc, char** argv) {
   CliFlags flags;
   flags.intFlag("n", 96, "vertices per tree");
   flags.intFlag("seeds", 3, "instances per variant");
+  bench::Telemetry::addFlags(flags);
   if (!flags.parse(argc, argv)) return 0;
+  bench::Telemetry telemetry(flags);
   const auto n = static_cast<std::int32_t>(flags.getInt("n"));
   const auto seeds = flags.getInt("seeds");
 
@@ -91,5 +93,6 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  bench::finishUninstrumented(telemetry);
   return 0;
 }

@@ -28,6 +28,9 @@ struct RowInput {
   std::int32_t shards = 0;
   DistributedResult async;
   DistributedResult sync;
+  /// Metrics snapshot of the async run (the sync run is only the
+  /// bit-identity comparator and stays uninstrumented).
+  std::string metricsJson;
 };
 
 void report(Table& table, bench::JsonReport& json, const RowInput& in) {
@@ -67,7 +70,8 @@ void report(Table& table, bench::JsonReport& json, const RowInput& in) {
       .field("virtual_time", in.async.network.virtualTime)
       .field("max_processor_load", maxLoad)
       .field("consistent", in.async.localViewsConsistent)
-      .field("matches_sync", matches);
+      .field("matches_sync", matches)
+      .jsonField("metrics", in.metricsJson);
 }
 
 }  // namespace
@@ -78,9 +82,11 @@ int main(int argc, char** argv) {
   flags.intFlag("seeds", 2, "seeds per configuration");
   flags.stringFlag("json", "BENCH_async.json",
                    "machine-readable report path ('' disables)");
+  bench::Telemetry::addFlags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const auto seed0 = static_cast<std::uint64_t>(flags.getInt("seed"));
   const auto numSeeds = flags.getInt("seeds");
+  bench::Telemetry telemetry(flags);
 
   bench::banner(
       "E12",
@@ -112,8 +118,17 @@ int main(int argc, char** argv) {
       row.n = tree.problem.numVertices;
       row.m = static_cast<std::int32_t>(tree.problem.demands.size());
       row.shards = shards;
+      // Telemetry rides only the async run; the registry is per-row so
+      // each JSON row embeds its own snapshot.
+      MetricsRegistry metrics;
+      dopt.tracer = telemetry.tracer();
+      dopt.metrics = &metrics;
       row.async = runAsyncUnitTree(tree.problem, dopt, tree.net);
+      dopt.tracer = nullptr;
+      dopt.metrics = nullptr;
       row.sync = runDistributedUnitTree(tree.problem, dopt);
+      if (telemetry.printMetrics()) std::cout << metrics.describe();
+      row.metricsJson = metrics.toJson();
       report(table, json, row);
     }
 
@@ -125,8 +140,15 @@ int main(int argc, char** argv) {
       row.n = line.problem.numSlots;
       row.m = static_cast<std::int32_t>(line.problem.demands.size());
       row.shards = shards;
+      MetricsRegistry metrics;
+      dopt.tracer = telemetry.tracer();
+      dopt.metrics = &metrics;
       row.async = runAsyncUnitLine(line.problem, dopt, line.net);
+      dopt.tracer = nullptr;
+      dopt.metrics = nullptr;
       row.sync = runDistributedUnitLine(line.problem, dopt);
+      if (telemetry.printMetrics()) std::cout << metrics.describe();
+      row.metricsJson = metrics.toJson();
       report(table, json, row);
     }
   }
@@ -134,5 +156,6 @@ int main(int argc, char** argv) {
   if (!flags.getString("json").empty()) {
     json.write();
   }
+  telemetry.finish();
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -11,6 +12,9 @@
 
 #include "core/universe.hpp"
 #include "exact/brute_force.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace treesched::bench {
@@ -74,6 +78,12 @@ class JsonReport {
       quoted += '"';
       return raw(key, quoted);
     }
+    /// Embeds `rawJson` verbatim as the value — for pre-rendered JSON
+    /// like MetricsRegistry::toJson() snapshots. The caller guarantees
+    /// well-formedness.
+    Row& jsonField(const std::string& key, const std::string& rawJson) {
+      return raw(key, rawJson);
+    }
 
    private:
     friend class JsonReport;
@@ -111,5 +121,65 @@ class JsonReport {
   std::string path_;
   std::vector<Row> rows_;
 };
+
+/// The --trace/--metrics wiring shared by every bench binary: addFlags()
+/// registers the flags, the constructor opens the Chrome-trace sink when
+/// --trace=FILE was given, tracer() hands the (possibly null) Tracer to
+/// the run, and finish() flushes the trace file and logs its path.
+///
+///   CliFlags flags;
+///   Telemetry::addFlags(flags);
+///   ...
+///   Telemetry telemetry(flags);
+///   options.tracer = telemetry.tracer();
+///   ...
+///   telemetry.finish();
+class Telemetry {
+ public:
+  static void addFlags(CliFlags& flags) {
+    flags
+        .stringFlag("trace", "",
+                    "write a Chrome trace-event JSON of the run to FILE")
+        .boolFlag("metrics", false,
+                  "print a metrics-registry snapshot per run");
+  }
+
+  explicit Telemetry(const CliFlags& flags)
+      : printMetrics_(flags.getBool("metrics")) {
+    const std::string& path = flags.getString("trace");
+    if (!path.empty()) {
+      sink_ = std::make_unique<ChromeTraceSink>(path);
+      tracer_ = Tracer(sink_.get());
+    }
+  }
+
+  /// Tracer for the run, or nullptr when --trace was not given.
+  Tracer* tracer() { return sink_ != nullptr ? &tracer_ : nullptr; }
+
+  bool printMetrics() const { return printMetrics_; }
+
+  /// Flushes the trace file (if any) and logs where it went.
+  void finish() {
+    if (sink_ != nullptr) {
+      sink_->close();
+      std::cout << "wrote " << sink_->path() << " (" << sink_->eventCount()
+                << " trace events)\n";
+    }
+  }
+
+ private:
+  std::unique_ptr<ChromeTraceSink> sink_;
+  Tracer tracer_;
+  bool printMetrics_ = false;
+};
+
+/// For experiments that only exercise the centralized solvers (no
+/// telemetry-plane layer runs): honors --metrics with an explicitly
+/// empty snapshot and flushes the (empty) trace, so every bench binary
+/// shares the same telemetry interface.
+inline void finishUninstrumented(Telemetry& telemetry) {
+  if (telemetry.printMetrics()) std::cout << MetricsRegistry().describe();
+  telemetry.finish();
+}
 
 }  // namespace treesched::bench

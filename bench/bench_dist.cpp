@@ -25,8 +25,10 @@ int main(int argc, char** argv) {
   flags.intFlag("seed", 91, "base RNG seed");
   flags.stringFlag("json", "BENCH_dist.json",
                    "machine-readable report path ('' disables)");
+  bench::Telemetry::addFlags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+  bench::Telemetry telemetry(flags);
 
   bench::banner(
       "E11",
@@ -58,7 +60,15 @@ int main(int argc, char** argv) {
     dopt.seed = cfg.seed + 1;
     dopt.misRoundBudget = 32;
     dopt.stepsPerStage = 10;
+    // One registry per config row: the report embeds each run's
+    // snapshot, so rows stay self-contained.
+    MetricsRegistry metrics;
+    dopt.tracer = telemetry.tracer();
+    dopt.metrics = &metrics;
     const DistributedResult dist = runDistributedUnitTree(problem, dopt);
+    if (telemetry.printMetrics()) {
+      std::cout << metrics.describe();
+    }
 
     InstanceUniverse universe = InstanceUniverse::fromTreeProblem(problem);
     universe.buildConflicts();
@@ -99,11 +109,13 @@ int main(int argc, char** argv) {
         .field("virtual_time", dist.network.virtualTime)
         .field("lambda", dist.lambdaMeasured)
         .field("consistent", dist.localViewsConsistent)
-        .field("matches_central", dist.solution.instances == centralSorted);
+        .field("matches_central", dist.solution.instances == centralSorted)
+        .jsonField("metrics", metrics.toJson());
   }
   table.print(std::cout);
   if (!flags.getString("json").empty()) {
     report.write();
   }
+  telemetry.finish();
   return 0;
 }

@@ -39,7 +39,9 @@ Solution solutionFromAssignments(const InstanceUniverse& u,
 int main(int argc, char** argv) {
   CliFlags flags;
   flags.intFlag("seeds", 3, "instances per configuration");
+  bench::Telemetry::addFlags(flags);
   if (!flags.parse(argc, argv)) return 0;
+  bench::Telemetry telemetry(flags);
   const auto seeds = flags.getInt("seeds");
 
   bench::banner(
@@ -103,5 +105,6 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  bench::finishUninstrumented(telemetry);
   return 0;
 }

@@ -19,7 +19,9 @@ using namespace treesched;
 int main(int argc, char** argv) {
   CliFlags flags;
   flags.intFlag("seeds", 3, "seeds per configuration");
+  bench::Telemetry::addFlags(flags);
   if (!flags.parse(argc, argv)) return 0;
+  bench::Telemetry telemetry(flags);
   const auto seeds = flags.getInt("seeds");
 
   bench::banner(
@@ -84,5 +86,6 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  bench::finishUninstrumented(telemetry);
   return 0;
 }

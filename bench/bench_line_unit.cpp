@@ -23,7 +23,9 @@ int main(int argc, char** argv) {
   CliFlags flags;
   flags.intFlag("seeds", 3, "seeds per configuration");
   flags.doubleFlag("epsilon", 0.1, "approximation slack");
+  bench::Telemetry::addFlags(flags);
   if (!flags.parse(argc, argv)) return 0;
+  bench::Telemetry telemetry(flags);
   const auto seeds = flags.getInt("seeds");
   const double epsilon = flags.getDouble("epsilon");
 
@@ -91,5 +93,6 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  bench::finishUninstrumented(telemetry);
   return 0;
 }

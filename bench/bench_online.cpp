@@ -42,6 +42,9 @@ struct PatternRun {
   std::int32_t epochs = 0;
   double wallMs = 0;
   ChurnRunResult churn;
+  /// Per-run MetricsRegistry snapshot (obs/), embedded verbatim in the
+  /// JSON row so every row stays self-contained.
+  std::string metricsJson;
   double scratchProfit = 0;
   /// Whether the *final* epoch was a full re-solve; only then is the
   /// bit-gate below meaningful (warm finals are covered by the revenue
@@ -68,6 +71,7 @@ void report(Table& table, bench::JsonReport& json, const PatternRun& run) {
       .cell(run.churn.fullResolves)
       .cell(revenueRatio, 3)
       .cell(run.churn.sla.meanLatencyEpochs, 2)
+      .cell(run.churn.sla.p99LatencyEpochs, 1)
       .cell(run.churn.sla.maxLatencyEpochs)
       .cell(run.churn.totalRounds)
       .cell(run.churn.network.transmissions);
@@ -92,11 +96,14 @@ void report(Table& table, bench::JsonReport& json, const PatternRun& run) {
       .field("mean_admission_latency_epochs",
              run.churn.sla.meanLatencyEpochs)
       .field("max_admission_latency_epochs", run.churn.sla.maxLatencyEpochs)
+      .field("sla_p50_epochs", run.churn.sla.p50LatencyEpochs)
+      .field("sla_p99_epochs", run.churn.sla.p99LatencyEpochs)
       .field("admitted_demands", run.churn.sla.admittedDemands)
       .field("departed_unadmitted", run.churn.sla.departedUnadmitted)
       .field("final_epoch_full_resolve", run.finalEpochFullResolve)
       .field("final_full_resolve_matches_scratch",
-             run.finalFullResolveMatchesScratch);
+             run.finalFullResolveMatchesScratch)
+      .jsonField("metrics", run.metricsJson);
 }
 
 /// From-scratch comparator on the final active set: the two-phase engine
@@ -122,6 +129,7 @@ PatternRun runPattern(const std::string& preset, const std::string& pattern,
                       const Pool& pool, const PreparedRun& prepared,
                       const ArrivalConfig& arrivals, double epochLength,
                       std::uint64_t seed, std::int32_t threads,
+                      bench::Telemetry& telemetry,
                       const LiveTransportConfig& transport = {}) {
   ChurnEngineConfig config;
   config.epochLength = epochLength;
@@ -131,6 +139,11 @@ PatternRun runPattern(const std::string& preset, const std::string& pattern,
   config.solver.stepsPerStage = 2;
   config.solver.threads = threads;
   config.transport = transport;
+  // One registry per pattern run; telemetry is read-only w.r.t. the
+  // epoch outcomes, so the bit-gates below are unaffected.
+  MetricsRegistry metrics;
+  config.solver.tracer = telemetry.tracer();
+  config.solver.metrics = &metrics;
 
   const ChurnTrace trace = generateChurnTrace(arrivals, pool.access);
 
@@ -150,6 +163,10 @@ PatternRun runPattern(const std::string& preset, const std::string& pattern,
   run.epochs = static_cast<std::int32_t>(churn.epochs.size());
   run.wallMs = std::chrono::duration<double, std::milli>(end - begin).count();
   run.churn = std::move(churn);
+  if (telemetry.printMetrics()) {
+    std::cout << metrics.describe();
+  }
+  run.metricsJson = metrics.toJson();
   run.scratchProfit = scratchProfitOnSurvivors(
       prepared.universe, prepared.layering, config, run.churn,
       run.churn.finalActiveInstances);
@@ -175,6 +192,7 @@ int main(int argc, char** argv) {
   flags.intFlag("threads", 1, "worker threads for the epoch re-solves");
   flags.stringFlag("json", "BENCH_online.json",
                    "machine-readable report path ('' disables)");
+  bench::Telemetry::addFlags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
   const auto treeDemands =
@@ -186,6 +204,7 @@ int main(int argc, char** argv) {
   const auto transportDemands =
       static_cast<std::int32_t>(flags.getInt("transport-demands"));
   const auto threads = static_cast<std::int32_t>(flags.getInt("threads"));
+  bench::Telemetry telemetry(flags);
 
   bench::banner(
       "E14",
@@ -200,7 +219,7 @@ int main(int argc, char** argv) {
 
   Table table({"preset", "pattern", "transport", "demands", "epochs",
                "wall ms", "epochs/s", "resolve frac", "full", "rev ratio",
-               "sla mean", "sla max", "rounds", "wire tx"});
+               "sla mean", "sla p99", "sla max", "rounds", "wire tx"});
   bench::JsonReport json(flags.getString("json"));
 
   {
@@ -210,12 +229,13 @@ int main(int argc, char** argv) {
     report(table, json,
            runPattern("flash_crowd_50k", "flash_crowd", scenario.pool,
                       prepared, scenario.arrivals, scenario.epochLength,
-                      seed, threads));
+                      seed, threads, telemetry));
     ArrivalConfig poisson = scenario.arrivals;
     poisson.model = ArrivalModel::Poisson;
     report(table, json,
            runPattern("flash_crowd_50k", "poisson", scenario.pool, prepared,
-                      poisson, scenario.epochLength, seed, threads));
+                      poisson, scenario.epochLength, seed, threads,
+                      telemetry));
   }
   {
     const ChurnLineScenario scenario =
@@ -224,13 +244,13 @@ int main(int argc, char** argv) {
     report(table, json,
            runPattern("diurnal_metro_100k", "diurnal", scenario.pool,
                       prepared, scenario.arrivals, scenario.epochLength,
-                      seed, threads));
+                      seed, threads, telemetry));
     ArrivalConfig poisson = scenario.arrivals;
     poisson.model = ArrivalModel::Poisson;
     report(table, json,
            runPattern("diurnal_metro_100k", "poisson", scenario.pool,
                       prepared, poisson, scenario.epochLength, seed,
-                      threads));
+                      threads, telemetry));
   }
   {
     // The adversarial preset: a targeted arrival wave plus a correlated
@@ -241,7 +261,7 @@ int main(int argc, char** argv) {
     report(table, json,
            runPattern("hotspot_tree_50k", "targeted_burst", scenario.pool,
                       prepared, scenario.arrivals, scenario.epochLength,
-                      seed, threads));
+                      seed, threads, telemetry));
   }
   {
     // Transport matrix: identical epochs (by the Transport contract),
@@ -267,7 +287,7 @@ int main(int argc, char** argv) {
       report(table, json,
              runPattern("hotspot_tree_50k", "targeted_burst", scenario.pool,
                         prepared, scenario.arrivals, scenario.epochLength,
-                        seed, threads, transport));
+                        seed, threads, telemetry, transport));
     }
   }
 
@@ -275,5 +295,6 @@ int main(int argc, char** argv) {
   if (!flags.getString("json").empty()) {
     json.write();
   }
+  telemetry.finish();
   return 0;
 }

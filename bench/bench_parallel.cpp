@@ -127,7 +127,7 @@ void report(Table& table, bench::JsonReport& json, const PresetRun& run) {
 void runPreset(const std::string& preset, PreparedRun prepared,
                std::int32_t demands, const DistributedOptions& baseOptions,
                const std::vector<std::int32_t>& threadCounts, Table& table,
-               bench::JsonReport& json) {
+               bench::JsonReport& json, bench::Telemetry& telemetry) {
   DistributedResult serial;
   double serialWallMs = 0;
   for (std::size_t i = 0; i < threadCounts.size(); ++i) {
@@ -138,6 +138,13 @@ void runPreset(const std::string& preset, PreparedRun prepared,
     SimNetwork bus(std::move(adjacency));
     DistributedOptions options = baseOptions;
     options.threads = threads;
+    // Telemetry is strictly opt-in here: the default run must keep its
+    // heap-allocation ground truth undisturbed, so the registry is only
+    // attached (and its instrument-resolution allocations paid) when the
+    // user asked for it.
+    MetricsRegistry metrics;
+    options.tracer = telemetry.tracer();
+    if (telemetry.printMetrics()) options.metrics = &metrics;
 
     const std::int64_t allocsBefore =
         gHeapAllocs.load(std::memory_order_relaxed);
@@ -167,6 +174,7 @@ void runPreset(const std::string& preset, PreparedRun prepared,
           run.result.profit == serial.profit &&
           run.result.dualObjective == serial.dualObjective;
     }
+    if (telemetry.printMetrics()) std::cout << metrics.describe();
     report(table, json, run);
   }
 }
@@ -181,6 +189,7 @@ int main(int argc, char** argv) {
   flags.intFlag("max-threads", 8, "largest thread count in the sweep");
   flags.stringFlag("json", "BENCH_parallel.json",
                    "machine-readable report path ('' disables)");
+  bench::Telemetry::addFlags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
   const auto lineDemands =
@@ -189,6 +198,7 @@ int main(int argc, char** argv) {
       static_cast<std::int32_t>(flags.getInt("tree-demands"));
   const auto maxThreads =
       static_cast<std::int32_t>(flags.getInt("max-threads"));
+  bench::Telemetry telemetry(flags);
 
   bench::banner(
       "E13",
@@ -218,17 +228,18 @@ int main(int argc, char** argv) {
   {
     const LineProblem problem = makeMetroLine100k(seed, lineDemands);
     runPreset("metro_line_100k", prepareUnitLineRun(problem), lineDemands,
-              dopt, threadCounts, table, json);
+              dopt, threadCounts, table, json, telemetry);
   }
   {
     const TreeProblem problem = makeCdnTree250k(seed, treeDemands);
     runPreset("cdn_tree_250k", prepareUnitTreeRun(problem), treeDemands,
-              dopt, threadCounts, table, json);
+              dopt, threadCounts, table, json, telemetry);
   }
 
   table.print(std::cout);
   if (!flags.getString("json").empty()) {
     json.write();
   }
+  telemetry.finish();
   return 0;
 }

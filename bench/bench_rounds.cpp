@@ -53,7 +53,9 @@ void emitRow(Table& table, const std::string& sweep, const std::string& value,
 int main(int argc, char** argv) {
   CliFlags flags;
   flags.intFlag("seed", 21, "RNG seed");
+  bench::Telemetry::addFlags(flags);
   if (!flags.parse(argc, argv)) return 0;
+  bench::Telemetry telemetry(flags);
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
 
   bench::banner(
@@ -83,5 +85,6 @@ int main(int argc, char** argv) {
             solve(64, 128, 0.1, pmax, seed + 2000));
   }
   table.print(std::cout);
+  bench::finishUninstrumented(telemetry);
   return 0;
 }

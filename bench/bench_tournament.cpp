@@ -50,6 +50,10 @@ struct OneshotRun {
   std::int64_t messages = 0;
   std::int64_t raises = 0;
   double wallMs = 0;
+  /// Metrics snapshot of this policy's run; centralized baselines
+  /// publish nothing and embed "{}" — which is itself the comparison
+  /// axis (no protocol, no protocol metrics).
+  std::string metricsJson;
 };
 
 struct OnlineRun {
@@ -68,6 +72,7 @@ struct OnlineRun {
   std::int64_t rounds = 0;
   std::int64_t messages = 0;
   double wallMs = 0;
+  std::string metricsJson;
 };
 
 SchedulerConfig tournamentConfig(std::uint64_t seed) {
@@ -82,10 +87,14 @@ SchedulerConfig tournamentConfig(std::uint64_t seed) {
 OneshotRun runOneshot(const std::string& preset,
                       const ScenarioProblem& scenario,
                       const std::string& policyId, std::uint64_t seed,
-                      std::int32_t demands) {
+                      std::int32_t demands, bench::Telemetry& telemetry) {
   const SchedulerRegistry& registry = SchedulerRegistry::all();
   const SchedulerInfo& info = registry.info(policyId);
-  const auto scheduler = registry.make(policyId, tournamentConfig(seed));
+  SchedulerConfig config = tournamentConfig(seed);
+  MetricsRegistry metrics;
+  config.distributed.tracer = telemetry.tracer();
+  config.distributed.metrics = &metrics;
+  const auto scheduler = registry.make(policyId, config);
 
   const auto begin = std::chrono::steady_clock::now();
   const ScheduleOutcome outcome = scheduler->solve(
@@ -108,17 +117,23 @@ OneshotRun runOneshot(const std::string& preset,
   run.raises = outcome.raises;
   run.wallMs =
       std::chrono::duration<double, std::milli>(end - begin).count();
+  if (telemetry.printMetrics()) std::cout << metrics.describe();
+  run.metricsJson = metrics.toJson();
   return run;
 }
 
 OnlineRun runOnline(const std::string& preset,
                     const ScenarioProblem& scenario,
                     const std::string& policyId, std::uint64_t seed,
-                    std::int32_t demands, std::int32_t threads) {
+                    std::int32_t demands, std::int32_t threads,
+                    bench::Telemetry& telemetry) {
   ChurnEngineConfig config;
   config.epochLength = scenario.epochLength;
   config.solver.seed = seed + 13;
   config.solver.threads = threads;
+  MetricsRegistry metrics;
+  config.solver.tracer = telemetry.tracer();
+  config.solver.metrics = &metrics;
 
   const auto begin = std::chrono::steady_clock::now();
   const ChurnRunResult churn = runChurnWithScheduler(
@@ -142,6 +157,8 @@ OnlineRun runOnline(const std::string& preset,
   run.messages = churn.totalMessages;
   run.wallMs =
       std::chrono::duration<double, std::milli>(end - begin).count();
+  if (telemetry.printMetrics()) std::cout << metrics.describe();
+  run.metricsJson = metrics.toJson();
   return run;
 }
 
@@ -172,12 +189,14 @@ int main(int argc, char** argv) {
                    "regex over registered scheduler ids (full match)");
   flags.stringFlag("json", "BENCH_tournament.json",
                    "machine-readable report path ('' disables)");
+  bench::Telemetry::addFlags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
   const auto demands = static_cast<std::int32_t>(flags.getInt("demands"));
   const auto churnDemands =
       static_cast<std::int32_t>(flags.getInt("churn-demands"));
   const auto threads = static_cast<std::int32_t>(flags.getInt("threads"));
+  bench::Telemetry telemetry(flags);
 
   const std::vector<std::string> policies =
       SchedulerRegistry::all().ids(std::regex(flags.getString("policies")));
@@ -208,7 +227,8 @@ int main(int argc, char** argv) {
     std::vector<OneshotRun> runs;
     runs.reserve(policies.size());
     for (const std::string& id : policies) {
-      runs.push_back(runOneshot(preset.name, scenario, id, seed, demands));
+      runs.push_back(
+          runOneshot(preset.name, scenario, id, seed, demands, telemetry));
     }
     double reference = 0;
     for (const OneshotRun& run : runs) {
@@ -246,7 +266,8 @@ int main(int argc, char** argv) {
           .field("rounds", run.rounds)
           .field("messages", run.messages)
           .field("raises", run.raises)
-          .field("wall_ms", run.wallMs);
+          .field("wall_ms", run.wallMs)
+          .jsonField("metrics", run.metricsJson);
     }
   }
   oneshot.print(std::cout);
@@ -264,8 +285,8 @@ int main(int argc, char** argv) {
     std::vector<OnlineRun> runs;
     runs.reserve(policies.size());
     for (const std::string& id : policies) {
-      runs.push_back(
-          runOnline(preset.name, scenario, id, seed, churnDemands, threads));
+      runs.push_back(runOnline(preset.name, scenario, id, seed, churnDemands,
+                               threads, telemetry));
     }
     double reference = 0;
     for (const OnlineRun& run : runs) {
@@ -304,11 +325,13 @@ int main(int argc, char** argv) {
           .field("full_resolves", run.fullResolves)
           .field("rounds", run.rounds)
           .field("messages", run.messages)
-          .field("wall_ms", run.wallMs);
+          .field("wall_ms", run.wallMs)
+          .jsonField("metrics", run.metricsJson);
     }
   }
   online.print(std::cout);
 
   if (!flags.getString("json").empty()) json.write();
+  telemetry.finish();
   return 0;
 }

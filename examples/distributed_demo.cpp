@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <memory>
 
 #include "core/universe.hpp"
 #include "decomp/layering.hpp"
@@ -16,6 +17,8 @@
 #include "dist/sim_network.hpp"
 #include "framework/two_phase.hpp"
 #include "gen/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "policy/registry.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -24,6 +27,34 @@
 using namespace treesched;
 
 namespace {
+
+/// --trace/--metrics wiring for the demo (the bench binaries share the
+/// same interface via bench_common.hpp).
+struct DemoTelemetry {
+  explicit DemoTelemetry(const CliFlags& flags)
+      : printMetrics(flags.getBool("metrics")) {
+    const std::string& path = flags.getString("trace");
+    if (!path.empty()) {
+      sink = std::make_unique<ChromeTraceSink>(path);
+      tracer = Tracer(sink.get());
+    }
+  }
+  Tracer* get() { return sink != nullptr ? &tracer : nullptr; }
+  void report(const MetricsRegistry& metrics) const {
+    if (printMetrics) std::cout << "\n" << metrics.describe();
+  }
+  void finish() {
+    if (sink != nullptr) {
+      sink->close();
+      std::cout << "wrote " << sink->path() << " (" << sink->eventCount()
+                << " trace events)\n";
+    }
+  }
+
+  std::unique_ptr<ChromeTraceSink> sink;
+  Tracer tracer;
+  bool printMetrics = false;
+};
 
 void listPolicies() {
   const SchedulerRegistry& registry = SchedulerRegistry::all();
@@ -43,7 +74,8 @@ void listPolicies() {
 /// preset and reports its revenue/round/message line — the single-row
 /// version of bench_tournament.
 int runPolicy(const std::string& policyId, std::string preset,
-              std::uint64_t seed, std::int32_t demands) {
+              std::uint64_t seed, std::int32_t demands,
+              DemoTelemetry& telemetry) {
   const SchedulerRegistry& registry = SchedulerRegistry::all();
   if (!registry.has(policyId)) {
     std::cout << "unknown --policy '" << policyId
@@ -60,6 +92,9 @@ int runPolicy(const std::string& policyId, std::string preset,
   config.core.epsilon = 0.3;
   config.core.misRoundBudget = 4;
   config.core.stepsPerStage = 2;
+  MetricsRegistry metrics;
+  config.distributed.tracer = telemetry.get();
+  config.distributed.metrics = &metrics;
   const auto scheduler = registry.make(policyId, config);
 
   const auto begin = std::chrono::steady_clock::now();
@@ -87,6 +122,7 @@ int runPolicy(const std::string& policyId, std::string preset,
   table.row().cell("messages delivered").cell(outcome.messages);
   table.row().cell("dual raises").cell(outcome.raises);
   table.print(std::cout);
+  telemetry.report(metrics);
   return 0;
 }
 
@@ -95,7 +131,8 @@ int runPolicy(const std::string& policyId, std::string preset,
 /// thread counts is gated by tests/parallel_equivalence_test.cpp and
 /// re-checked by bench_parallel; here we show the engine at work.
 int runPreset(const std::string& preset, std::uint64_t seed,
-              std::int32_t demands, std::int32_t threads) {
+              std::int32_t demands, std::int32_t threads,
+              DemoTelemetry& telemetry) {
   if (preset != "metro_line_100k" && preset != "cdn_tree_250k") {
     std::cout << "unknown --preset '" << preset
               << "' (use metro_line_100k or cdn_tree_250k)\n";
@@ -113,6 +150,9 @@ int runPreset(const std::string& preset, std::uint64_t seed,
   sched.core.misRoundBudget = 4;
   sched.core.stepsPerStage = 2;
   sched.distributed.threads = threads;
+  MetricsRegistry metrics;
+  sched.distributed.tracer = telemetry.get();
+  sched.distributed.metrics = &metrics;
   const DistributedOptions dopt = sched.distributedOptions();
 
   SimNetwork bus(std::move(prepared.adjacency));
@@ -143,6 +183,7 @@ int runPreset(const std::string& preset, std::uint64_t seed,
       .cell("local dual views consistent")
       .cell(result.localViewsConsistent ? "yes" : "NO");
   table.print(std::cout);
+  telemetry.report(metrics);
   return 0;
 }
 
@@ -167,6 +208,10 @@ int main(int argc, char** argv) {
                    "cdn_tree_250k)");
   flags.boolFlag("list-policies", false,
                  "enumerate every registered scheduler and exit");
+  flags.stringFlag("trace", "",
+                   "write a Chrome trace-event JSON of the run to FILE");
+  flags.boolFlag("metrics", false,
+                 "print the run's metrics-registry snapshot");
   if (!flags.parse(argc, argv)) return 0;
 
   if (flags.getBool("list-policies")) {
@@ -187,16 +232,22 @@ int main(int argc, char** argv) {
   }
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
   const auto threads = static_cast<std::int32_t>(flags.getInt("threads"));
+  DemoTelemetry telemetry(flags);
 
   if (!flags.getString("policy").empty()) {
-    return runPolicy(flags.getString("policy"), flags.getString("preset"),
-                     seed,
-                     static_cast<std::int32_t>(flags.getInt("demands")));
+    const int rc = runPolicy(flags.getString("policy"),
+                             flags.getString("preset"), seed,
+                             static_cast<std::int32_t>(flags.getInt("demands")),
+                             telemetry);
+    telemetry.finish();
+    return rc;
   }
   if (!flags.getString("preset").empty()) {
-    return runPreset(flags.getString("preset"), seed,
-                     static_cast<std::int32_t>(flags.getInt("demands")),
-                     threads);
+    const int rc = runPreset(flags.getString("preset"), seed,
+                             static_cast<std::int32_t>(flags.getInt("demands")),
+                             threads, telemetry);
+    telemetry.finish();
+    return rc;
   }
 
   TreeScenarioConfig cfg;
@@ -215,8 +266,9 @@ int main(int argc, char** argv) {
   std::cout << "processors: " << adjacency.size()
             << ", communication edges: " << edges / 2 << "\n\n";
 
-  // Trace the first few active steps via the observer hooks.
-  class Tracer : public ProtocolObserver {
+  // Print the first few active steps via the observer hooks (the
+  // structured obs/Tracer rides alongside through --trace).
+  class StepPrinter : public ProtocolObserver {
    public:
     void onStepStart(std::int32_t epoch, std::int32_t stage, std::int32_t step,
                      std::int32_t participants) override {
@@ -240,7 +292,7 @@ int main(int argc, char** argv) {
     int count_ = 0;
     bool ellipsis_ = false;
   };
-  Tracer tracer;
+  StepPrinter printer;
 
   std::cout << "phase-1 trace (first steps):\n";
   // One layered config, projected onto both engines — the unified
@@ -252,7 +304,10 @@ int main(int argc, char** argv) {
   sched.core.misRoundBudget = 32;
   sched.core.stepsPerStage = 10;
   sched.distributed.threads = threads;
-  sched.distributed.observer = &tracer;
+  sched.distributed.observer = &printer;
+  MetricsRegistry metrics;
+  sched.distributed.tracer = telemetry.get();
+  sched.distributed.metrics = &metrics;
   const DistributedResult dist =
       runDistributedUnitTree(problem, sched.distributedOptions());
   std::cout << "\n";
@@ -291,5 +346,7 @@ int main(int argc, char** argv) {
   std::cout << "\nOPT <= " << dist.dualUpperBound
             << " by LP duality; schedule value " << dist.profit << " is >= OPT/"
             << dist.dualUpperBound / dist.profit << "\n";
+  telemetry.report(metrics);
+  telemetry.finish();
   return 0;
 }

@@ -15,10 +15,13 @@
 // on hash-picked target networks).
 #include <algorithm>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "framework/two_phase.hpp"
 #include "gen/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "online/churn_engine.hpp"
 #include "policy/online_policy.hpp"
 #include "policy/registry.hpp"
@@ -43,6 +46,10 @@ int main(int argc, char** argv) {
                    "--list-policies id a from-scratch solve per epoch");
   flags.boolFlag("list-policies", false,
                  "enumerate every registered scheduler and exit");
+  flags.stringFlag("trace", "",
+                   "write a Chrome trace-event JSON of the run to FILE");
+  flags.boolFlag("metrics", false,
+                 "print the run's metrics-registry snapshot");
   if (!flags.parse(argc, argv)) return 0;
   if (flags.getBool("list-policies")) {
     const SchedulerRegistry& registry = SchedulerRegistry::all();
@@ -99,9 +106,21 @@ int main(int argc, char** argv) {
   sched.distributed.threads =
       static_cast<std::int32_t>(flags.getInt("threads"));
 
+  // Telemetry plane (src/obs/): the tracer and registry thread through
+  // the solver config into every epoch's protocol run.
+  std::unique_ptr<ChromeTraceSink> sink;
+  Tracer tracer;
+  if (!flags.getString("trace").empty()) {
+    sink = std::make_unique<ChromeTraceSink>(flags.getString("trace"));
+    tracer = Tracer(sink.get());
+  }
+  MetricsRegistry metrics;
+
   ChurnEngineConfig config;
   config.epochLength = scenario.epochLength;
   config.solver = sched.onlineSolver();
+  config.solver.tracer = sink != nullptr ? &tracer : nullptr;
+  config.solver.metrics = &metrics;
   config.transport.kind =
       parseLiveTransportKind(flags.getString("transport"));
   // The demo's wire: heavy-tail latency with 5% loss, locality-sharded
@@ -162,7 +181,9 @@ int main(int argc, char** argv) {
             << result.epochs.size() << " epochs)\n"
             << "admission SLA: " << result.sla.admittedDemands
             << " demands admitted, mean latency "
-            << result.sla.meanLatencyEpochs << " epochs (max "
+            << result.sla.meanLatencyEpochs << " epochs (p50 "
+            << result.sla.p50LatencyEpochs << ", p99 "
+            << result.sla.p99LatencyEpochs << ", max "
             << result.sla.maxLatencyEpochs << "), "
             << result.sla.departedUnadmitted << " departed unadmitted\n"
             << "wire (" << flags.getString("transport")
@@ -170,5 +191,11 @@ int main(int argc, char** argv) {
             << result.network.retransmissions << " retransmissions, "
             << result.network.drops << " drops, virtual time "
             << result.network.virtualTime << "\n";
+  if (flags.getBool("metrics")) std::cout << "\n" << metrics.describe();
+  if (sink != nullptr) {
+    sink->close();
+    std::cout << "wrote " << sink->path() << " (" << sink->eventCount()
+              << " trace events)\n";
+  }
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "framework/lhs_tracker.hpp"
 #include "framework/mis.hpp"
 #include "framework/schedule.hpp"
+#include "obs/observer_adapter.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -138,6 +139,7 @@ class ProtocolEngine {
       : u_(universe),
         lay_(layering),
         opt_(options),
+        tracing_(options.tracer, options.metrics, options.observer),
         obs_(options.observer != nullptr ? options.observer : &nullObserver_),
         net_(transport),
         runner_(std::max<std::int32_t>(1, options.threads)),
@@ -148,6 +150,12 @@ class ProtocolEngine {
         numProc_(universe.numDemands()),
         groundDual_(universe),
         groundLhs_(universe, options.rule) {
+    // With a tracer or a registry attached, the adapter becomes the
+    // engine's observer (forwarding to the caller's). Without either it
+    // is bypassed entirely — the telemetry-off path is the seed path.
+    if (tracing_.active()) {
+      obs_ = &tracing_;
+    }
     checkThat(u_.conflictsBuilt(), "conflicts built before protocol run",
               __FILE__, __LINE__);
     checkThat(net_.numProcessors() == numProc_,
@@ -222,12 +230,17 @@ class ProtocolEngine {
 
     // Attach LAST: everything above can throw, and the destructor (which
     // detaches) only runs for fully constructed engines — attaching any
-    // earlier could leave the caller-owned transport holding a dangling
-    // runner pointer.
+    // earlier could leave the caller-owned transport holding dangling
+    // runner/telemetry pointers.
+    net_.attachTelemetry(opt_.tracer, opt_.metrics);
+    runner_.attachTelemetry(opt_.tracer);
     net_.attachRunner(&runner_);
   }
 
-  ~ProtocolEngine() { net_.attachRunner(nullptr); }
+  ~ProtocolEngine() {
+    net_.attachRunner(nullptr);
+    net_.attachTelemetry(nullptr, nullptr);
+  }
 
   DistributedResult run() {
     runPhase1();
@@ -328,8 +341,12 @@ class ProtocolEngine {
   void runPhase1() {
     std::int64_t tuple = 0;
     for (std::int32_t epoch = 0; epoch < lay_.numGroups; ++epoch) {
+      obs_->onEpochBegin(epoch,
+                         static_cast<std::int32_t>(
+                             members_[static_cast<std::size_t>(epoch)].size()));
       for (std::int32_t stage = 1; stage <= plan_.numStages; ++stage) {
         const double target = plan_.stageTarget(stage);
+        obs_->onStageBegin(epoch, stage, target);
         // The stage's active set: lhs only grows within a stage, so an
         // instance observed satisfied for this target never re-enters —
         // steps scan survivors, not the whole group.
@@ -340,10 +357,31 @@ class ProtocolEngine {
         }
       }
     }
+    obs_->onPhase1Complete(activeSteps_, raises_);
+  }
+
+  /// Reports crash-stop faults taking effect: fires onCrash once per
+  /// crashed processor (ascending) the first time the schedule reaches a
+  /// tuple at which they are dead. Phase 2 announces with
+  /// tuple == scheduledSteps_ (the first pop) and `phase2` set, because
+  /// every listed processor is dead there (aliveP2) even when
+  /// crashAtTuple lies beyond the schedule.
+  void announceCrashes(std::int64_t tuple, bool phase2 = false) {
+    if (crashAnnounced_ || crashedCount_ == 0 ||
+        (!phase2 && tuple < opt_.crashAtTuple)) {
+      return;
+    }
+    crashAnnounced_ = true;
+    for (DemandId p = 0; p < numProc_; ++p) {
+      if (crashed_[static_cast<std::size_t>(p)] != 0) {
+        obs_->onCrash(p, tuple);
+      }
+    }
   }
 
   void runStep(std::int32_t epoch, std::int32_t stage, std::int32_t step,
                std::int64_t tuple, double target) {
+    announceCrashes(tuple);
     const std::int32_t budget = opt_.misRoundBudget;
 
     // Each alive processor checks its surviving instances of the
@@ -612,6 +650,9 @@ class ProtocolEngine {
   }
 
   void runPhase2() {
+    announceCrashes(scheduledSteps_, /*phase2=*/true);
+    std::int64_t accepts = 0;
+    std::int64_t rejects = 0;
     std::vector<std::uint8_t> demandUsed(static_cast<std::size_t>(numProc_),
                                          0);
     std::size_t sp = stackTuples_.size();
@@ -620,14 +661,27 @@ class ProtocolEngine {
         --sp;
         for (const InstanceId i : stackSets_[sp]) {
           const DemandId p = owner(i);
-          if (!aliveP2(p)) continue;
-          if (demandUsed[static_cast<std::size_t>(p)] != 0) continue;
+          if (!aliveP2(p)) {
+            obs_->onReject(t, i, RejectReason::OwnerCrashed);
+            ++rejects;
+            continue;
+          }
+          if (demandUsed[static_cast<std::size_t>(p)] != 0) {
+            obs_->onReject(t, i, RejectReason::DemandSatisfied);
+            ++rejects;
+            continue;
+          }
           ProcessorContext& context = contexts_[static_cast<std::size_t>(p)];
-          if (!context.capacityOk(u_, i)) continue;
+          if (!context.capacityOk(u_, i)) {
+            obs_->onReject(t, i, RejectReason::CapacityExceeded);
+            ++rejects;
+            continue;
+          }
           demandUsed[static_cast<std::size_t>(p)] = 1;
           context.addLoad(u_, i);
           net_.broadcast({MessageKind::Accept, p, i, 0.0});
           obs_->onAccept(t, i);
+          ++accepts;
           acceptOrder_.push_back(i);
           profit_ += u_.instance(i).profit;
         }
@@ -645,11 +699,13 @@ class ProtocolEngine {
         }
       });
     }
+    obs_->onPhase2Complete(accepts, rejects);
   }
 
   const InstanceUniverse& u_;
   const Layering& lay_;
   DistributedOptions opt_;
+  TracingObserver tracing_;  ///< telemetry adapter (inactive when unused)
   NullObserver nullObserver_;
   ProtocolObserver* obs_;
   Transport& net_;
@@ -676,6 +732,7 @@ class ProtocolEngine {
   // Faults (uint8, not vector<bool>: read concurrently from shards).
   std::vector<std::uint8_t> crashed_;
   std::int32_t crashedCount_ = 0;
+  bool crashAnnounced_ = false;  ///< onCrash fired (once per run)
 
   // Per-step scratch, reused across steps to keep the hot loop
   // allocation-free after warmup.

@@ -46,6 +46,9 @@
 
 namespace treesched {
 
+class Tracer;
+class MetricsRegistry;
+
 /// Legacy per-layer view: new code builds a layered SchedulerConfig
 /// (policy/config.hpp) and projects with distributedOptions(); the one
 /// field-by-field mapping lives there.
@@ -78,6 +81,13 @@ struct DistributedOptions {
   bool recordRaiseLog = false;
   /// Optional event hooks; nullptr observes nothing.
   ProtocolObserver* observer = nullptr;
+  /// Telemetry plane (src/obs/): when set, the engine wraps `observer`
+  /// in a TracingObserver feeding trace spans / registry metrics, and
+  /// attaches both to the transport and the thread pool. Strictly
+  /// read-only observation — attaching either never changes the
+  /// schedule (the bit-identity gates run with live sinks attached).
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// One phase-1 raise as executed, in raise order. Raises of one schedule

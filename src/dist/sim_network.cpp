@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace treesched {
@@ -69,8 +71,19 @@ void SimNetwork::disconnectDemand(std::int32_t p) {
 
 void SimNetwork::endRound() {
   ++stats_.rounds;
+  const std::int64_t before = stats_.messages;
   plane_.deliver();
   accountPlaneRound(stats_, plane_);
+  const std::int64_t delivered = stats_.messages - before;
+  if (roundsCtr_ != nullptr) {
+    roundsCtr_->add(1);
+    messagesCtr_->add(delivered);
+    if (delivered > 0) busyRoundsCtr_->add(1);
+  }
+  if (trace_ && delivered > 0) {
+    tracer_->instant("deliver", "net", 0,
+                     {{"round", stats_.rounds}, {"messages", delivered}});
+  }
 }
 
 void SimNetwork::endSilentRounds(std::int64_t count) {
@@ -80,6 +93,21 @@ void SimNetwork::endSilentRounds(std::int64_t count) {
   if (count == 0) return;
   plane_.clearInboxes();
   stats_.rounds += count;
+  if (roundsCtr_ != nullptr) roundsCtr_->add(count);
+}
+
+void SimNetwork::attachTelemetry(Tracer* tracer, MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  trace_ = tracer != nullptr && tracer->enabled();
+  if (metrics != nullptr) {
+    roundsCtr_ = &metrics->counter("net.rounds");
+    busyRoundsCtr_ = &metrics->counter("net.busy_rounds");
+    messagesCtr_ = &metrics->counter("net.messages");
+  } else {
+    roundsCtr_ = nullptr;
+    busyRoundsCtr_ = nullptr;
+    messagesCtr_ = nullptr;
+  }
 }
 
 std::span<const Message> SimNetwork::inbox(std::int32_t p) const {

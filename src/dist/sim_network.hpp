@@ -27,6 +27,8 @@
 
 namespace treesched {
 
+class Counter;
+
 /// Deterministic message bus over an undirected communication graph.
 ///
 /// Construction validates the adjacency (symmetric, loop-free, in-range,
@@ -66,6 +68,12 @@ class SimNetwork : public Transport, public MutableTopology {
     plane_.attachRunner(runner);
   }
 
+  /// Publishes net.{rounds,busy_rounds,messages} counters into `metrics`
+  /// and emits a "deliver" instant per busy round through `tracer`.
+  /// Instruments are resolved here, once; the round hot loop stays
+  /// allocation-free.
+  void attachTelemetry(Tracer* tracer, MetricsRegistry* metrics) override;
+
   const NetworkStats& stats() const override { return stats_; }
 
   // ---- MutableTopology (the online churn engine, src/online/) ----
@@ -96,6 +104,13 @@ class SimNetwork : public Transport, public MutableTopology {
   std::vector<std::vector<std::int32_t>> adjacency_;
   MessagePlane plane_;
   NetworkStats stats_;
+
+  // Telemetry plane (null when detached).
+  Tracer* tracer_ = nullptr;
+  bool trace_ = false;  ///< tracer present and enabled
+  Counter* roundsCtr_ = nullptr;
+  Counter* busyRoundsCtr_ = nullptr;
+  Counter* messagesCtr_ = nullptr;
 };
 
 /// The protocol's communication graph: processors (demands) are adjacent

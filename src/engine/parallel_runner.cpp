@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace treesched {
 
 namespace {
@@ -76,10 +78,44 @@ void ParallelRunner::claimShards(const ShardFn& fn, std::int32_t numShards) {
   }
 }
 
+void ParallelRunner::attachTelemetry(Tracer* tracer) {
+  tracer_ = tracer;
+  trace_ = tracer != nullptr && tracer->enabled();
+}
+
 void ParallelRunner::forShards(const ShardPlan& plan, ShardFn fn) {
   if (plan.numShards <= 0) {
     return;
   }
+  if (!trace_) {
+    dispatch(plan, fn);
+    return;
+  }
+  // Traced section: shards stamp begin/end ticks into their own slots;
+  // the calling thread emits the spans after the barrier, in shard-id
+  // order (never by completion order).
+  const auto shards = static_cast<std::size_t>(plan.numShards);
+  if (shardBegin_.size() < shards) {
+    shardBegin_.resize(shards);
+    shardEnd_.resize(shards);
+  }
+  auto timed = [&](std::int32_t shard) {
+    const auto slot = static_cast<std::size_t>(shard);
+    shardBegin_[slot] = tracer_->now();
+    fn(shard);
+    shardEnd_[slot] = tracer_->now();
+  };
+  dispatch(plan, ShardFn(timed));
+  for (std::int32_t shard = 0; shard < plan.numShards; ++shard) {
+    const auto slot = static_cast<std::size_t>(shard);
+    tracer_->completeAt("shard", "engine", shard + 1, shardBegin_[slot],
+                        shardEnd_[slot],
+                        {{"shard", shard},
+                         {"items", plan.end(shard) - plan.begin(shard)}});
+  }
+}
+
+void ParallelRunner::dispatch(const ShardPlan& plan, const ShardFn& fn) {
   if (workers_.empty() || plan.numShards == 1) {
     for (std::int32_t shard = 0; shard < plan.numShards; ++shard) {
       fn(shard);

@@ -30,6 +30,8 @@
 
 namespace treesched {
 
+class Tracer;
+
 /// Non-owning callable reference (avoids std::function heap traffic in
 /// the round hot loop). The referenced callable must outlive the call —
 /// forShards() completes synchronously, so passing a temporary lambda at
@@ -88,9 +90,20 @@ class ParallelRunner {
   /// rethrown here after the barrier.
   void forShards(const ShardPlan& plan, ShardFn fn);
 
+  /// Attaches the telemetry tracer (nullptr detaches). With a live
+  /// tracer every parallel section emits one "shard" span per shard on
+  /// trace tid `shard + 1` (tid 0 is the protocol's). Shards record
+  /// their begin/end ticks into shard-owned slots during the section and
+  /// the calling thread emits them AFTER the barrier, in shard-id order
+  /// — the same merge discipline as every other shard output, so
+  /// tracing cannot perturb execution or determinism. Timing slots are
+  /// grow-only; steady-state sections allocate nothing.
+  void attachTelemetry(Tracer* tracer);
+
  private:
   void workerLoop();
   void claimShards(const ShardFn& fn, std::int32_t numShards);
+  void dispatch(const ShardPlan& plan, const ShardFn& fn);
 
   std::int32_t threads_ = 1;
   std::vector<std::thread> workers_;
@@ -105,6 +118,12 @@ class ParallelRunner {
   bool stop_ = false;             ///< guarded by mutex_
   std::exception_ptr firstError_;  ///< guarded by mutex_
   std::atomic<std::int32_t> nextShard_{0};
+
+  // Telemetry (null/false when detached).
+  Tracer* tracer_ = nullptr;
+  bool trace_ = false;  ///< tracer present and enabled
+  std::vector<std::int64_t> shardBegin_;  ///< shard-owned timing slots
+  std::vector<std::int64_t> shardEnd_;
 };
 
 }  // namespace treesched

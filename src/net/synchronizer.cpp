@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace treesched {
@@ -229,6 +231,7 @@ void AlphaSynchronizer::endRound() {
     }
   }
   phys_.drainDeliveries();
+  const std::int64_t before = stats_.messages;
   plane_.deliver();
 
   accountPlaneRound(stats_, plane_);
@@ -239,6 +242,22 @@ void AlphaSynchronizer::endRound() {
   stats_.drops = phys_.drops();
   stats_.duplicates = phys_.duplicates();
   stats_.processorLoad = phys_.endpointLoad();
+
+  const std::int64_t delivered = stats_.messages - before;
+  if (roundsCtr_ != nullptr) {
+    roundsCtr_->add(1);
+    messagesCtr_->add(delivered);
+    if (delivered > 0) busyRoundsCtr_->add(1);
+    virtualTimeGauge_->set(stats_.virtualTime);
+    transmissionsGauge_->set(static_cast<double>(stats_.transmissions));
+    retransmissionsGauge_->set(static_cast<double>(stats_.retransmissions));
+    dropsGauge_->set(static_cast<double>(stats_.drops));
+    duplicatesGauge_->set(static_cast<double>(stats_.duplicates));
+  }
+  if (trace_ && delivered > 0) {
+    tracer_->instant("deliver", "net", 0,
+                     {{"round", stats_.rounds}, {"messages", delivered}});
+  }
 }
 
 void AlphaSynchronizer::endSilentRounds(std::int64_t count) {
@@ -253,6 +272,35 @@ void AlphaSynchronizer::endSilentRounds(std::int64_t count) {
   // nominal per-round cost without simulating marker traffic.
   phys_.advanceTime(static_cast<double>(count) * silentRoundCost_);
   stats_.virtualTime = phys_.now();
+  if (roundsCtr_ != nullptr) {
+    roundsCtr_->add(count);
+    virtualTimeGauge_->set(stats_.virtualTime);
+  }
+}
+
+void AlphaSynchronizer::attachTelemetry(Tracer* tracer,
+                                        MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  trace_ = tracer != nullptr && tracer->enabled();
+  if (metrics != nullptr) {
+    roundsCtr_ = &metrics->counter("net.rounds");
+    busyRoundsCtr_ = &metrics->counter("net.busy_rounds");
+    messagesCtr_ = &metrics->counter("net.messages");
+    virtualTimeGauge_ = &metrics->gauge("net.virtual_time");
+    transmissionsGauge_ = &metrics->gauge("net.transmissions");
+    retransmissionsGauge_ = &metrics->gauge("net.retransmissions");
+    dropsGauge_ = &metrics->gauge("net.drops");
+    duplicatesGauge_ = &metrics->gauge("net.duplicates");
+  } else {
+    roundsCtr_ = nullptr;
+    busyRoundsCtr_ = nullptr;
+    messagesCtr_ = nullptr;
+    virtualTimeGauge_ = nullptr;
+    transmissionsGauge_ = nullptr;
+    retransmissionsGauge_ = nullptr;
+    dropsGauge_ = nullptr;
+    duplicatesGauge_ = nullptr;
+  }
 }
 
 std::span<const Message> AlphaSynchronizer::inbox(std::int32_t p) const {

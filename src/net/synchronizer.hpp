@@ -31,6 +31,9 @@
 
 namespace treesched {
 
+class Counter;
+class Gauge;
+
 /// Everything the asynchronous transport needs beyond the communication
 /// graph: link behaviour, loss, and how demands map onto processors.
 struct AsyncConfig {
@@ -71,6 +74,13 @@ class AlphaSynchronizer : public Transport, public MutableTopology {
   void attachRunner(ParallelRunner* runner) override {
     plane_.attachRunner(runner);
   }
+
+  /// Publishes net.{rounds,busy_rounds,messages} counters plus the
+  /// async-wire gauges net.{virtual_time,transmissions,retransmissions,
+  /// drops,duplicates} (mirrors of the cumulative NetworkStats fields,
+  /// refreshed each round) and emits a "deliver" instant per busy round.
+  void attachTelemetry(Tracer* tracer, MetricsRegistry* metrics) override;
+
   const NetworkStats& stats() const override { return stats_; }
 
   const ShardPlacement& placement() const { return placement_; }
@@ -132,6 +142,18 @@ class AlphaSynchronizer : public Transport, public MutableTopology {
   /// every inbox as a flat-buffer segment with zero hot-loop allocation.
   MessagePlane plane_;
   NetworkStats stats_;
+
+  // Telemetry plane (null when detached).
+  Tracer* tracer_ = nullptr;
+  bool trace_ = false;  ///< tracer present and enabled
+  Counter* roundsCtr_ = nullptr;
+  Counter* busyRoundsCtr_ = nullptr;
+  Counter* messagesCtr_ = nullptr;
+  Gauge* virtualTimeGauge_ = nullptr;
+  Gauge* transmissionsGauge_ = nullptr;
+  Gauge* retransmissionsGauge_ = nullptr;
+  Gauge* dropsGauge_ = nullptr;
+  Gauge* duplicatesGauge_ = nullptr;
 };
 
 }  // namespace treesched

@@ -17,6 +17,9 @@ void Transport::appendActiveInboxes(std::vector<std::int32_t>& out) const {
 
 void Transport::attachRunner(ParallelRunner* /*runner*/) {}
 
+void Transport::attachTelemetry(Tracer* /*tracer*/,
+                                MetricsRegistry* /*metrics*/) {}
+
 MutableTopology* mutableTopologyOf(Transport& transport) {
   return dynamic_cast<MutableTopology*>(&transport);
 }

@@ -29,6 +29,8 @@
 namespace treesched {
 
 class ParallelRunner;
+class Tracer;
+class MetricsRegistry;
 
 /// Communication accounting of one protocol run. The first block is
 /// filled by every transport; the async/lossy extensions stay zero/empty
@@ -100,6 +102,15 @@ class Transport {
   /// delivery (nullptr detaches; the default ignores it). The runner must
   /// stay alive until detached.
   virtual void attachRunner(ParallelRunner* runner);
+
+  /// Attaches the telemetry plane (obs/): the transport publishes its
+  /// round/message accounting into `metrics` and may emit delivery trace
+  /// events through `tracer`. Either may be null; nullptr/nullptr
+  /// detaches; the default ignores both. Telemetry is strictly
+  /// read-only observation — attaching it never changes delivery
+  /// behaviour (the bit-identity gates run with live sinks attached).
+  /// Both objects must stay alive until detached.
+  virtual void attachTelemetry(Tracer* tracer, MetricsRegistry* metrics);
 
   virtual const NetworkStats& stats() const = 0;
 };

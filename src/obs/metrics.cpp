@@ -1,0 +1,170 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace treesched {
+
+Histogram::Histogram(std::span<const double> upperBounds)
+    : upper_(upperBounds.begin(), upperBounds.end()),
+      counts_(upperBounds.size() + 1, 0) {
+  checkThat(!upper_.empty(), "histogram needs at least one bucket", __FILE__,
+            __LINE__);
+  checkThat(std::is_sorted(upper_.begin(), upper_.end()),
+            "histogram bounds sorted ascending", __FILE__, __LINE__);
+}
+
+std::vector<double> Histogram::unitBuckets(std::int32_t n) {
+  checkThat(n > 0, "unitBuckets needs n > 0", __FILE__, __LINE__);
+  std::vector<double> bounds(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    bounds[static_cast<std::size_t>(i)] = static_cast<double>(i);
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::exponentialBuckets(double first, double factor,
+                                                  std::int32_t count) {
+  checkThat(first > 0 && factor > 1 && count > 0,
+            "exponentialBuckets needs first > 0, factor > 1, count > 0",
+            __FILE__, __LINE__);
+  std::vector<double> bounds(static_cast<std::size_t>(count));
+  double bound = first;
+  for (std::int32_t i = 0; i < count; ++i) {
+    bounds[static_cast<std::size_t>(i)] = bound;
+    bound *= factor;
+  }
+  return bounds;
+}
+
+void Histogram::record(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  // First bucket whose inclusive upper bound holds x; past the last
+  // bound, the overflow bucket.
+  const auto it = std::lower_bound(upper_.begin(), upper_.end(), x);
+  counts_[static_cast<std::size_t>(it - upper_.begin())] += 1;
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  // Nearest rank: the ceil(q*n)-th smallest sample (1-based), at least
+  // the 1st.
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(clamped * static_cast<double>(count_))));
+  std::int64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b];
+    if (seen >= rank) {
+      // Bucket upper bound, clamped to the observed max so a coarse
+      // bucketing never reports a percentile above any recorded sample.
+      return b < upper_.size() ? std::min(upper_[b], max_) : max_;
+    }
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> upperBounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.try_emplace(std::string(name), Histogram(upperBounds))
+      .first->second;
+}
+
+namespace {
+
+void appendNumber(std::ostringstream& os, double value) {
+  os.precision(17);
+  os << value;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::toJson() const {
+  std::ostringstream os;
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << name << "\": " << c.value();
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << name << "\": ";
+    appendNumber(os, g.value());
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << name << "\": {\"count\": " << h.count() << ", \"min\": ";
+    appendNumber(os, h.min());
+    os << ", \"max\": ";
+    appendNumber(os, h.max());
+    os << ", \"mean\": ";
+    appendNumber(os, h.mean());
+    os << ", \"p50\": ";
+    appendNumber(os, h.percentile(0.5));
+    os << ", \"p90\": ";
+    appendNumber(os, h.percentile(0.9));
+    os << ", \"p99\": ";
+    appendNumber(os, h.percentile(0.99));
+    os << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsRegistry::describe() const {
+  std::ostringstream os;
+  os << "metrics snapshot:\n";
+  if (empty()) {
+    os << "  (no instrumented layer published into the registry)\n";
+    return os.str();
+  }
+  for (const auto& [name, c] : counters_) {
+    os << "  " << name << " = " << c.value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "  " << name << " = " << g.value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "  " << name << ": count=" << h.count() << " min=" << h.min()
+       << " mean=" << h.mean() << " p50=" << h.percentile(0.5)
+       << " p90=" << h.percentile(0.9) << " p99=" << h.percentile(0.99)
+       << " max=" << h.max() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace treesched

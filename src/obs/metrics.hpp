@@ -1,0 +1,124 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// One MetricsRegistry collects everything a run publishes — protocol
+// event counts, transport round/message totals, online admission-latency
+// distributions — so a bench or demo can report a single end-to-end
+// snapshot instead of stitching per-layer silos (NetworkStats,
+// admissionSla(), ScheduleOutcome) together by hand.
+//
+// Determinism discipline: instruments are plain (non-atomic) slots
+// updated only from serial sections — round boundaries, epoch
+// boundaries, the observer hooks, which all run on the calling thread.
+// Nothing here feeds back into algorithm state, so attaching a registry
+// can never perturb a bit-identity gate.
+//
+// Hot-path discipline: instrument lookups (map find) happen once, at
+// attach/construction time; the per-event operations are a few integer
+// or double updates on preallocated storage. Lookups are
+// string_view-transparent, so re-resolving an existing instrument
+// performs no allocation — the NullSink zero-allocation regression
+// (tests/telemetry_test.cpp) holds the whole plane to that.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace treesched {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_ += n; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Last-written level (virtual time, load factors, ...).
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram: p50/p90/p99/max without storing samples.
+///
+/// Buckets are inclusive upper bounds (sorted ascending) plus an
+/// implicit overflow bucket; exact count/min/max/sum ride along.
+/// percentile() resolves the nearest-rank sample to its bucket's upper
+/// bound, clamped to the observed max (which also covers the overflow
+/// bucket) — exact for integer-valued samples over unitBuckets(),
+/// within one bucket width otherwise.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> upperBounds);
+
+  /// {0, 1, ..., n-1}: unit buckets, exact percentiles for non-negative
+  /// integer samples below n.
+  static std::vector<double> unitBuckets(std::int32_t n);
+  /// {first, first*factor, first*factor^2, ...} (count bounds): wide
+  /// dynamic range at bounded storage; percentiles within a factor.
+  static std::vector<double> exponentialBuckets(double first, double factor,
+                                                std::int32_t count);
+
+  void record(double x);
+
+  std::int64_t count() const { return count_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Nearest-rank percentile, q in [0, 1]; 0 when empty.
+  double percentile(double q) const;
+
+ private:
+  std::vector<double> upper_;        ///< inclusive bucket upper bounds
+  std::vector<std::int64_t> counts_; ///< upper_.size() + 1 (overflow last)
+  std::int64_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+/// Get-or-create registry of named instruments. Returned references stay
+/// valid for the registry's lifetime (node-based storage); names sort
+/// deterministically in every snapshot.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upperBounds` configures the histogram on first creation and is
+  /// ignored afterwards (the name keeps its original buckets).
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> upperBounds);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// One flat JSON object: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{count,min,max,mean,p50,p90,p99}}} — the
+  /// snapshot bench reports embed (bench/bench_common.hpp jsonField).
+  std::string toJson() const;
+
+  /// Human-readable snapshot table for --metrics output.
+  std::string describe() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace treesched

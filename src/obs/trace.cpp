@@ -1,0 +1,71 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace treesched {
+
+void ChromeTraceSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  std::ofstream out(path_);
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    out << "{\"name\": \"" << e.name << "\", \"cat\": \"" << e.cat
+        << "\", \"ph\": \"" << e.ph << "\", \"ts\": " << e.tsMicros;
+    if (e.ph == 'X') {
+      out << ", \"dur\": " << e.durMicros;
+    } else if (e.ph == 'i') {
+      out << ", \"s\": \"t\"";
+    }
+    out << ", \"pid\": 1, \"tid\": " << e.tid;
+    if (e.argCount > 0) {
+      out << ", \"args\": {";
+      for (std::int32_t a = 0; a < e.argCount; ++a) {
+        if (a > 0) out << ", ";
+        out << "\"" << e.args[static_cast<std::size_t>(a)].key
+            << "\": " << e.args[static_cast<std::size_t>(a)].value;
+      }
+      out << "}";
+    }
+    out << "}" << (i + 1 < events_.size() ? "," : "") << "\n";
+  }
+  out << "]}\n";
+}
+
+void Tracer::completeAt(const char* name, const char* cat, std::int32_t tid,
+                        std::int64_t beginMicros, std::int64_t endMicros,
+                        std::initializer_list<TraceArg> args) {
+  if (!live_) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.tid = tid;
+  e.tsMicros = beginMicros;
+  e.durMicros = std::max<std::int64_t>(0, endMicros - beginMicros);
+  for (const TraceArg& arg : args) {
+    if (e.argCount >= static_cast<std::int32_t>(e.args.size())) break;
+    e.args[static_cast<std::size_t>(e.argCount++)] = arg;
+  }
+  sink_->event(e);
+}
+
+void Tracer::instant(const char* name, const char* cat, std::int32_t tid,
+                     std::initializer_list<TraceArg> args) {
+  if (!live_) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.tid = tid;
+  e.tsMicros = now();
+  for (const TraceArg& arg : args) {
+    if (e.argCount >= static_cast<std::int32_t>(e.args.size())) break;
+    e.args[static_cast<std::size_t>(e.argCount++)] = arg;
+  }
+  sink_->event(e);
+}
+
+}  // namespace treesched

@@ -1,0 +1,142 @@
+// Structured tracing to Chrome-trace-event JSON (Perfetto loadable).
+//
+// A Tracer timestamps named spans and instants and hands them to a
+// TraceSink. The ChromeTraceSink buffers events and writes the standard
+// {"traceEvents": [...]} JSON on close() — load the file in
+// chrome://tracing or https://ui.perfetto.dev to see one run end to end:
+// phase1 → epoch → stage → step → mis spans with raise/accept/reject
+// instants on tid 0, per-shard engine sections on tid shard+1, and
+// transport delivery events.
+//
+// Determinism discipline: timestamps are wall-clock reads that never
+// feed back into algorithm state — a run with any sink attached is
+// bit-identical to an untraced run (tests/telemetry_test.cpp gates it).
+// Span emission is single-threaded by construction: protocol/transport
+// events fire on the calling thread at round boundaries, and the
+// parallel runner records worker ticks into preallocated per-shard slots
+// that the calling thread emits, in shard-id order, after the barrier.
+//
+// Overhead discipline: NullTraceSink reports enabled() == false, so a
+// Tracer over it short-circuits to a single branch per call site — no
+// clock reads, no event construction, no allocation (the "NullSink
+// compiles to near-zero overhead" contract, held by the allocation
+// regression in tests/telemetry_test.cpp).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace treesched {
+
+/// One named numeric event argument. Keys must be string literals (or
+/// otherwise outlive the sink): events store the pointer, not a copy.
+struct TraceArg {
+  const char* key = nullptr;
+  std::int64_t value = 0;
+};
+
+/// One trace event. `name`/`cat` must outlive the sink (string
+/// literals at every emission site).
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "";
+  char ph = 'X';  ///< 'X' complete span, 'i' instant
+  std::int32_t tid = 0;
+  std::int64_t tsMicros = 0;
+  std::int64_t durMicros = 0;  ///< 'X' only
+  std::array<TraceArg, 4> args{};
+  std::int32_t argCount = 0;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// False: the sink discards everything and emitters skip building
+  /// events entirely (Tracer::enabled() caches this).
+  virtual bool enabled() const { return true; }
+
+  virtual void event(const TraceEvent& e) = 0;
+
+  /// Flushes buffered events (idempotent; also run by destructors).
+  virtual void close() {}
+};
+
+/// Discards everything at near-zero cost: a Tracer over it behaves as
+/// disabled everywhere.
+class NullTraceSink final : public TraceSink {
+ public:
+  bool enabled() const override { return false; }
+  void event(const TraceEvent&) override {}
+};
+
+/// Buffers events in memory and writes Chrome trace-event JSON on
+/// close(). Not thread-safe: all emission happens on the tracing
+/// thread (see the header comment).
+class ChromeTraceSink final : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::string path) : path_(std::move(path)) {}
+  ~ChromeTraceSink() override { close(); }
+
+  void event(const TraceEvent& e) override { events_.push_back(e); }
+  void close() override;
+
+  std::size_t eventCount() const { return events_.size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::vector<TraceEvent> events_;
+  bool closed_ = false;
+};
+
+/// The emission front-end every instrumented layer holds (by pointer;
+/// nullptr = tracing off). Timestamps are microseconds of steady time
+/// since construction, monotonic across threads.
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(TraceSink* sink)
+      : sink_(sink),
+        live_(sink != nullptr && sink->enabled()),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// One branch when off — guard every instrumentation site with this.
+  bool enabled() const { return live_; }
+
+  /// Current tick (µs since construction); only meaningful when
+  /// enabled().
+  std::int64_t now() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Complete span [beginMicros, now()].
+  void span(const char* name, const char* cat, std::int32_t tid,
+            std::int64_t beginMicros,
+            std::initializer_list<TraceArg> args = {}) {
+    completeAt(name, cat, tid, beginMicros, now(), args);
+  }
+
+  /// Complete span with both ticks supplied (runner shard sections,
+  /// whose ticks are measured on worker threads).
+  void completeAt(const char* name, const char* cat, std::int32_t tid,
+                  std::int64_t beginMicros, std::int64_t endMicros,
+                  std::initializer_list<TraceArg> args = {});
+
+  /// Zero-duration instant at now().
+  void instant(const char* name, const char* cat, std::int32_t tid,
+               std::initializer_list<TraceArg> args = {});
+
+ private:
+  TraceSink* sink_ = nullptr;
+  bool live_ = false;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace treesched

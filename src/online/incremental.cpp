@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "framework/lhs_tracker.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -15,6 +16,15 @@ namespace {
 // Salt separating the per-epoch protocol seeds from every other keyed
 // stream in the library.
 constexpr std::uint64_t kEpochSeedSalt = 0x0e90c4;
+
+// Unit buckets for the admission-latency histograms: latencies are
+// whole epoch counts, so nearest-rank percentiles are exact until a
+// latency reaches the ceiling (where the overflow bucket reports the
+// observed max).
+std::span<const double> latencyBuckets() {
+  static const std::vector<double> buckets = Histogram::unitBuckets(128);
+  return buckets;
+}
 
 }  // namespace
 
@@ -39,7 +49,17 @@ IncrementalSolver::IncrementalSolver(
       lhs_(static_cast<std::size_t>(universe.numInstances()), 0.0),
       raisesOfDemand_(static_cast<std::size_t>(universe.numDemands())),
       arrivalEpoch_(static_cast<std::size_t>(universe.numDemands()), -1),
-      admittedEpoch_(static_cast<std::size_t>(universe.numDemands()), -1) {
+      admittedEpoch_(static_cast<std::size_t>(universe.numDemands()), -1),
+      latencyHist_(latencyBuckets()) {
+  if (cfg_.metrics != nullptr) {
+    epochsCtr_ = &cfg_.metrics->counter("online.epochs");
+    arrivalsCtr_ = &cfg_.metrics->counter("online.arrivals");
+    departuresCtr_ = &cfg_.metrics->counter("online.departures");
+    admittedCtr_ = &cfg_.metrics->counter("online.admitted_demands");
+    activeGauge_ = &cfg_.metrics->gauge("online.active_demands");
+    latencyRegHist_ = &cfg_.metrics->histogram(
+        "online.admission_latency_epochs", latencyBuckets());
+  }
   checkThat(u_.conflictsBuilt(), "conflicts built before online solve",
             __FILE__, __LINE__);
   checkThat(u_.numDemands() > 0, "online solver needs a demand pool",
@@ -234,6 +254,11 @@ void IncrementalSolver::recordAdmissions(EpochOutcome& outcome) {
     ++admittedCount_;
     latencySumEpochs_ += latency;
     latencyMaxEpochs_ = std::max(latencyMaxEpochs_, latency);
+    latencyHist_.record(static_cast<double>(latency));
+    if (admittedCtr_ != nullptr) {
+      admittedCtr_->add(1);
+      latencyRegHist_->record(static_cast<double>(latency));
+    }
     ++outcome.newlyAdmittedDemands;
   }
 }
@@ -247,6 +272,8 @@ AdmissionSla IncrementalSolver::admissionSla() const {
                                static_cast<double>(admittedCount_)
                          : 0.0;
   sla.maxLatencyEpochs = latencyMaxEpochs_;
+  sla.p50LatencyEpochs = latencyHist_.percentile(0.5);
+  sla.p99LatencyEpochs = latencyHist_.percentile(0.99);
   return sla;
 }
 
@@ -270,6 +297,15 @@ EpochOutcome IncrementalSolver::applyEpoch(
   outcome.departures = static_cast<std::int32_t>(departures.size());
   outcome.protocolSeed = epochProtocolSeed(cfg_.seed, epoch_);
 
+  Tracer* tracer = cfg_.tracer;
+  const bool trace = tracer != nullptr && tracer->enabled();
+  const std::int64_t epochBegin = trace ? tracer->now() : 0;
+  if (epochsCtr_ != nullptr) {
+    epochsCtr_->add(1);
+    arrivalsCtr_->add(static_cast<std::int64_t>(arrivals.size()));
+    departuresCtr_->add(static_cast<std::int64_t>(departures.size()));
+  }
+
   // Zero-churn epoch: nothing changed, so the previous epoch's
   // admission, duals and slackness carry over verbatim — no stack
   // re-pop, no lambda scan, no protocol run.
@@ -283,6 +319,13 @@ EpochOutcome IncrementalSolver::applyEpoch(
     outcome.dualUpperBound =
         lambdaMeasured_ > 0 ? dualObjective_ / lambdaMeasured_
                             : std::numeric_limits<double>::infinity();
+    if (activeGauge_ != nullptr) {
+      activeGauge_->set(static_cast<double>(activeDemandCount_));
+    }
+    if (trace) {
+      tracer->span("online_epoch", "online", 0, epochBegin,
+                   {{"epoch", outcome.epoch}});
+    }
     ++epoch_;
     return outcome;
   }
@@ -308,6 +351,7 @@ EpochOutcome IncrementalSolver::applyEpoch(
   // Departures first (their raises purge exactly; fully-purged stack
   // sets compact away eagerly), then arrivals extend the live
   // communication graph.
+  const std::int64_t mutateBegin = trace ? tracer->now() : 0;
   for (const DemandId d : departures) {
     purgeRaisesOf(d);
     deactivate(d);
@@ -317,6 +361,12 @@ EpochOutcome IncrementalSolver::applyEpoch(
   }
   for (const DemandId d : arrivals) {
     activate(d);
+  }
+  if (trace) {
+    tracer->span("mutate", "online", 0, mutateBegin,
+                 {{"epoch", outcome.epoch},
+                  {"arrivals", outcome.arrivals},
+                  {"departures", outcome.departures}});
   }
 
   // Affected region: active demands on a changed network.
@@ -365,6 +415,8 @@ EpochOutcome IncrementalSolver::applyEpoch(
     options.misRoundBudget = cfg_.misRoundBudget;
     options.stepsPerStage = cfg_.stepsPerStage;
     options.recordRaiseLog = true;
+    options.tracer = cfg_.tracer;
+    options.metrics = cfg_.metrics;
 
     WarmStart warm;
     warm.activeInstances = restricted_;
@@ -403,10 +455,18 @@ EpochOutcome IncrementalSolver::applyEpoch(
   }
 
   // Admission: phase 2 over the merged persistent stack.
+  const std::int64_t admitBegin = trace ? tracer->now() : 0;
   popPersistentStack();
   outcome.solution = solution_;
   outcome.profit = profit_;
   recordAdmissions(outcome);
+  if (trace) {
+    tracer->span("admit", "online", 0, admitBegin,
+                 {{"epoch", outcome.epoch},
+                  {"accepted", static_cast<std::int64_t>(
+                       solution_.instances.size())},
+                  {"newly_admitted", outcome.newlyAdmittedDemands}});
+  }
 
   // Slackness over the whole active set (warm epochs inherit the old
   // epochs' satisfaction; the dual pair scaled by lambda is feasible for
@@ -430,6 +490,15 @@ EpochOutcome IncrementalSolver::applyEpoch(
           ? outcome.dualObjective / outcome.lambdaMeasured
           : std::numeric_limits<double>::infinity();
 
+  if (activeGauge_ != nullptr) {
+    activeGauge_->set(static_cast<double>(activeDemandCount_));
+  }
+  if (trace) {
+    tracer->span("online_epoch", "online", 0, epochBegin,
+                 {{"epoch", outcome.epoch},
+                  {"affected_instances", outcome.affectedInstances},
+                  {"full_resolve", outcome.fullResolve ? 1 : 0}});
+  }
   ++epoch_;
   return outcome;
 }

@@ -62,6 +62,7 @@
 #include "framework/dual_state.hpp"
 #include "framework/raise_policy.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace treesched {
 
@@ -76,6 +77,12 @@ struct OnlineSolverConfig {
   /// full-region gate can be bit-identical).
   std::int32_t stepsPerStage = 2;
   std::int32_t threads = 1;
+  /// Telemetry plane (src/obs/): passed through to every epoch's
+  /// protocol run and used for the solver's own online.* instruments
+  /// and epoch/mutate/admit spans. Strictly read-only observation —
+  /// attaching either never changes an epoch's outcome.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Everything one epoch reports. `solution` is the admitted set over the
@@ -127,6 +134,12 @@ struct AdmissionSla {
   std::int64_t departedUnadmitted = 0;  ///< departures never admitted
   double meanLatencyEpochs = 0;         ///< mean over admission events
   std::int64_t maxLatencyEpochs = 0;
+  /// Nearest-rank latency percentiles over the admission events, from
+  /// the solver's unit-bucket histogram — exact for latencies below the
+  /// bucket ceiling (values at the ceiling saturate to the observed
+  /// max). Zero while no admission has happened.
+  double p50LatencyEpochs = 0;
+  double p99LatencyEpochs = 0;
 };
 
 class IncrementalSolver {
@@ -247,6 +260,18 @@ class IncrementalSolver {
   std::int64_t departedUnadmitted_ = 0;
   std::int64_t latencySumEpochs_ = 0;
   std::int64_t latencyMaxEpochs_ = 0;
+  /// Unit-bucket admission-latency histogram backing the SLA
+  /// percentiles (always maintained; integer latencies make the
+  /// nearest-rank percentile exact below the bucket ceiling).
+  Histogram latencyHist_;
+
+  // Registry instruments (null when cfg_.metrics is unset).
+  Counter* epochsCtr_ = nullptr;
+  Counter* arrivalsCtr_ = nullptr;
+  Counter* departuresCtr_ = nullptr;
+  Counter* admittedCtr_ = nullptr;
+  Gauge* activeGauge_ = nullptr;
+  Histogram* latencyRegHist_ = nullptr;
 
   // Scratch (reused per epoch).
   std::vector<std::int32_t> changedNetworks_;

@@ -29,6 +29,8 @@ DistributedOptions SchedulerConfig::distributedOptions() const {
   options.crashAtTuple = distributed.crashAtTuple;
   options.recordRaiseLog = distributed.recordRaiseLog;
   options.observer = distributed.observer;
+  options.tracer = distributed.tracer;
+  options.metrics = distributed.metrics;
   return options;
 }
 
@@ -54,6 +56,8 @@ OnlineSolverConfig SchedulerConfig::onlineSolver() const {
   config.misRoundBudget = core.misRoundBudget;
   config.stepsPerStage = core.stepsPerStage;
   config.threads = distributed.threads;
+  config.tracer = distributed.tracer;
+  config.metrics = distributed.metrics;
   return config;
 }
 
@@ -100,6 +104,8 @@ SchedulerConfig SchedulerConfig::fromDistributedOptions(
   result.distributed.crashAtTuple = options.crashAtTuple;
   result.distributed.recordRaiseLog = options.recordRaiseLog;
   result.distributed.observer = options.observer;
+  result.distributed.tracer = options.tracer;
+  result.distributed.metrics = options.metrics;
   return result;
 }
 
@@ -114,6 +120,8 @@ SchedulerConfig SchedulerConfig::fromOnlineSolver(
   result.core.stepsPerStage = config.stepsPerStage;
   result.core.fixedSchedule = true;  // the online path always runs fixed
   result.distributed.threads = config.threads;
+  result.distributed.tracer = config.tracer;
+  result.distributed.metrics = config.metrics;
   return result;
 }
 

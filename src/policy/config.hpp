@@ -62,6 +62,11 @@ struct SchedulerDistributedConfig {
   std::int64_t crashAtTuple = 0;
   bool recordRaiseLog = false;
   ProtocolObserver* observer = nullptr;
+  /// Telemetry plane (src/obs/): one registry + tracer per run, shared
+  /// by every layer the config reaches (protocol, transport, thread
+  /// pool, online solver). Strictly read-only observation.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Churn-engine extras of the online epoch loop.

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "policy/registry.hpp"
 #include "util/check.hpp"
 
@@ -53,6 +55,12 @@ ChurnRunResult runChurnWithScheduler(
   std::vector<std::int64_t> arrivalEpoch(numDemands, -1);
   std::vector<std::int64_t> admittedEpoch(numDemands, -1);
   std::int64_t latencySum = 0;
+  // Unit-bucket latency histogram backing the SLA percentiles — the
+  // same bucketing the incremental solver uses, so the bench's p50/p99
+  // columns are comparable across scheduler ids.
+  Histogram latencyHist(Histogram::unitBuckets(128));
+  Tracer* tracer = config.solver.tracer;
+  const bool traceEpochs = tracer != nullptr && tracer->enabled();
 
   Solution solution;
   double profit = 0;
@@ -62,6 +70,7 @@ ChurnRunResult runChurnWithScheduler(
   for (std::size_t k = 0; k < batches.size(); ++k) {
     const EpochBatch& batch = batches[k];
     const auto epochIndex = static_cast<std::int32_t>(k);
+    const std::int64_t epochBegin = traceEpochs ? tracer->now() : 0;
 
     EpochOutcome outcome;
     outcome.epoch = epochIndex;
@@ -132,9 +141,11 @@ ChurnRunResult runChurnWithScheduler(
           static_cast<std::size_t>(universe.instance(i).demand);
       if (mask[d] != 0 && admittedEpoch[d] < 0) {
         admittedEpoch[d] = epochIndex;
-        latencySum += epochIndex - arrivalEpoch[d];
-        result.sla.maxLatencyEpochs = std::max(
-            result.sla.maxLatencyEpochs, epochIndex - arrivalEpoch[d]);
+        const std::int64_t latency = epochIndex - arrivalEpoch[d];
+        latencySum += latency;
+        latencyHist.record(static_cast<double>(latency));
+        result.sla.maxLatencyEpochs =
+            std::max(result.sla.maxLatencyEpochs, latency);
         ++result.sla.admittedDemands;
         ++outcome.newlyAdmittedDemands;
       }
@@ -142,6 +153,12 @@ ChurnRunResult runChurnWithScheduler(
 
     result.totalRounds += outcome.rounds;
     result.totalMessages += outcome.messages;
+    if (traceEpochs) {
+      tracer->span("online_epoch", "online", 0, epochBegin,
+                   {{"epoch", epochIndex},
+                    {"arrivals", outcome.arrivals},
+                    {"departures", outcome.departures}});
+    }
     result.epochs.push_back(std::move(outcome));
   }
 
@@ -155,6 +172,8 @@ ChurnRunResult runChurnWithScheduler(
         static_cast<double>(latencySum) /
         static_cast<double>(result.sla.admittedDemands);
   }
+  result.sla.p50LatencyEpochs = latencyHist.percentile(0.5);
+  result.sla.p99LatencyEpochs = latencyHist.percentile(0.99);
   return result;
 }
 

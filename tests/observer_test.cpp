@@ -1,6 +1,7 @@
 // The protocol observer must see exactly the events the run reports.
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "core/universe.hpp"
@@ -12,6 +13,20 @@ namespace {
 
 class CountingObserver : public ProtocolObserver {
  public:
+  void onEpochBegin(std::int32_t epoch, std::int32_t groupMembers) override {
+    EXPECT_EQ(epoch, static_cast<std::int32_t>(epochMembers.size()))
+        << "epochs begin in order, each exactly once";
+    EXPECT_GE(groupMembers, 0);
+    epochMembers.push_back(groupMembers);
+  }
+  void onStageBegin(std::int32_t epoch, std::int32_t stage,
+                    double target) override {
+    ++stageBegins;
+    EXPECT_EQ(epoch, static_cast<std::int32_t>(epochMembers.size()) - 1)
+        << "stages belong to the epoch that just began";
+    EXPECT_GE(stage, 1);
+    EXPECT_GT(target, 0);
+  }
   void onStepStart(std::int32_t epoch, std::int32_t stage, std::int32_t step,
                    std::int32_t participants) override {
     ++steps;
@@ -35,6 +50,25 @@ class CountingObserver : public ProtocolObserver {
   void onAccept(std::int64_t /*tuple*/, InstanceId instance) override {
     accepts.push_back(instance);
   }
+  void onReject(std::int64_t /*tuple*/, InstanceId instance,
+                RejectReason /*reason*/) override {
+    rejects.push_back(instance);
+  }
+  void onCrash(DemandId processor, std::int64_t tuple) override {
+    crashes.emplace_back(processor, tuple);
+  }
+  void onPhase1Complete(std::int64_t activeSteps,
+                        std::int64_t raiseCount) override {
+    ++phase1Completions;
+    phase1Steps = activeSteps;
+    phase1Raises = raiseCount;
+  }
+  void onPhase2Complete(std::int64_t acceptCount,
+                        std::int64_t rejectCount) override {
+    ++phase2Completions;
+    phase2Accepts = acceptCount;
+    phase2Rejects = rejectCount;
+  }
 
   std::int64_t steps = 0;
   std::int64_t misCompletions = 0;
@@ -42,8 +76,18 @@ class CountingObserver : public ProtocolObserver {
   std::int32_t lastEpoch = -1;
   std::int32_t lastStage = -1;
   std::int32_t lastStep = -1;
+  std::int64_t stageBegins = 0;
+  std::vector<std::int32_t> epochMembers;
+  std::int32_t phase1Completions = 0;
+  std::int64_t phase1Steps = -1;
+  std::int64_t phase1Raises = -1;
+  std::int32_t phase2Completions = 0;
+  std::int64_t phase2Accepts = -1;
+  std::int64_t phase2Rejects = -1;
   std::vector<InstanceId> raises;
   std::vector<InstanceId> accepts;
+  std::vector<InstanceId> rejects;
+  std::vector<std::pair<DemandId, std::int64_t>> crashes;
 };
 
 TEST(Observer, EventCountsMatchResult) {
@@ -68,6 +112,71 @@ TEST(Observer, EventCountsMatchResult) {
   std::vector<InstanceId> accepted = observer.accepts;
   std::sort(accepted.begin(), accepted.end());
   EXPECT_EQ(accepted, result.solution.instances);
+
+  // Boundary events: one onEpochBegin per scheduled epoch (with every
+  // stage attributed to it), and the phase-complete summaries repeat the
+  // run-level counters.
+  EXPECT_GT(observer.epochMembers.size(), 0u);
+  EXPECT_GT(observer.stageBegins, 0);
+  EXPECT_EQ(observer.phase1Completions, 1);
+  EXPECT_EQ(observer.phase1Steps, result.activeSteps);
+  EXPECT_EQ(observer.phase1Raises, result.raises);
+  EXPECT_EQ(observer.phase2Completions, 1);
+  EXPECT_EQ(observer.phase2Accepts,
+            static_cast<std::int64_t>(observer.accepts.size()));
+  EXPECT_EQ(observer.phase2Rejects,
+            static_cast<std::int64_t>(observer.rejects.size()));
+  // Every raise is popped exactly once in phase 2.
+  EXPECT_EQ(observer.phase2Accepts + observer.phase2Rejects, result.raises);
+  EXPECT_TRUE(observer.crashes.empty()) << "no faults were injected";
+}
+
+TEST(Observer, CrashEventsFireOncePerProcessor) {
+  TreeScenarioConfig cfg;
+  cfg.seed = 64;
+  cfg.numVertices = 24;
+  cfg.numNetworks = 2;
+  cfg.demands.numDemands = 20;
+  cfg.demands.accessProbability = 0.8;
+  const TreeProblem problem = makeTreeScenario(cfg);
+
+  CountingObserver observer;
+  DistributedOptions opt;
+  opt.observer = &observer;
+  opt.crashProcessors = {0, 5, 9};
+  opt.crashAtTuple = 3;
+  const DistributedResult result = runDistributedUnitTree(problem, opt);
+
+  ASSERT_EQ(observer.crashes.size(), 3u);
+  for (std::size_t i = 0; i < observer.crashes.size(); ++i) {
+    EXPECT_EQ(observer.crashes[i].first, opt.crashProcessors[i])
+        << "crash events fire per processor, ascending";
+    EXPECT_GE(observer.crashes[i].second, opt.crashAtTuple);
+  }
+  // Rejects include the crashed owners' surviving raises; the ledger
+  // still balances.
+  EXPECT_EQ(observer.phase2Accepts + observer.phase2Rejects, result.raises);
+}
+
+TEST(Observer, Phase2OnlyCrashReportsScheduleEnd) {
+  TreeScenarioConfig cfg;
+  cfg.seed = 65;
+  cfg.numVertices = 16;
+  cfg.numNetworks = 2;
+  cfg.demands.numDemands = 14;
+  cfg.demands.accessProbability = 0.8;
+  const TreeProblem problem = makeTreeScenario(cfg);
+
+  CountingObserver observer;
+  DistributedOptions opt;
+  opt.observer = &observer;
+  opt.crashProcessors = {1, 3};
+  opt.crashAtTuple = 1'000'000'000;  // past phase 1: crash at phase-2 start
+  runDistributedUnitTree(problem, opt);
+
+  ASSERT_EQ(observer.crashes.size(), 2u);
+  EXPECT_EQ(observer.crashes[0].second, observer.crashes[1].second)
+      << "both faults take effect at the same phase-2 boundary tuple";
 }
 
 TEST(Observer, RaisesAreUniqueInstances) {

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Chrome-trace-event validator for the telemetry plane (src/obs/).
+
+The Tracer writes Chrome trace-event JSON ({"traceEvents": [...]}) that
+chrome://tracing and Perfetto load directly. This validator pins the
+contract a structural refactor could silently break:
+
+  1. The file is well-formed JSON with a `traceEvents` array.
+  2. Every event carries name/cat/ph/ts/pid/tid; ph is 'X' (complete,
+     with dur >= 0) or 'i' (instant, with scope "t").
+  3. Per tid, complete spans nest properly: treating each X event as the
+     half-open interval [ts, ts+dur), any two either nest or are
+     disjoint — overlapping-but-not-nested spans mean a close-at-
+     boundary bug in the emitter.
+  4. Engine shard spans (cat "engine", name "shard") are emitted on the
+     tid owned by their shard: tid == args.shard + 1 (tid 0 belongs to
+     the serial protocol/online streams).
+
+Usage:
+  tools/trace_validate.py TRACE.json [TRACE2.json ...]
+
+Exits 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+REQUIRED_FIELDS = ("name", "cat", "ph", "ts", "pid", "tid")
+
+
+def fail(path, message):
+    print(f"trace_validate: {path}: {message}")
+    return False
+
+
+def validate_events(path, events):
+    ok = True
+    for i, event in enumerate(events):
+        for field in REQUIRED_FIELDS:
+            if field not in event:
+                ok = fail(path, f"event {i} missing required field '{field}'")
+        ph = event.get("ph")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                ok = fail(path, f"event {i} ('{event.get('name')}'): "
+                                f"complete event needs dur >= 0, got {dur!r}")
+        elif ph == "i":
+            if event.get("s") != "t":
+                ok = fail(path, f"event {i} ('{event.get('name')}'): "
+                                f"instant event needs thread scope \"s\": \"t\"")
+        else:
+            ok = fail(path, f"event {i}: unknown phase {ph!r} "
+                            f"(the Tracer emits only 'X' and 'i')")
+    return ok
+
+
+def validate_nesting(path, events):
+    """Per tid, X-event intervals must nest or be disjoint."""
+    ok = True
+    spans_by_tid = {}
+    for event in events:
+        if event.get("ph") == "X":
+            spans_by_tid.setdefault(event["tid"], []).append(event)
+    for tid, spans in sorted(spans_by_tid.items()):
+        # Outer-before-inner order: ascending start, longest first at
+        # equal starts (a parent that begins with its child sorts first).
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # open intervals as (end, name)
+        for event in spans:
+            begin = event["ts"]
+            end = begin + event["dur"]
+            while stack and begin >= stack[-1][0]:
+                stack.pop()
+            if stack and end > stack[-1][0]:
+                ok = fail(path,
+                          f"tid {tid}: span '{event['name']}' "
+                          f"[{begin}, {end}) overlaps enclosing "
+                          f"'{stack[-1][1]}' ending at {stack[-1][0]} "
+                          f"without nesting")
+                continue
+            stack.append((end, event["name"]))
+    return ok
+
+
+def validate_shard_tids(path, events):
+    """Engine shard spans live on tid shard + 1."""
+    ok = True
+    for i, event in enumerate(events):
+        if event.get("cat") == "engine" and event.get("name") == "shard":
+            shard = event.get("args", {}).get("shard")
+            if shard is None:
+                ok = fail(path, f"event {i}: engine shard span without "
+                                f"args.shard")
+            elif event["tid"] != shard + 1:
+                ok = fail(path, f"event {i}: shard {shard} span on tid "
+                                f"{event['tid']}, expected {shard + 1}")
+    return ok
+
+
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(path, f"not readable as JSON: {error}")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, "missing 'traceEvents' array")
+    ok = validate_events(path, events)
+    ok = validate_nesting(path, events) and ok
+    ok = validate_shard_tids(path, events) and ok
+    if ok:
+        tids = sorted({e["tid"] for e in events})
+        print(f"trace_validate: {path}: OK "
+              f"({len(events)} events, tids {tids})")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    ok = True
+    for path in argv[1:]:
+        ok = validate(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
