@@ -38,6 +38,7 @@ struct PatternRun {
   std::string preset;
   std::string pattern;
   std::string transport = "sync";
+  bool rebalance = false;  ///< epoch-boundary hot-shard rebalancing on
   std::int32_t demands = 0;
   std::int32_t epochs = 0;
   double wallMs = 0;
@@ -74,11 +75,15 @@ void report(Table& table, bench::JsonReport& json, const PatternRun& run) {
       .cell(run.churn.sla.p99LatencyEpochs, 1)
       .cell(run.churn.sla.maxLatencyEpochs)
       .cell(run.churn.totalRounds)
-      .cell(run.churn.network.transmissions);
+      .cell(run.churn.network.transmissions)
+      .cell(run.churn.totalDemandsMigrated)
+      .cell(run.churn.peakVarianceBefore, 1)
+      .cell(run.churn.peakVarianceAfter, 1);
   json.row()
       .field("preset", run.preset)
       .field("pattern", run.pattern)
       .field("transport", run.transport)
+      .field("rebalance", run.rebalance)
       .field("demands", run.demands)
       .field("epochs", run.epochs)
       .field("wall_ms", run.wallMs)
@@ -103,6 +108,11 @@ void report(Table& table, bench::JsonReport& json, const PatternRun& run) {
       .field("final_epoch_full_resolve", run.finalEpochFullResolve)
       .field("final_full_resolve_matches_scratch",
              run.finalFullResolveMatchesScratch)
+      .field("demands_migrated", run.churn.totalDemandsMigrated)
+      .field("load_variance_before", run.churn.peakVarianceBefore)
+      .field("load_variance_after", run.churn.peakVarianceAfter)
+      .field("engine_claims", run.churn.totalEngineClaims)
+      .field("engine_steals", run.churn.totalEngineSteals)
       .jsonField("metrics", run.metricsJson);
 }
 
@@ -130,7 +140,8 @@ PatternRun runPattern(const std::string& preset, const std::string& pattern,
                       const ArrivalConfig& arrivals, double epochLength,
                       std::uint64_t seed, std::int32_t threads,
                       bench::Telemetry& telemetry,
-                      const LiveTransportConfig& transport = {}) {
+                      const LiveTransportConfig& transport = {},
+                      const ShardRebalanceConfig& rebalance = {}) {
   ChurnEngineConfig config;
   config.epochLength = epochLength;
   config.solver.seed = seed + 13;
@@ -138,6 +149,7 @@ PatternRun runPattern(const std::string& preset, const std::string& pattern,
   config.solver.misRoundBudget = 4;
   config.solver.stepsPerStage = 2;
   config.solver.threads = threads;
+  config.solver.rebalance = rebalance;
   config.transport = transport;
   // One registry per pattern run; telemetry is read-only w.r.t. the
   // epoch outcomes, so the bit-gates below are unaffected.
@@ -151,6 +163,7 @@ PatternRun runPattern(const std::string& preset, const std::string& pattern,
   run.preset = preset;
   run.pattern = pattern;
   run.transport = liveTransportKindName(transport.kind);
+  run.rebalance = rebalance.enabled;
   run.demands = pool.numDemands();
 
   // The engine (with its live transport) is rebuilt per pattern; trace
@@ -219,7 +232,8 @@ int main(int argc, char** argv) {
 
   Table table({"preset", "pattern", "transport", "demands", "epochs",
                "wall ms", "epochs/s", "resolve frac", "full", "rev ratio",
-               "sla mean", "sla p99", "sla max", "rounds", "wire tx"});
+               "sla mean", "sla p99", "sla max", "rounds", "wire tx",
+               "migrated", "var before", "var after"});
   bench::JsonReport json(flags.getString("json"));
 
   {
@@ -288,6 +302,21 @@ int main(int argc, char** argv) {
              runPattern("hotspot_tree_50k", "targeted_burst", scenario.pool,
                         prepared, scenario.arrivals, scenario.epochLength,
                         seed, threads, telemetry, transport));
+      if (kind == LiveTransportKind::Sharded) {
+        // The hotspot row the rebalancer exists for: the targeted burst
+        // piles a hot network onto one sticky anchor, and the
+        // epoch-boundary rebalance must collapse the per-processor load
+        // variance (load_variance_after vs load_variance_before) while
+        // the epochs stay bit-identical to the row above.
+        ShardRebalanceConfig rebalance;
+        rebalance.enabled = true;
+        rebalance.seed = seed ^ 0x5ebaULL;
+        report(table, json,
+               runPattern("hotspot_tree_50k", "targeted_burst",
+                          scenario.pool, prepared, scenario.arrivals,
+                          scenario.epochLength, seed, threads, telemetry,
+                          transport, rebalance));
+      }
     }
   }
 

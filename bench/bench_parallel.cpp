@@ -64,6 +64,10 @@ struct PresetRun {
   std::int32_t demands = 0;
   std::int32_t instances = 0;
   std::int32_t threads = 0;
+  /// More worker threads than physical cores: the speedup column is
+  /// scheduler noise, not engine scaling, so the table suppresses it
+  /// (the JSON keeps the raw number plus this flag).
+  bool oversubscribed = false;
   double wallMs = 0;
   double speedup = 1.0;
   std::int64_t heapAllocs = 0;
@@ -86,14 +90,17 @@ void report(Table& table, bench::JsonReport& json, const PresetRun& run) {
           ? static_cast<double>(run.heapAllocs) /
                 static_cast<double>(run.result.network.messages)
           : 0.0;
-  table.row()
-      .cell(run.preset)
-      .cell(run.demands)
-      .cell(run.threads)
-      .cell(run.wallMs, 1)
-      .cell(run.speedup, 2)
-      .cell(run.result.network.rounds)
+  Table::RowBuilder row = table.row();
+  row.cell(run.preset).cell(run.demands).cell(run.threads).cell(run.wallMs, 1);
+  if (run.oversubscribed) {
+    row.cell("n/a");  // threads > cores: wall time is scheduler noise
+  } else {
+    row.cell(run.speedup, 2);
+  }
+  row.cell(run.result.network.rounds)
       .cell(run.result.network.messages)
+      .cell(run.result.engineClaims)
+      .cell(run.result.engineSteals)
       .cell(run.heapAllocs)
       .cell(allocsPerMessage, 3)
       .cell(run.result.network.planeGrowthEvents)
@@ -106,12 +113,18 @@ void report(Table& table, bench::JsonReport& json, const PresetRun& run) {
       .field("threads", run.threads)
       // Speedup is bounded by the physical cores of the bench host; a
       // 1-core CI runner reports ~1.0 at every thread count by design.
+      // `oversubscribed` marks rows where threads > cores — consumers
+      // (and tools/bench_compare.py) must not read their speedup as an
+      // engine-scaling signal.
       .field("hardware_threads",
              static_cast<std::int64_t>(std::thread::hardware_concurrency()))
+      .field("oversubscribed", run.oversubscribed)
       .field("wall_ms", run.wallMs)
       .field("speedup_vs_1_thread", run.speedup)
       .field("rounds", run.result.network.rounds)
       .field("messages", run.result.network.messages)
+      .field("engine_claims", run.result.engineClaims)
+      .field("engine_steals", run.result.engineSteals)
       .field("payload", run.result.network.payload)
       .field("profit", run.result.profit)
       .field("heap_allocs", run.heapAllocs)
@@ -158,6 +171,9 @@ void runPreset(const std::string& preset, PreparedRun prepared,
     run.demands = demands;
     run.instances = prepared.universe.numInstances();
     run.threads = threads;
+    const auto cores =
+        static_cast<std::int32_t>(std::thread::hardware_concurrency());
+    run.oversubscribed = cores > 0 && threads > cores;
     run.wallMs = wallMs(begin, end);
     run.heapAllocs =
         gHeapAllocs.load(std::memory_order_relaxed) - allocsBefore;
@@ -186,6 +202,7 @@ int main(int argc, char** argv) {
   flags.intFlag("seed", 1, "base RNG seed");
   flags.intFlag("line-demands", 100'000, "metro_line preset demand count");
   flags.intFlag("tree-demands", 250'000, "cdn_tree preset demand count");
+  flags.intFlag("hotspot-demands", 50'000, "hotspot preset demand count");
   flags.intFlag("max-threads", 8, "largest thread count in the sweep");
   flags.stringFlag("json", "BENCH_parallel.json",
                    "machine-readable report path ('' disables)");
@@ -196,6 +213,8 @@ int main(int argc, char** argv) {
       static_cast<std::int32_t>(flags.getInt("line-demands"));
   const auto treeDemands =
       static_cast<std::int32_t>(flags.getInt("tree-demands"));
+  const auto hotspotDemands =
+      static_cast<std::int32_t>(flags.getInt("hotspot-demands"));
   const auto maxThreads =
       static_cast<std::int32_t>(flags.getInt("max-threads"));
   bench::Telemetry telemetry(flags);
@@ -206,8 +225,10 @@ int main(int argc, char** argv) {
       "bit-identical to the serial engine at every thread count, and the "
       "round hot loop performs no per-message heap allocation",
       "'matches 1t' all 'yes'; speedup grows with threads on multi-core "
-      "hardware; plane growth stops after warmup (last growth round << "
-      "rounds) and heap allocs per round stay O(1)");
+      "hardware (rows with threads > cores print 'n/a' — an oversubscribed "
+      "run measures the OS scheduler, not the engine); plane growth stops "
+      "after warmup (last growth round << rounds) and heap allocs per "
+      "round stay O(1)");
 
   std::vector<std::int32_t> threadCounts;
   for (const std::int32_t t : {1, 2, 4, 8}) {
@@ -215,8 +236,8 @@ int main(int argc, char** argv) {
   }
 
   Table table({"preset", "demands", "threads", "wall ms", "speedup", "rounds",
-               "messages", "allocs", "allocs/msg", "plane growths",
-               "last growth rnd", "matches 1t"});
+               "messages", "claims", "steals", "allocs", "allocs/msg",
+               "plane growths", "last growth rnd", "matches 1t"});
   bench::JsonReport json(flags.getString("json"));
 
   DistributedOptions dopt;
@@ -234,6 +255,18 @@ int main(int argc, char** argv) {
     const TreeProblem problem = makeCdnTree250k(seed, treeDemands);
     runPreset("cdn_tree_250k", prepareUnitTreeRun(problem), treeDemands,
               dopt, threadCounts, table, json, telemetry);
+  }
+  {
+    // The hotspot row family: the skew-heavy pool behind the online
+    // hotspot preset, solved one-shot. Uneven per-demand instance counts
+    // make this the row where cost-proportional (weighted) shard plans
+    // and work-stealing claims matter — uniform plans leave whole
+    // threads idle behind the hot shards (the steals column shows the
+    // engine routing around them).
+    const ChurnTreeScenario scenario = makeHotspotTree50k(seed,
+                                                          hotspotDemands);
+    runPreset("hotspot_tree_50k", prepareUnitTreeRun(scenario.pool),
+              hotspotDemands, dopt, threadCounts, table, json, telemetry);
   }
 
   table.print(std::cout);

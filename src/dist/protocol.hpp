@@ -140,6 +140,11 @@ struct DistributedResult {
   /// Every phase-1 raise in execution order; filled only under
   /// DistributedOptions::recordRaiseLog.
   std::vector<DualRaiseRecord> raiseLog;
+  /// Shard-claim traffic from the run's ParallelRunner: shards executed
+  /// by their owning participant vs. stolen from another participant's
+  /// block. Accounting only — never feeds back into the schedule.
+  std::int64_t engineClaims = 0;
+  std::int64_t engineSteals = 0;
 };
 
 /// Runs the protocol on a tree problem: builds the instance universe, the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace treesched {
@@ -17,13 +18,27 @@ constexpr std::int64_t kMinShardSize = 16;
 /// not serialize the section's tail.
 constexpr std::int64_t kShardsPerThread = 8;
 
+std::uint64_t packRange(std::uint32_t begin, std::uint32_t end) {
+  return (static_cast<std::uint64_t>(begin) << 32) | end;
+}
+
+std::uint32_t rangeBegin(std::uint64_t packed) {
+  return static_cast<std::uint32_t>(packed >> 32);
+}
+
+std::uint32_t rangeEnd(std::uint64_t packed) {
+  return static_cast<std::uint32_t>(packed & 0xffffffffu);
+}
+
 }  // namespace
 
 ParallelRunner::ParallelRunner(std::int32_t threads)
-    : threads_(std::max<std::int32_t>(1, threads)) {
+    : threads_(std::max<std::int32_t>(1, threads)),
+      ranges_(new ShardRange[static_cast<std::size_t>(
+          std::max<std::int32_t>(1, threads))]) {
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (std::int32_t t = 1; t < threads_; ++t) {
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, t] { workerLoop(t); });
   }
 }
 
@@ -53,34 +68,142 @@ ParallelRunner::ShardPlan ParallelRunner::plan(std::int64_t count) const {
   return shardPlan;
 }
 
-void ParallelRunner::claimShards(const ShardFn& fn, std::int32_t numShards) {
-  for (;;) {
-    const std::int32_t shard =
-        nextShard_.fetch_add(1, std::memory_order_relaxed);
-    if (shard >= numShards) {
-      break;
+void ParallelRunner::planWeighted(std::span<const std::int64_t> weights,
+                                  ShardPlan& out) const {
+  out.count = static_cast<std::int64_t>(weights.size());
+  out.shardSize = 1;
+  out.numShards = 0;
+  out.bounds.clear();
+  if (out.count == 0) {
+    return;
+  }
+  const std::int64_t targetShards =
+      static_cast<std::int64_t>(threads_) * kShardsPerThread;
+  std::int64_t total = 0;
+  for (const std::int64_t w : weights) {
+    total += std::max<std::int64_t>(1, w);
+  }
+  // Weight per shard: items clamp to weight >= 1, so for uniform weights
+  // this degrades exactly to plan()'s item grain.
+  const std::int64_t grain = std::max(
+      kMinShardSize, (total + targetShards - 1) / targetShards);
+  out.bounds.push_back(0);
+  std::int64_t acc = 0;
+  for (std::int64_t i = 0; i < out.count; ++i) {
+    acc += std::max<std::int64_t>(1, weights[i]);
+    if (acc >= grain && i + 1 < out.count) {
+      out.bounds.push_back(i + 1);
+      acc = 0;
     }
+  }
+  out.bounds.push_back(out.count);
+  out.numShards = static_cast<std::int32_t>(out.bounds.size()) - 1;
+}
+
+void ParallelRunner::claimShards(const ShardFn& fn, std::int32_t participant) {
+  std::int64_t popped = 0;
+  std::int64_t stolen = 0;
+  auto run = [&](std::uint32_t shard) {
     try {
-      fn(shard);
+      fn(static_cast<std::int32_t>(shard));
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!firstError_) {
         firstError_ = std::current_exception();
       }
     }
+  };
+  for (;;) {
+    // Drain the owned block front-to-back.
+    std::atomic<std::uint64_t>& own =
+        ranges_[static_cast<std::size_t>(participant)].packed;
+    std::uint64_t cur = own.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t b = rangeBegin(cur);
+      const std::uint32_t e = rangeEnd(cur);
+      if (b >= e) {
+        break;
+      }
+      if (own.compare_exchange_weak(cur, packRange(b + 1, e),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+        run(b);
+        ++popped;
+        cur = own.load(std::memory_order_acquire);
+      }
+    }
+    // Steal one shard from the back of the first non-empty victim.
+    // Ranges only shrink within a section, so a full scan finding every
+    // block empty means no unclaimed shard remains.
+    bool stole = false;
+    for (std::int32_t k = 1; k < threads_ && !stole; ++k) {
+      const std::int32_t victim = (participant + k) % threads_;
+      std::atomic<std::uint64_t>& range =
+          ranges_[static_cast<std::size_t>(victim)].packed;
+      std::uint64_t vcur = range.load(std::memory_order_acquire);
+      for (;;) {
+        const std::uint32_t b = rangeBegin(vcur);
+        const std::uint32_t e = rangeEnd(vcur);
+        if (b >= e) {
+          break;
+        }
+        if (range.compare_exchange_weak(vcur, packRange(b, e - 1),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+          run(e - 1);
+          ++stolen;
+          stole = true;
+          break;
+        }
+      }
+    }
+    if (!stole) {
+      break;
+    }
+  }
+  // Claims count every shard this participant EXECUTED (owned pops plus
+  // steals), so claims across a run always equals the shard count and
+  // steals <= claims holds even for a thread that only ever stole.
+  if (popped + stolen != 0) {
+    claimsTotal_.fetch_add(popped + stolen, std::memory_order_relaxed);
+  }
+  if (stolen != 0) {
+    stealsTotal_.fetch_add(stolen, std::memory_order_relaxed);
   }
   // The barrier releases only once every participant has LEFT the claim
   // loop: were it released on the shard count alone, a straggler still
-  // spinning here could claim into the next section's reset cursor.
+  // scanning here could claim into the next section's reset ranges.
   std::lock_guard<std::mutex> lock(mutex_);
   if (--claimers_ == 0) {
     done_.notify_all();
   }
 }
 
-void ParallelRunner::attachTelemetry(Tracer* tracer) {
+void ParallelRunner::attachTelemetry(Tracer* tracer, MetricsRegistry* metrics) {
   tracer_ = tracer;
   trace_ = tracer != nullptr && tracer->enabled();
+  if (metrics != nullptr) {
+    claimsCounter_ = &metrics->counter("engine.claims");
+    stealsCounter_ = &metrics->counter("engine.steals");
+    // Count from attach time: pre-attach traffic is not this run's.
+    flushedClaims_ = claimsTotal_.load(std::memory_order_relaxed);
+    flushedSteals_ = stealsTotal_.load(std::memory_order_relaxed);
+  } else {
+    claimsCounter_ = nullptr;
+    stealsCounter_ = nullptr;
+  }
+}
+
+void ParallelRunner::publishCounters() {
+  if (claimsCounter_ == nullptr) {
+    return;
+  }
+  const std::int64_t c = claimsTotal_.load(std::memory_order_relaxed);
+  const std::int64_t s = stealsTotal_.load(std::memory_order_relaxed);
+  claimsCounter_->add(c - flushedClaims_);
+  stealsCounter_->add(s - flushedSteals_);
+  flushedClaims_ = c;
+  flushedSteals_ = s;
 }
 
 void ParallelRunner::forShards(const ShardPlan& plan, ShardFn fn) {
@@ -89,6 +212,7 @@ void ParallelRunner::forShards(const ShardPlan& plan, ShardFn fn) {
   }
   if (!trace_) {
     dispatch(plan, fn);
+    publishCounters();
     return;
   }
   // Traced section: shards stamp begin/end ticks into their own slots;
@@ -106,6 +230,7 @@ void ParallelRunner::forShards(const ShardPlan& plan, ShardFn fn) {
     shardEnd_[slot] = tracer_->now();
   };
   dispatch(plan, ShardFn(timed));
+  publishCounters();
   for (std::int32_t shard = 0; shard < plan.numShards; ++shard) {
     const auto slot = static_cast<std::size_t>(shard);
     tracer_->completeAt("shard", "engine", shard + 1, shardBegin_[slot],
@@ -120,18 +245,26 @@ void ParallelRunner::dispatch(const ShardPlan& plan, const ShardFn& fn) {
     for (std::int32_t shard = 0; shard < plan.numShards; ++shard) {
       fn(shard);
     }
+    claimsTotal_.fetch_add(plan.numShards, std::memory_order_relaxed);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;
-    jobShards_ = plan.numShards;
+    // One contiguous block of shards per participant; the owner pops
+    // the front, thieves take the back.
+    const std::int64_t n = plan.numShards;
+    for (std::int32_t t = 0; t < threads_; ++t) {
+      const auto lo = static_cast<std::uint32_t>(n * t / threads_);
+      const auto hi = static_cast<std::uint32_t>(n * (t + 1) / threads_);
+      ranges_[static_cast<std::size_t>(t)].packed.store(
+          packRange(lo, hi), std::memory_order_relaxed);
+    }
     claimers_ = 1;  // the calling thread
-    nextShard_.store(0, std::memory_order_relaxed);
     ++generation_;
   }
   wake_.notify_all();
-  claimShards(fn, plan.numShards);
+  claimShards(fn, 0);
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -145,11 +278,10 @@ void ParallelRunner::dispatch(const ShardPlan& plan, const ShardFn& fn) {
   }
 }
 
-void ParallelRunner::workerLoop() {
+void ParallelRunner::workerLoop(std::int32_t participant) {
   std::uint64_t seen = 0;
   for (;;) {
     const ShardFn* fn = nullptr;
-    std::int32_t numShards = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
@@ -158,13 +290,12 @@ void ParallelRunner::workerLoop() {
       }
       seen = generation_;
       fn = job_;
-      numShards = jobShards_;
       if (fn != nullptr) {
         ++claimers_;
       }
     }
     if (fn != nullptr) {
-      claimShards(*fn, numShards);
+      claimShards(*fn, participant);
     }
   }
 }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace treesched {
 
@@ -181,6 +183,295 @@ void ShardPlacement::removeDemand(DemandId d) {
       liveOfProcessor[static_cast<std::size_t>(p)]) {
     compactProcessor(p);
   }
+}
+
+double ShardPlacement::loadVariance() const {
+  if (numProcessors <= 0) return 0.0;
+  double mean = 0;
+  for (const std::int32_t n : liveOfProcessor) {
+    mean += static_cast<double>(n);
+  }
+  mean /= static_cast<double>(numProcessors);
+  double variance = 0;
+  for (const std::int32_t n : liveOfProcessor) {
+    const double delta = static_cast<double>(n) - mean;
+    variance += delta * delta;
+  }
+  return variance / static_cast<double>(numProcessors);
+}
+
+namespace {
+
+/// A movable unit on one processor during planning: a home network's
+/// hosted demands (net >= 0, moves wholesale or splits), or a single
+/// network-less demand (net == -1).
+struct MoveGroup {
+  std::int32_t net = -1;
+  std::vector<DemandId> demands;  ///< ascending
+};
+
+double varianceOf(const std::vector<std::int64_t>& loads) {
+  if (loads.empty()) return 0.0;
+  double mean = 0;
+  for (const std::int64_t n : loads) mean += static_cast<double>(n);
+  mean /= static_cast<double>(loads.size());
+  double variance = 0;
+  for (const std::int64_t n : loads) {
+    const double delta = static_cast<double>(n) - mean;
+    variance += delta * delta;
+  }
+  return variance / static_cast<double>(loads.size());
+}
+
+}  // namespace
+
+ShardPlacement::RebalancePlan ShardPlacement::planRebalance(
+    double threshold, std::uint64_t seed, std::int32_t maxMoves) const {
+  checkThat(live, "planRebalance on a live placement", __FILE__, __LINE__);
+  RebalancePlan plan;
+  plan.varianceBefore = loadVariance();
+  plan.varianceAfter = plan.varianceBefore;
+  if (numProcessors <= 1) {
+    return plan;
+  }
+
+  std::vector<std::int64_t> loads(liveOfProcessor.begin(),
+                                  liveOfProcessor.end());
+  std::int64_t total = 0;
+  for (const std::int64_t n : loads) total += n;
+  if (total == 0) {
+    return plan;
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(numProcessors);
+
+  // Movable groups per processor — built once from the real hosted
+  // lists, then maintained in lock-step with the simulated `loads`, so a
+  // processor that received moves earlier in the plan can serve as a hot
+  // source later. Group demand lists are ascending; groups sort by
+  // network id (network-less singletons last) — deterministic.
+  std::vector<std::vector<MoveGroup>> groups(
+      static_cast<std::size_t>(numProcessors));
+  auto buildGroups = [&](std::int32_t p) {
+    auto& out = groups[static_cast<std::size_t>(p)];
+    std::vector<DemandId> hosted;
+    for (const DemandId d : demandsOfProcessor[static_cast<std::size_t>(p)]) {
+      if (d != kUnplaced) hosted.push_back(d);
+    }
+    std::sort(hosted.begin(), hosted.end());
+    for (const DemandId d : hosted) {
+      const std::int32_t net = homeNetwork[static_cast<std::size_t>(d)];
+      if (net >= 0 && !out.empty() && out.back().net == net) {
+        out.back().demands.push_back(d);
+        continue;
+      }
+      // Sort key: networks group by id; a network-less demand is its own
+      // group keyed after every network.
+      out.push_back(MoveGroup{net, {d}});
+    }
+    constexpr std::int64_t kNoNetKey =
+        std::numeric_limits<std::int64_t>::max();
+    // Strict total order (group fronts are distinct demands), so plain
+    // sort is deterministic and skips stable_sort's temporary buffer.
+    std::sort(out.begin(), out.end(),
+              [](const MoveGroup& a, const MoveGroup& b) {
+                const std::int64_t ka = a.net >= 0 ? a.net : kNoNetKey;
+                const std::int64_t kb = b.net >= 0 ? b.net : kNoNetKey;
+                if (ka != kb) return ka < kb;
+                return a.demands.front() < b.demands.front();
+              });
+    // Demands of one network can be interleaved with others in hosted
+    // order; merge same-net runs after the sort.
+    std::vector<MoveGroup> merged;
+    for (MoveGroup& g : out) {
+      if (g.net >= 0 && !merged.empty() && merged.back().net == g.net) {
+        merged.back().demands.insert(merged.back().demands.end(),
+                                     g.demands.begin(), g.demands.end());
+        continue;
+      }
+      merged.push_back(std::move(g));
+    }
+    out = std::move(merged);
+  };
+  for (std::int32_t p = 0; p < numProcessors; ++p) {
+    buildGroups(p);
+  }
+
+  // Receiving side of a simulated move: demands of a home network merge
+  // into the processor's existing group of that network (kept ascending);
+  // network-less demands stay singleton groups.
+  auto receive = [&](std::int32_t p, std::int32_t net,
+                     std::span<const DemandId> demands) {
+    auto& dest = groups[static_cast<std::size_t>(p)];
+    if (net >= 0) {
+      for (MoveGroup& g : dest) {
+        if (g.net != net) continue;
+        g.demands.insert(g.demands.end(), demands.begin(), demands.end());
+        std::sort(g.demands.begin(), g.demands.end());
+        return;
+      }
+    }
+    for (const DemandId d : demands) {
+      dest.push_back(MoveGroup{net, {d}});
+      if (net >= 0) break;
+    }
+    if (net >= 0) {
+      dest.back().demands.assign(demands.begin(), demands.end());
+    }
+  };
+
+  // Anchor positions as the plan's earlier moves left them (lazily
+  // seeded from the real anchors) — a group that already migrated once
+  // carries its anchor along on the next wholesale move.
+  std::unordered_map<std::int32_t, std::int32_t> simAnchor;
+  auto anchorProcessor = [&](std::int32_t net) {
+    const auto moved = simAnchor.find(net);
+    if (moved != simAnchor.end()) return moved->second;
+    const auto anchor = networkAnchors.find(net);
+    return anchor != networkAnchors.end() ? anchor->second.processor
+                                          : kUnplaced;
+  };
+
+  for (std::int32_t iter = 0; iter < maxMoves; ++iter) {
+    std::int32_t hot = 0;
+    std::int32_t cold = 0;
+    for (std::int32_t p = 1; p < numProcessors; ++p) {
+      if (loads[static_cast<std::size_t>(p)] >
+          loads[static_cast<std::size_t>(hot)]) {
+        hot = p;
+      }
+      if (loads[static_cast<std::size_t>(p)] <
+          loads[static_cast<std::size_t>(cold)]) {
+        cold = p;
+      }
+    }
+    const std::int64_t gap = loads[static_cast<std::size_t>(hot)] -
+                             loads[static_cast<std::size_t>(cold)];
+    if (static_cast<double>(loads[static_cast<std::size_t>(hot)]) <=
+            threshold * mean ||
+        gap <= 1) {
+      break;
+    }
+    auto& hotGroups = groups[static_cast<std::size_t>(hot)];
+
+    // Whole-group move first: the largest group that still improves the
+    // (hot, cold) pair — strictly smaller than the gap — keeps its
+    // demands co-hosted (locality preserved). Hash tie-break on equal
+    // sizes keeps the choice deterministic yet seed-varied.
+    std::size_t best = hotGroups.size();
+    for (std::size_t g = 0; g < hotGroups.size(); ++g) {
+      const auto size =
+          static_cast<std::int64_t>(hotGroups[g].demands.size());
+      if (size == 0 || size >= gap) continue;
+      if (best == hotGroups.size()) {
+        best = g;
+        continue;
+      }
+      const auto bestSize =
+          static_cast<std::int64_t>(hotGroups[best].demands.size());
+      if (size > bestSize) {
+        best = g;
+      } else if (size == bestSize) {
+        const std::uint64_t hg = keyedHash(
+            seed, static_cast<std::uint64_t>(iter),
+            static_cast<std::uint64_t>(hotGroups[g].demands.front()));
+        const std::uint64_t hb = keyedHash(
+            seed, static_cast<std::uint64_t>(iter),
+            static_cast<std::uint64_t>(hotGroups[best].demands.front()));
+        if (hg < hb) best = g;
+      }
+    }
+
+    if (best != hotGroups.size()) {
+      MoveGroup& g = hotGroups[best];
+      for (const DemandId d : g.demands) {
+        plan.moves.push_back(Migration{d, hot, cold});
+      }
+      const auto size = static_cast<std::int64_t>(g.demands.size());
+      loads[static_cast<std::size_t>(hot)] -= size;
+      loads[static_cast<std::size_t>(cold)] += size;
+      if (g.net >= 0) {
+        if (anchorProcessor(g.net) == hot) {
+          plan.anchorMoves.emplace_back(g.net, cold);
+          simAnchor[g.net] = cold;
+        }
+        ++plan.networksMoved;
+      }
+      const std::vector<DemandId> moved = std::move(g.demands);
+      g.demands.clear();
+      receive(cold, g.net, moved);
+      continue;
+    }
+
+    // No whole group fits: one network dominates the hot processor.
+    // Split it — move half the gap off the back of the largest group
+    // (ascending ids stay put, so repeated splits peel deterministically).
+    std::size_t largest = 0;
+    for (std::size_t g = 1; g < hotGroups.size(); ++g) {
+      if (hotGroups[g].demands.size() >
+          hotGroups[largest].demands.size()) {
+        largest = g;
+      }
+    }
+    if (hotGroups.empty() || hotGroups[largest].demands.empty()) {
+      break;  // nothing movable (stale accounting cannot happen, but be safe)
+    }
+    MoveGroup& g = hotGroups[largest];
+    const std::int64_t k = std::max<std::int64_t>(
+        1, std::min(gap / 2,
+                    static_cast<std::int64_t>(g.demands.size()) - 1));
+    std::vector<DemandId> moved;
+    moved.reserve(static_cast<std::size_t>(k));
+    for (std::int64_t j = 0; j < k; ++j) {
+      plan.moves.push_back(Migration{g.demands.back(), hot, cold});
+      moved.push_back(g.demands.back());
+      g.demands.pop_back();
+    }
+    loads[static_cast<std::size_t>(hot)] -= k;
+    loads[static_cast<std::size_t>(cold)] += k;
+    receive(cold, g.net, moved);
+  }
+
+  plan.varianceAfter = varianceOf(loads);
+  return plan;
+}
+
+void ShardPlacement::migrateDemand(DemandId d, std::int32_t to) {
+  checkThat(live, "migrateDemand on a live placement", __FILE__, __LINE__);
+  checkIndex(d, numDemands(), "migrateDemand");
+  checkIndex(to, numProcessors, "migrateDemand target");
+  checkThat(isPlaced(d), "migrateDemand source placed", __FILE__, __LINE__);
+  const std::int32_t from = processorOfDemand[static_cast<std::size_t>(d)];
+  if (from == to) {
+    return;  // migrate-to-self: nothing to do
+  }
+
+  auto& hosted = demandsOfProcessor[static_cast<std::size_t>(from)];
+  const auto pos = std::find(hosted.begin(), hosted.end(), d);
+  checkThat(pos != hosted.end(), "migrated demand hosted", __FILE__, __LINE__);
+  *pos = kUnplaced;
+  --liveOfProcessor[static_cast<std::size_t>(from)];
+  ++tombstonesOfProcessor[static_cast<std::size_t>(from)];
+
+  processorOfDemand[static_cast<std::size_t>(d)] = to;
+  demandsOfProcessor[static_cast<std::size_t>(to)].push_back(d);
+  ++liveOfProcessor[static_cast<std::size_t>(to)];
+
+  // Same amortized compaction rule as removeDemand: a whole-network
+  // migration leaves a trail of tombstones on the source.
+  if (tombstonesOfProcessor[static_cast<std::size_t>(from)] >
+      liveOfProcessor[static_cast<std::size_t>(from)]) {
+    compactProcessor(from);
+  }
+}
+
+void ShardPlacement::retargetAnchor(std::int32_t net, std::int32_t to) {
+  checkThat(live, "retargetAnchor on a live placement", __FILE__, __LINE__);
+  checkIndex(to, numProcessors, "retargetAnchor target");
+  const auto anchor = networkAnchors.find(net);
+  checkThat(anchor != networkAnchors.end(), "retargeted network anchored",
+            __FILE__, __LINE__);
+  anchor->second.processor = to;
 }
 
 void ShardPlacement::compactProcessor(std::int32_t p) {

@@ -93,6 +93,58 @@ struct ShardPlacement {
   /// Erases the tombstones of processor `p`'s hosted list eagerly.
   void compactProcessor(std::int32_t p);
 
+  // ---- Epoch-boundary hot-shard rebalancing ----------------------------
+  //
+  // A sticky anchor pins a network to one processor for its whole live
+  // span — exactly what lets a long-lived hot network (targeted_burst)
+  // accumulate unbounded load there. planRebalance() computes a
+  // deterministic set of demand migrations that caps every processor
+  // near threshold * mean live load: whole networks move first
+  // (preserving off-wire locality), and a single network too hot to fit
+  // anywhere is split, trading wire locality for balance. The caller
+  // (AlphaSynchronizer::rebalanceShards) applies the moves and rewires
+  // its physical-edge bookkeeping; placement is wire accounting only, so
+  // the schedule never changes.
+
+  /// One planned migration: move live demand `demand` from processor
+  /// `from` to processor `to`.
+  struct Migration {
+    DemandId demand = 0;
+    std::int32_t from = 0;
+    std::int32_t to = 0;
+  };
+
+  struct RebalancePlan {
+    std::vector<Migration> moves;
+    /// (network, processor): anchors to retarget because the network
+    /// moved wholesale — future arrivals of the network follow it.
+    std::vector<std::pair<std::int32_t, std::int32_t>> anchorMoves;
+    std::int32_t networksMoved = 0;
+    double varianceBefore = 0;  ///< per-processor live-load variance
+    double varianceAfter = 0;   ///< ... assuming the plan is applied
+  };
+
+  /// Population variance of the per-processor live-demand counts.
+  double loadVariance() const;
+
+  /// Plans migrations until no processor's live load exceeds
+  /// `threshold * mean` (or `maxMoves` iterations ran). Deterministic:
+  /// processors tie-break by lowest id, candidate networks by
+  /// keyedHash(seed, ...) — a pure function of the placement state and
+  /// arguments. Does not mutate the placement.
+  RebalancePlan planRebalance(double threshold, std::uint64_t seed,
+                              std::int32_t maxMoves) const;
+
+  /// Moves a live placed demand to processor `to` (live pools only):
+  /// tombstones the old hosted entry, appends to the new list, keeps the
+  /// home-network anchor untouched. Migrating to the current processor
+  /// is a no-op.
+  void migrateDemand(DemandId d, std::int32_t to);
+
+  /// Points network `net`'s anchor at processor `to` (the anchor must
+  /// exist): future arrivals of the network land there.
+  void retargetAnchor(std::int32_t net, std::int32_t to);
+
   std::int32_t liveDemandCount(std::int32_t p) const {
     return liveOfProcessor[static_cast<std::size_t>(p)];
   }

@@ -1,6 +1,7 @@
 #include "net/synchronizer.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -9,6 +10,13 @@
 namespace treesched {
 
 namespace {
+
+/// Hosted-demand histogram buckets: wide dynamic range (a hot shard can
+/// host thousands of demands) at bounded storage. constexpr so instrument
+/// resolution allocates nothing (the NullSink zero-allocation gate).
+constexpr std::array<double, 16> kHostedBuckets = {
+    1,  2,   4,   8,    16,   32,   64,    128,
+    256, 512, 1024, 2048, 4096, 8192, 16384, 32768};
 
 /// Validation must run in the member-init list, before the constructor
 /// body's edge loop reads placements for the adjacency's endpoints —
@@ -291,6 +299,11 @@ void AlphaSynchronizer::attachTelemetry(Tracer* tracer,
     retransmissionsGauge_ = &metrics->gauge("net.retransmissions");
     dropsGauge_ = &metrics->gauge("net.drops");
     duplicatesGauge_ = &metrics->gauge("net.duplicates");
+    if (placement_.live) {
+      hostedHist_ =
+          &metrics->histogram("net.shard_hosted_demands", kHostedBuckets);
+      loadVarianceGauge_ = &metrics->gauge("net.shard_load_variance");
+    }
   } else {
     roundsCtr_ = nullptr;
     busyRoundsCtr_ = nullptr;
@@ -300,7 +313,77 @@ void AlphaSynchronizer::attachTelemetry(Tracer* tracer,
     retransmissionsGauge_ = nullptr;
     dropsGauge_ = nullptr;
     duplicatesGauge_ = nullptr;
+    hostedHist_ = nullptr;
+    loadVarianceGauge_ = nullptr;
   }
+}
+
+void AlphaSynchronizer::publishLoadTelemetry() {
+  if (loadVarianceGauge_ == nullptr || !placement_.live) {
+    return;
+  }
+  for (std::int32_t p = 0; p < placement_.numProcessors; ++p) {
+    hostedHist_->record(
+        static_cast<double>(placement_.liveDemandCount(p)));
+  }
+  loadVarianceGauge_->set(placement_.loadVariance());
+}
+
+RebalanceOutcome AlphaSynchronizer::rebalanceShards(
+    const ShardRebalanceConfig& config) {
+  checkThat(!plane_.hasStaged() && pendingPayload_ == 0,
+            "topology mutation only between rounds", __FILE__, __LINE__);
+  RebalanceOutcome outcome;
+  if (!placement_.live || placement_.numProcessors <= 1) {
+    return outcome;
+  }
+  const std::int64_t begin = trace_ ? tracer_->now() : 0;
+  const ShardPlacement::RebalancePlan plan = placement_.planRebalance(
+      config.threshold, config.seed, config.maxMoves);
+  outcome.networksMoved = plan.networksMoved;
+  outcome.demandsMoved = static_cast<std::int32_t>(plan.moves.size());
+  outcome.loadVarianceBefore = plan.varianceBefore;
+  outcome.loadVarianceAfter = plan.varianceAfter;
+
+  // Apply each migration with the connect/disconnect bookkeeping split
+  // around the placement change: a demand edge's physical-link
+  // contribution is keyed by both endpoint placements, so it must come
+  // off the refcounts while the old placement is still visible and go
+  // back on under the new one. Edges between two migrating demands stay
+  // exact because each move handles only its own endpoint.
+  touchedScratch_.clear();
+  for (const ShardPlacement::Migration& move : plan.moves) {
+    const auto d = static_cast<std::size_t>(move.demand);
+    for (const std::int32_t e : adjacency_[d]) {
+      removePhysicalEdge(move.demand, e);
+    }
+    placement_.migrateDemand(move.demand, move.to);
+    for (const std::int32_t e : adjacency_[d]) {
+      addPhysicalEdge(move.demand, e);
+      touchedScratch_.push_back(e);
+    }
+    touchedScratch_.push_back(move.demand);
+  }
+  for (const auto& [net, to] : plan.anchorMoves) {
+    placement_.retargetAnchor(net, to);
+  }
+  // Remote-processor broadcast sets: rebuilt once per touched demand
+  // (movers and their neighbours), in ascending order.
+  std::sort(touchedScratch_.begin(), touchedScratch_.end());
+  touchedScratch_.erase(
+      std::unique(touchedScratch_.begin(), touchedScratch_.end()),
+      touchedScratch_.end());
+  for (const std::int32_t d : touchedScratch_) {
+    rebuildRemoteProcs(d);
+  }
+
+  publishLoadTelemetry();
+  if (trace_) {
+    tracer_->span("rebalance", "net", 0, begin,
+                  {{"demands_moved", outcome.demandsMoved},
+                   {"networks_moved", outcome.networksMoved}});
+  }
+  return outcome;
 }
 
 std::span<const Message> AlphaSynchronizer::inbox(std::int32_t p) const {

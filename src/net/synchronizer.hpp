@@ -33,6 +33,7 @@ namespace treesched {
 
 class Counter;
 class Gauge;
+class Histogram;
 
 /// Everything the asynchronous transport needs beyond the communication
 /// graph: link behaviour, loss, and how demands map onto processors.
@@ -108,6 +109,20 @@ class AlphaSynchronizer : public Transport, public MutableTopology {
     return neighbors(demand);
   }
 
+  /// Epoch-boundary hot-shard rebalancing (live placements with > 1
+  /// processor; everything else reports current variance and moves
+  /// nothing). Applies the deterministic ShardPlacement::planRebalance
+  /// plan: every migrated demand's physical-edge contributions are
+  /// removed at the old placement and re-added at the new one, and the
+  /// remote-processor broadcast sets of every touched demand (movers and
+  /// their neighbours) are rebuilt — the same incremental bookkeeping as
+  /// connect/disconnect, so safe-marker traffic stays exact. Placement
+  /// is wire accounting only: the schedule is bit-identical with or
+  /// without rebalancing (tests/rebalance_test.cpp). Publishes the
+  /// net.shard_hosted_demands histogram + net.shard_load_variance gauge
+  /// and emits a "rebalance" span when a tracer is live.
+  RebalanceOutcome rebalanceShards(const ShardRebalanceConfig& config) override;
+
  private:
   std::int32_t processorOf(DemandId d) const {
     return placement_.processorOfDemand[static_cast<std::size_t>(d)];
@@ -154,6 +169,13 @@ class AlphaSynchronizer : public Transport, public MutableTopology {
   Gauge* retransmissionsGauge_ = nullptr;
   Gauge* dropsGauge_ = nullptr;
   Gauge* duplicatesGauge_ = nullptr;
+  Histogram* hostedHist_ = nullptr;   ///< net.shard_hosted_demands
+  Gauge* loadVarianceGauge_ = nullptr;  ///< net.shard_load_variance
+
+  /// Records the per-processor live loads + variance (live placements;
+  /// refreshed at every rebalanceShards call — the epoch cadence).
+  void publishLoadTelemetry();
+  std::vector<std::int32_t> touchedScratch_;  ///< rebalance rebuild set
 };
 
 }  // namespace treesched

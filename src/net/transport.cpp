@@ -20,6 +20,11 @@ void Transport::attachRunner(ParallelRunner* /*runner*/) {}
 void Transport::attachTelemetry(Tracer* /*tracer*/,
                                 MetricsRegistry* /*metrics*/) {}
 
+RebalanceOutcome MutableTopology::rebalanceShards(
+    const ShardRebalanceConfig& /*config*/) {
+  return {};
+}
+
 MutableTopology* mutableTopologyOf(Transport& transport) {
   return dynamic_cast<MutableTopology*>(&transport);
 }

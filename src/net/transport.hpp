@@ -121,6 +121,33 @@ class Transport {
 void validateCommunicationAdjacency(
     const std::vector<std::vector<std::int32_t>>& adjacency);
 
+/// Knobs of the epoch-boundary hot-shard rebalancer (live sharded
+/// placements only). Rebalancing moves hosted demands between physical
+/// processors — pure wire accounting, never the schedule — so it is safe
+/// to run between any two epochs; `tests/rebalance_test.cpp` gates that
+/// claim bit-identically.
+struct ShardRebalanceConfig {
+  bool enabled = false;
+  /// A processor triggers migration when its live hosted load exceeds
+  /// `threshold * mean` (mean = live demands / processors).
+  double threshold = 1.25;
+  /// Keys the deterministic tie-breaks (candidate network and target
+  /// processor choice); never a stateful RNG.
+  std::uint64_t seed = 1;
+  /// Cap on migration iterations per rebalance call (each iteration
+  /// moves one network or one overflow slice of demands).
+  std::int32_t maxMoves = 64;
+};
+
+/// What one rebalance call did. Variances are per-processor live-load
+/// population variances; before == after when nothing moved.
+struct RebalanceOutcome {
+  std::int32_t networksMoved = 0;
+  std::int32_t demandsMoved = 0;
+  double loadVarianceBefore = 0;
+  double loadVarianceAfter = 0;
+};
+
 /// Live demand-level topology mutation — the capability the online churn
 /// engine (src/online/) requires of its transport. Demands arrive and
 /// depart on a *running* transport: buffers, placement and cumulative
@@ -154,6 +181,14 @@ class MutableTopology {
   /// adjacency query. Invalidated by the next mutation.
   virtual std::span<const std::int32_t> currentNeighbors(
       std::int32_t demand) const = 0;
+
+  /// Rebalances hosted demands across physical processors (requires a
+  /// round boundary, like every mutation). Placement is transport
+  /// accounting, not protocol state, so the schedule is bit-identical
+  /// with or without rebalancing. The default — and any transport with
+  /// no sharded placement, like SimNetwork — does nothing and reports
+  /// zero variances.
+  virtual RebalanceOutcome rebalanceShards(const ShardRebalanceConfig& config);
 };
 
 /// The mutable-topology facet of `transport`, or nullptr when the

@@ -86,6 +86,13 @@ ChurnRunResult runChurnOverTransport(
     if (outcome.fullResolve) ++result.fullResolves;
     result.totalRounds += outcome.rounds;
     result.totalMessages += outcome.messages;
+    result.totalDemandsMigrated += outcome.demandsMigrated;
+    result.totalEngineClaims += outcome.engineClaims;
+    result.totalEngineSteals += outcome.engineSteals;
+    result.peakVarianceBefore =
+        std::max(result.peakVarianceBefore, outcome.loadVarianceBefore);
+    result.peakVarianceAfter =
+        std::max(result.peakVarianceAfter, outcome.loadVarianceAfter);
     result.epochs.push_back(std::move(outcome));
   }
   result.finalSolution = solver.solution();

@@ -49,6 +49,18 @@ struct ChurnRunResult {
   std::int64_t totalMessages = 0;
   /// Admission-latency SLA aggregates after the last epoch.
   AdmissionSla sla;
+  // ---- Hot-shard rebalancing + engine scaling aggregates ----
+  // All zero when rebalancing is disabled or the transport has no live
+  // sharded placement; performance accounting only.
+  std::int64_t totalDemandsMigrated = 0;
+  std::int64_t totalEngineClaims = 0;
+  std::int64_t totalEngineSteals = 0;
+  /// Peak per-processor load variance observed entering a rebalance step
+  /// and the peak remaining after one — the bench-tracked pair (a working
+  /// rebalancer shows peakVarianceAfter well below peakVarianceBefore
+  /// under targeted_burst).
+  double peakVarianceBefore = 0;
+  double peakVarianceAfter = 0;
   /// The transport's cumulative accounting after the last epoch (wire
   /// transmissions, virtual time, ... — the per-transport bench axis).
   NetworkStats network;

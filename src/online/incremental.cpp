@@ -17,6 +17,10 @@ namespace {
 // stream in the library.
 constexpr std::uint64_t kEpochSeedSalt = 0x0e90c4;
 
+// Salt for the per-epoch rebalance tie-break seeds (distinct stream
+// from the protocol seeds above).
+constexpr std::uint64_t kRebalanceSeedSalt = 0x5eba1a;
+
 // Unit buckets for the admission-latency histograms: latencies are
 // whole epoch counts, so nearest-rank percentiles are exact until a
 // latency reaches the ceiling (where the overflow bucket reports the
@@ -306,6 +310,27 @@ EpochOutcome IncrementalSolver::applyEpoch(
     departuresCtr_->add(static_cast<std::int64_t>(departures.size()));
   }
 
+  // Epoch boundary = the one moment the transport is between rounds, so
+  // hot-shard rebalancing happens here, before any mutation or protocol
+  // traffic. Placement is wire accounting only: everything below is
+  // bit-identical with or without this block.
+  if (cfg_.rebalance.enabled) {
+    // The protocol attaches/detaches transport telemetry around each run;
+    // the rebalance step sits before the run, so re-attach here or the
+    // net.shard_* instruments miss every rebalance. Idempotent, and a
+    // transparent lookup after the first epoch (no allocation).
+    if (cfg_.tracer != nullptr || cfg_.metrics != nullptr) {
+      bus_.attachTelemetry(cfg_.tracer, cfg_.metrics);
+    }
+    ShardRebalanceConfig rb = cfg_.rebalance;
+    rb.seed = keyedHash(cfg_.rebalance.seed, kRebalanceSeedSalt,
+                        static_cast<std::uint64_t>(epoch_));
+    const RebalanceOutcome moved = topo_.rebalanceShards(rb);
+    outcome.loadVarianceBefore = moved.loadVarianceBefore;
+    outcome.loadVarianceAfter = moved.loadVarianceAfter;
+    outcome.demandsMigrated = moved.demandsMoved;
+  }
+
   // Zero-churn epoch: nothing changed, so the previous epoch's
   // admission, duals and slackness carry over verbatim — no stack
   // re-pop, no lambda scan, no protocol run.
@@ -431,6 +456,8 @@ EpochOutcome IncrementalSolver::applyEpoch(
     outcome.raises = run.raises;
     outcome.rounds = bus_.stats().rounds - roundsBefore;
     outcome.messages = bus_.stats().messages - messagesBefore;
+    outcome.engineClaims = run.engineClaims;
+    outcome.engineSteals = run.engineSteals;
 
     // Replay the epoch's raises into the persistent duals/LHS and append
     // its stack sets (one per schedule tuple that raised).

@@ -83,6 +83,12 @@ struct OnlineSolverConfig {
   /// attaching either never changes an epoch's outcome.
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
+  /// Epoch-boundary hot-shard rebalancing (net/transport.hpp). When
+  /// enabled, every epoch starts with a MutableTopology::rebalanceShards
+  /// call (seed re-keyed per epoch); transports without a live sharded
+  /// placement no-op. Placement is wire accounting — enabling this never
+  /// changes any epoch's schedule (tests/rebalance_test.cpp gates it).
+  ShardRebalanceConfig rebalance;
 };
 
 /// Everything one epoch reports. `solution` is the admitted set over the
@@ -115,6 +121,17 @@ struct EpochOutcome {
   /// Active demands first admitted by this epoch (their SLA clocks
   /// stop here).
   std::int32_t newlyAdmittedDemands = 0;
+  // ---- Hot-shard rebalancing + engine scaling accounting ----
+  // Per-processor live-load variance around this epoch's rebalance step
+  // (both zero when rebalancing is disabled or the transport has no live
+  // sharded placement), plus the parallel engine's shard-claim tallies.
+  // All four are performance accounting only — equivalence gates compare
+  // the schedule fields above, never these.
+  double loadVarianceBefore = 0;
+  double loadVarianceAfter = 0;
+  std::int32_t demandsMigrated = 0;
+  std::int64_t engineClaims = 0;  ///< shards executed (owned + stolen)
+  std::int64_t engineSteals = 0;  ///< shards stolen from another worker
 };
 
 /// Per-epoch protocol seed — the one derivation every online engine

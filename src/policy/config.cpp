@@ -58,6 +58,7 @@ OnlineSolverConfig SchedulerConfig::onlineSolver() const {
   config.threads = distributed.threads;
   config.tracer = distributed.tracer;
   config.metrics = distributed.metrics;
+  config.rebalance = online.rebalance;
   return config;
 }
 
@@ -122,6 +123,7 @@ SchedulerConfig SchedulerConfig::fromOnlineSolver(
   result.distributed.threads = config.threads;
   result.distributed.tracer = config.tracer;
   result.distributed.metrics = config.metrics;
+  result.online.rebalance = config.rebalance;
   return result;
 }
 

@@ -73,6 +73,9 @@ struct SchedulerDistributedConfig {
 struct SchedulerOnlineConfig {
   double epochLength = 8.0;       ///< virtual time per epoch batch
   LiveTransportConfig transport;  ///< wire the epochs run over
+  /// Epoch-boundary hot-shard rebalancing (sharded transports only;
+  /// wire accounting, never the schedule).
+  ShardRebalanceConfig rebalance;
 };
 
 /// The one layered config the policy registry consumes.

@@ -366,6 +366,75 @@ TEST(ParallelRunner, PlanCoversRangeExactlyOnce) {
   }
 }
 
+TEST(ParallelRunner, WeightedPlanCoversRangeExactlyOnce) {
+  ParallelRunner runner(4);
+  // Heavily skewed weights: one hot item dominates, plus zero/negative
+  // weights (clamped to 1) and a long uniform tail.
+  std::vector<std::int64_t> weights;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    weights.push_back(i == 17 ? 50'000 : (i % 7 == 0 ? 0 : 3));
+  }
+  ParallelRunner::ShardPlan plan;
+  runner.planWeighted(weights, plan);
+  ASSERT_GT(plan.numShards, 1);
+  std::int64_t covered = 0;
+  for (std::int32_t s = 0; s < plan.numShards; ++s) {
+    EXPECT_EQ(plan.begin(s), covered);
+    EXPECT_GT(plan.end(s), plan.begin(s)) << "no empty shards";
+    covered = plan.end(s);
+  }
+  EXPECT_EQ(covered, static_cast<std::int64_t>(weights.size()));
+
+  // Deterministic: same weights, same bounds (plan reuse grows nothing).
+  ParallelRunner::ShardPlan replay;
+  runner.planWeighted(weights, replay);
+  EXPECT_EQ(replay.bounds, plan.bounds);
+
+  // The dominating item is isolated away from the uniform tail: the
+  // shard holding item 17 stays narrow while total shards track the
+  // target parallelism.
+  for (std::int32_t s = 0; s < plan.numShards; ++s) {
+    if (plan.begin(s) <= 17 && 17 < plan.end(s)) {
+      EXPECT_LE(plan.end(s) - plan.begin(s), 64)
+          << "hot item must not drag a wide shard behind it";
+    }
+  }
+
+  // Empty input: zero shards, nothing runs.
+  runner.planWeighted(std::span<const std::int64_t>{}, plan);
+  EXPECT_EQ(plan.numShards, 0);
+  std::atomic<std::int32_t> ran{0};
+  runner.forShards(plan, [&](std::int32_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ParallelRunner, WeightedForShardsRunsEveryItemExactlyOnce) {
+  ParallelRunner runner(8);
+  std::vector<std::int64_t> weights(3000);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<std::int64_t>((i * 2654435761u) % 97);
+  }
+  ParallelRunner::ShardPlan plan;
+  runner.planWeighted(weights, plan);
+  ASSERT_GT(plan.numShards, 1);
+  std::vector<std::atomic<std::int32_t>> hits(weights.size());
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    for (auto& h : hits) h.store(0);
+    runner.forShards(plan, [&](std::int32_t shard) {
+      for (std::int64_t i = plan.begin(shard); i < plan.end(shard); ++i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      }
+    });
+    for (const auto& h : hits) {
+      EXPECT_EQ(h.load(), 1);
+    }
+  }
+  // The steal/claim tallies stay coherent: every shard was claimed by
+  // someone, and steals never exceed claims.
+  EXPECT_GT(runner.claims(), 0);
+  EXPECT_LE(runner.steals(), runner.claims());
+}
+
 TEST(ParallelRunner, ForShardsRunsEveryShardExactlyOnce) {
   ParallelRunner runner(8);
   const ParallelRunner::ShardPlan plan = runner.plan(5000);

@@ -235,5 +235,131 @@ TEST(ShardAdjacency, AllLocalMeansNoLinks) {
   EXPECT_TRUE(adjacency[0].empty());
 }
 
+// ---- Epoch-boundary migration primitives + the rebalance planner ----
+
+/// Live pool with every demand on one home network: the sticky anchor
+/// piles all arrivals onto a single processor — the hot-shard shape the
+/// rebalancer exists for.
+ShardPlacement hotPool(std::int32_t demands, std::int32_t processors) {
+  std::vector<std::vector<std::int32_t>> access(
+      static_cast<std::size_t>(demands), std::vector<std::int32_t>{0});
+  ShardPlacement placement = ShardPlacement::livePool(access, processors);
+  for (DemandId d = 0; d < demands; ++d) {
+    placement.placeDemand(d);
+  }
+  return placement;
+}
+
+TEST(ShardMigration, MigrateToSelfIsANoOp) {
+  ShardPlacement placement = hotPool(4, 3);
+  const std::int32_t home = placement.processorOfDemand[0];
+  const auto hostedBefore =
+      placement.demandsOfProcessor[static_cast<std::size_t>(home)];
+  placement.migrateDemand(1, home);
+  EXPECT_EQ(placement.demandsOfProcessor[static_cast<std::size_t>(home)],
+            hostedBefore);
+  EXPECT_EQ(placement.tombstoneCount(home), 0);
+  EXPECT_EQ(placement.liveDemandCount(home), 4);
+}
+
+TEST(ShardMigration, MigrationWithTombstonedDeparturesCompacts) {
+  ShardPlacement placement = hotPool(6, 2);
+  const std::int32_t home = placement.processorOfDemand[0];
+  const std::int32_t other = 1 - home;
+  // Tombstone two departures, then migrate two more away: the source
+  // list accumulates tombstones until they outnumber the live entries,
+  // at which point it compacts — and the live/tombstone counters agree
+  // with the lists throughout.
+  placement.removeDemand(0);
+  placement.removeDemand(1);
+  EXPECT_EQ(placement.tombstoneCount(home), 2);
+  placement.migrateDemand(2, other);
+  placement.migrateDemand(3, other);
+  EXPECT_EQ(placement.liveDemandCount(home), 2);
+  EXPECT_EQ(placement.liveDemandCount(other), 2);
+  EXPECT_GE(placement.compactions, 1);
+  // Every surviving entry is live and on the processor its map says.
+  for (std::int32_t p = 0; p < placement.numProcessors; ++p) {
+    std::int32_t live = 0;
+    for (const DemandId d :
+         placement.demandsOfProcessor[static_cast<std::size_t>(p)]) {
+      if (d == ShardPlacement::kUnplaced) continue;
+      EXPECT_EQ(placement.processorOfDemand[static_cast<std::size_t>(d)], p);
+      ++live;
+    }
+    EXPECT_EQ(live, placement.liveDemandCount(p));
+  }
+  // The home anchor is untouched by migration: a fresh arrival of the
+  // network still lands on it.
+  EXPECT_EQ(placement.placeDemand(0), home);
+}
+
+TEST(ShardMigration, LastDemandLeavesAValidEmptySource) {
+  ShardPlacement placement = hotPool(2, 2);
+  const std::int32_t home = placement.processorOfDemand[0];
+  const std::int32_t other = 1 - home;
+  placement.migrateDemand(0, other);
+  placement.migrateDemand(1, other);
+  EXPECT_EQ(placement.liveDemandCount(home), 0);
+  EXPECT_EQ(placement.liveDemandCount(other), 2);
+  // A later plan over the now-empty source processor treats it as the
+  // cold target, never a move source.
+  const ShardPlacement::RebalancePlan plan = placement.planRebalance(
+      /*threshold=*/1.25, /*seed=*/7, /*maxMoves=*/8);
+  for (const ShardPlacement::Migration& move : plan.moves) {
+    EXPECT_NE(move.from, home);
+    EXPECT_EQ(move.to, home);
+  }
+  EXPECT_FALSE(plan.moves.empty());
+  EXPECT_LT(plan.varianceAfter, plan.varianceBefore);
+}
+
+TEST(ShardMigration, PlanIsDeterministicAndPure) {
+  ShardPlacement placement = hotPool(24, 4);
+  const std::vector<std::int32_t> mapBefore = placement.processorOfDemand;
+  const ShardPlacement::RebalancePlan first =
+      placement.planRebalance(1.25, 42, 64);
+  const ShardPlacement::RebalancePlan second =
+      placement.planRebalance(1.25, 42, 64);
+  // Pure: planning mutates nothing.
+  EXPECT_EQ(placement.processorOfDemand, mapBefore);
+  // Deterministic: identical inputs, identical plan.
+  ASSERT_EQ(first.moves.size(), second.moves.size());
+  for (std::size_t k = 0; k < first.moves.size(); ++k) {
+    EXPECT_EQ(first.moves[k].demand, second.moves[k].demand);
+    EXPECT_EQ(first.moves[k].from, second.moves[k].from);
+    EXPECT_EQ(first.moves[k].to, second.moves[k].to);
+  }
+  EXPECT_EQ(first.varianceBefore, second.varianceBefore);
+  EXPECT_EQ(first.varianceAfter, second.varianceAfter);
+  // The hot single-network pool can only be flattened by splitting: the
+  // plan must cut the 24-on-one-processor pile well below threshold *
+  // mean (24 live / 4 procs * 1.25 = 7.5 -> cap 8 after integer gaps).
+  ASSERT_FALSE(first.moves.empty());
+  ShardPlacement applied = placement;
+  for (const ShardPlacement::Migration& move : first.moves) {
+    applied.migrateDemand(move.demand, move.to);
+  }
+  EXPECT_EQ(applied.loadVariance(), first.varianceAfter);
+  for (std::int32_t p = 0; p < applied.numProcessors; ++p) {
+    EXPECT_LE(applied.liveDemandCount(p), 8);
+  }
+}
+
+TEST(ShardMigration, BalancedPoolPlansNothing) {
+  // Striped homes: arrivals round-robin across anchors, loads are even,
+  // the planner must leave everything in place.
+  ShardPlacement placement =
+      ShardPlacement::livePool(stripedAccess(12, 4), 4);
+  for (DemandId d = 0; d < 12; ++d) {
+    placement.placeDemand(d);
+  }
+  const ShardPlacement::RebalancePlan plan =
+      placement.planRebalance(1.25, 3, 64);
+  EXPECT_TRUE(plan.moves.empty());
+  EXPECT_EQ(plan.varianceBefore, plan.varianceAfter);
+  EXPECT_EQ(plan.networksMoved, 0);
+}
+
 }  // namespace
 }  // namespace treesched

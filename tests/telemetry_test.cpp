@@ -19,6 +19,7 @@
 #include "gen/scenario.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "online/churn_engine.hpp"
 
 // ---- Process-wide allocation counter (bench_parallel discipline) ------
 // Each tests/*.cpp is its own binary, so replacing the global operator
@@ -38,10 +39,30 @@ void* operator new(std::size_t size) {
 
 void* operator new[](std::size_t size) { return ::operator new(size); }
 
+// The nothrow variants must route through the same counter/allocator:
+// libstdc++'s std::stable_sort temporary buffer allocates via
+// nothrow new but frees via plain delete — leaving these to the
+// default operator new trips ASan's alloc-dealloc-mismatch and lets
+// allocations escape the count.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  gHeapAllocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size > 0 ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return ::operator new(size, std::nothrow);
+}
+
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace treesched {
 namespace {
@@ -219,6 +240,63 @@ TEST(Telemetry, NullSinkPathAddsZeroAllocations) {
   EXPECT_EQ(withTelemetry, base)
       << "a disabled tracer plus a warmed registry must be exactly "
          "allocation-neutral";
+}
+
+TEST(Telemetry, NullSinkZeroAllocationsCoversRebalanceInstruments) {
+  // Same gate as above, over the surface PR 8 added: a sharded churn run
+  // with epoch-boundary rebalancing enabled exercises
+  // net.shard_hosted_demands + net.shard_load_variance (synchronizer)
+  // and engine.claims + engine.steals (parallel runner) every epoch.
+  // After one warm instrumented run, the instrumented replay must be
+  // exactly allocation-neutral against the plain replay.
+  const ChurnTreeScenario scenario = makeHotspotTree50k(41, 72);
+  const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
+  ArrivalConfig arrivals = scenario.arrivals;
+  arrivals.horizon = 48.0;
+  const ChurnTrace trace =
+      generateChurnTrace(arrivals, scenario.pool.access);
+
+  ChurnEngineConfig base;
+  base.epochLength = 8.0;
+  base.solver.seed = 42;
+  base.solver.epsilon = 0.35;
+  base.solver.misRoundBudget = 4;
+  base.solver.stepsPerStage = 2;
+  base.solver.threads = 1;
+  base.solver.rebalance.enabled = true;
+  base.solver.rebalance.seed = 43;
+  base.transport.kind = LiveTransportKind::Sharded;
+  base.transport.async.shardProcessors = 5;
+
+  const auto measure = [&](const ChurnEngineConfig& config) {
+    const std::int64_t before = gHeapAllocs.load(std::memory_order_relaxed);
+    const ChurnRunResult run = runChurnOverTrace(
+        prepared.universe, prepared.layering, scenario.pool.access, trace,
+        config);
+    const std::int64_t delta =
+        gHeapAllocs.load(std::memory_order_relaxed) - before;
+    // The gate is non-vacuous only if rebalancing actually ran.
+    EXPECT_GT(run.totalDemandsMigrated, 0);
+    return delta;
+  };
+
+  NullTraceSink nullSink;
+  Tracer tracer(&nullSink);
+  MetricsRegistry metrics;
+  ChurnEngineConfig instrumented = base;
+  instrumented.solver.tracer = &tracer;
+  instrumented.solver.metrics = &metrics;
+  measure(base);
+  measure(instrumented);
+
+  const std::int64_t plainAllocs = measure(base);
+  const std::int64_t withTelemetry = measure(instrumented);
+  EXPECT_EQ(withTelemetry, plainAllocs)
+      << "the rebalance + work-stealing instruments must stay "
+         "allocation-free on the warmed NullSink path";
+  // The new instruments actually recorded.
+  EXPECT_GT(metrics.histogram("net.shard_hosted_demands", {}).count(), 0);
+  EXPECT_GT(metrics.counter("engine.claims").value(), 0);
 }
 
 TEST(Telemetry, DisabledTracerEmitsNothing) {
