@@ -19,12 +19,14 @@
 // Emits BENCH_online.json next to the table; CI uploads it with the
 // other bench reports and the schema guard keeps its keys stable.
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "bench_common.hpp"
 #include "framework/two_phase.hpp"
 #include "gen/scenario.hpp"
+#include "obs/timeseries.hpp"
 #include "online/churn_engine.hpp"
 #include "policy/config.hpp"
 #include "util/cli.hpp"
@@ -139,7 +141,7 @@ PatternRun runPattern(const std::string& preset, const std::string& pattern,
                       const Pool& pool, const PreparedRun& prepared,
                       const ArrivalConfig& arrivals, double epochLength,
                       std::uint64_t seed, std::int32_t threads,
-                      bench::Telemetry& telemetry,
+                      bench::Telemetry& telemetry, std::string* seriesOut,
                       const LiveTransportConfig& transport = {},
                       const ShardRebalanceConfig& rebalance = {}) {
   ChurnEngineConfig config;
@@ -156,6 +158,16 @@ PatternRun runPattern(const std::string& preset, const std::string& pattern,
   MetricsRegistry metrics;
   config.solver.tracer = telemetry.tracer();
   config.solver.metrics = &metrics;
+  // Per-epoch registry snapshots (obs/timeseries.hpp): one labeled
+  // EpochSeries per pattern run, all concatenated into one JSONL
+  // artifact. Snapshots are read-only, so the bit-gates are unaffected.
+  EpochSeries series(metrics,
+                     preset + "/" + pattern + "/" +
+                         std::string(liveTransportKindName(transport.kind)) +
+                         (rebalance.enabled ? "/rebalance" : ""));
+  if (seriesOut != nullptr) {
+    config.solver.series = &series;
+  }
 
   const ChurnTrace trace = generateChurnTrace(arrivals, pool.access);
 
@@ -180,6 +192,9 @@ PatternRun runPattern(const std::string& preset, const std::string& pattern,
     std::cout << metrics.describe();
   }
   run.metricsJson = metrics.toJson();
+  if (seriesOut != nullptr) {
+    *seriesOut += series.jsonl();
+  }
   run.scratchProfit = scratchProfitOnSurvivors(
       prepared.universe, prepared.layering, config, run.churn,
       run.churn.finalActiveInstances);
@@ -205,6 +220,8 @@ int main(int argc, char** argv) {
   flags.intFlag("threads", 1, "worker threads for the epoch re-solves");
   flags.stringFlag("json", "BENCH_online.json",
                    "machine-readable report path ('' disables)");
+  flags.stringFlag("series", "BENCH_online_series.jsonl",
+                   "per-epoch time-series JSONL path ('' disables)");
   bench::Telemetry::addFlags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
@@ -235,6 +252,9 @@ int main(int argc, char** argv) {
                "sla mean", "sla p99", "sla max", "rounds", "wire tx",
                "migrated", "var before", "var after"});
   bench::JsonReport json(flags.getString("json"));
+  const std::string seriesPath = flags.getString("series");
+  std::string seriesText;
+  std::string* const seriesOut = seriesPath.empty() ? nullptr : &seriesText;
 
   {
     const ChurnTreeScenario scenario = makeFlashCrowdTree50k(seed,
@@ -243,13 +263,13 @@ int main(int argc, char** argv) {
     report(table, json,
            runPattern("flash_crowd_50k", "flash_crowd", scenario.pool,
                       prepared, scenario.arrivals, scenario.epochLength,
-                      seed, threads, telemetry));
+                      seed, threads, telemetry, seriesOut));
     ArrivalConfig poisson = scenario.arrivals;
     poisson.model = ArrivalModel::Poisson;
     report(table, json,
            runPattern("flash_crowd_50k", "poisson", scenario.pool, prepared,
                       poisson, scenario.epochLength, seed, threads,
-                      telemetry));
+                      telemetry, seriesOut));
   }
   {
     const ChurnLineScenario scenario =
@@ -258,13 +278,13 @@ int main(int argc, char** argv) {
     report(table, json,
            runPattern("diurnal_metro_100k", "diurnal", scenario.pool,
                       prepared, scenario.arrivals, scenario.epochLength,
-                      seed, threads, telemetry));
+                      seed, threads, telemetry, seriesOut));
     ArrivalConfig poisson = scenario.arrivals;
     poisson.model = ArrivalModel::Poisson;
     report(table, json,
            runPattern("diurnal_metro_100k", "poisson", scenario.pool,
                       prepared, poisson, scenario.epochLength, seed,
-                      threads, telemetry));
+                      threads, telemetry, seriesOut));
   }
   {
     // The adversarial preset: a targeted arrival wave plus a correlated
@@ -275,7 +295,7 @@ int main(int argc, char** argv) {
     report(table, json,
            runPattern("hotspot_tree_50k", "targeted_burst", scenario.pool,
                       prepared, scenario.arrivals, scenario.epochLength,
-                      seed, threads, telemetry));
+                      seed, threads, telemetry, seriesOut));
   }
   {
     // Transport matrix: identical epochs (by the Transport contract),
@@ -301,7 +321,7 @@ int main(int argc, char** argv) {
       report(table, json,
              runPattern("hotspot_tree_50k", "targeted_burst", scenario.pool,
                         prepared, scenario.arrivals, scenario.epochLength,
-                        seed, threads, telemetry, transport));
+                        seed, threads, telemetry, seriesOut, transport));
       if (kind == LiveTransportKind::Sharded) {
         // The hotspot row the rebalancer exists for: the targeted burst
         // piles a hot network onto one sticky anchor, and the
@@ -315,7 +335,7 @@ int main(int argc, char** argv) {
                runPattern("hotspot_tree_50k", "targeted_burst",
                           scenario.pool, prepared, scenario.arrivals,
                           scenario.epochLength, seed, threads, telemetry,
-                          transport, rebalance));
+                          seriesOut, transport, rebalance));
       }
     }
   }
@@ -323,6 +343,11 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   if (!flags.getString("json").empty()) {
     json.write();
+  }
+  if (seriesOut != nullptr) {
+    std::ofstream out(seriesPath);
+    out << seriesText;
+    std::cout << "wrote " << seriesPath << "\n";
   }
   telemetry.finish();
   return 0;

@@ -20,7 +20,9 @@
 
 #include "framework/two_phase.hpp"
 #include "gen/scenario.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "online/churn_engine.hpp"
 #include "policy/online_policy.hpp"
@@ -50,6 +52,11 @@ int main(int argc, char** argv) {
                    "write a Chrome trace-event JSON of the run to FILE");
   flags.boolFlag("metrics", false,
                  "print the run's metrics-registry snapshot");
+  flags.stringFlag("ledger", "",
+                   "write the decision provenance ledger (JSONL, one "
+                   "lifecycle event per line) to FILE");
+  flags.stringFlag("series", "",
+                   "write per-epoch metrics snapshots (JSONL) to FILE");
   if (!flags.parse(argc, argv)) return 0;
   if (flags.getBool("list-policies")) {
     const SchedulerRegistry& registry = SchedulerRegistry::all();
@@ -115,12 +122,23 @@ int main(int argc, char** argv) {
     tracer = Tracer(sink.get());
   }
   MetricsRegistry metrics;
+  // Decision provenance (obs/ledger.hpp) and per-epoch time series
+  // (obs/timeseries.hpp): both read-only observers of the incremental
+  // engine — attaching them changes zero bits of any epoch outcome.
+  ProvenanceLedger ledger(&metrics);
+  EpochSeries series(metrics, pattern + "/" + flags.getString("transport"));
 
   ChurnEngineConfig config;
   config.epochLength = scenario.epochLength;
   config.solver = sched.onlineSolver();
   config.solver.tracer = sink != nullptr ? &tracer : nullptr;
   config.solver.metrics = &metrics;
+  if (!flags.getString("ledger").empty()) {
+    config.solver.ledger = &ledger;
+  }
+  if (!flags.getString("series").empty()) {
+    config.solver.series = &series;
+  }
   config.transport.kind =
       parseLiveTransportKind(flags.getString("transport"));
   // The demo's wire: heavy-tail latency with 5% loss, locality-sharded
@@ -192,6 +210,19 @@ int main(int argc, char** argv) {
             << result.network.drops << " drops, virtual time "
             << result.network.virtualTime << "\n";
   if (flags.getBool("metrics")) std::cout << "\n" << metrics.describe();
+  if (!flags.getString("ledger").empty()) {
+    ledger.writeJsonl(flags.getString("ledger"));
+    std::cout << "wrote " << flags.getString("ledger") << " ("
+              << ledger.eventCount() << " ledger events; alerts: "
+              << ledger.slaBreaches() << " sla, "
+              << ledger.neverAdmittedDepartures() << " never-admitted, "
+              << ledger.migrationThrashAlerts() << " thrash)\n";
+  }
+  if (!flags.getString("series").empty()) {
+    series.write(flags.getString("series"));
+    std::cout << "wrote " << flags.getString("series") << " ("
+              << series.snapshots() << " epoch snapshots)\n";
+  }
   if (sink != nullptr) {
     sink->close();
     std::cout << "wrote " << sink->path() << " (" << sink->eventCount()

@@ -13,6 +13,7 @@
 #include "framework/lhs_tracker.hpp"
 #include "framework/mis.hpp"
 #include "framework/schedule.hpp"
+#include "obs/ledger.hpp"
 #include "obs/observer_adapter.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -236,6 +237,19 @@ class ProtocolEngine {
       }
     });
 
+    // Decision provenance (obs/ledger.hpp): with an ENABLED ledger the
+    // engine keeps the global certificate state phase 2 consults to name
+    // a rejection's blocker. Allocation is guarded — a null or disabled
+    // ledger leaves the hot loop exactly on the seed path (the
+    // zero-allocation gate in tests/provenance_test.cpp).
+    ledgerOn_ = opt_.ledger != nullptr && opt_.ledger->enabled();
+    if (ledgerOn_) {
+      acceptedOfDemand_.assign(static_cast<std::size_t>(numProc_),
+                               kNoInstance);
+      firstLoaderOfEdge_.assign(groundDual_.numEdges(), kNoInstance);
+      ledgerEdgeLoad_.assign(groundDual_.numEdges(), 0.0);
+    }
+
     // Attach LAST: everything above can throw, and the destructor (which
     // detaches) only runs for fully constructed engines — attaching any
     // earlier could leave the caller-owned transport holding dangling
@@ -409,6 +423,13 @@ class ProtocolEngine {
     for (DemandId p = 0; p < numProc_; ++p) {
       if (crashed_[static_cast<std::size_t>(p)] != 0) {
         obs_->onCrash(p, tuple);
+        if (ledgerOn_) {
+          LedgerEvent ev;
+          ev.demand = p;
+          ev.kind = LedgerEventKind::Crash;
+          ev.tuple = tuple;
+          opt_.ledger->record(ev);
+        }
       }
     }
   }
@@ -590,6 +611,16 @@ class ProtocolEngine {
             {tuple, i, amounts.alphaIncrement, amounts.betaIncrement});
       }
       obs_->onRaise(tuple, i, amounts.alphaIncrement);
+      if (ledgerOn_) {
+        LedgerEvent ev;
+        ev.demand = p;
+        ev.kind = LedgerEventKind::DualRaise;
+        ev.instance = i;
+        ev.tuple = tuple;
+        ev.alphaIncrement = amounts.alphaIncrement;
+        ev.betaIncrement = amounts.betaIncrement;
+        opt_.ledger->record(ev);
+      }
       ++raises_;
       // Ground truth, applied in the centralized engine's order.
       applyRaise(groundDual_, u_, i, critical, amounts);
@@ -692,6 +723,63 @@ class ProtocolEngine {
     }
   }
 
+  /// Emits a Rejected ledger event carrying the blocking dual
+  /// certificate: the already-admitted instance whose load (or prior
+  /// admission of the same demand) blocks this pop. The blocker is
+  /// lambda-satisfied by phase 1, so its replayed LHS clears
+  /// lambdaMeasured * profit — the paper's dual explanation of the
+  /// rejection (tests/provenance_test.cpp replays and checks it).
+  void ledgerReject(std::int64_t tuple, InstanceId i, DemandId p,
+                    RejectReason reason) {
+    LedgerEvent ev;
+    ev.demand = p;
+    ev.kind = LedgerEventKind::Rejected;
+    ev.instance = i;
+    ev.tuple = tuple;
+    ev.reason = reason;
+    if (reason == RejectReason::DemandSatisfied) {
+      ev.certInstance = acceptedOfDemand_[static_cast<std::size_t>(p)];
+    } else if (reason == RejectReason::CapacityExceeded) {
+      // The global loads dominate the owner's local view (they include
+      // every accept, the view only the ones it has heard), so the
+      // locally blocking edge is saturated here too: the scan always
+      // finds a blocker.
+      const double h = u_.instance(i).height;
+      for (const GlobalEdgeId e : u_.path(i)) {
+        if (ledgerEdgeLoad_[static_cast<std::size_t>(e)] + h >
+            1.0 + kCapacityTolerance) {
+          ev.certInstance = firstLoaderOfEdge_[static_cast<std::size_t>(e)];
+          break;
+        }
+      }
+    }
+    if (ev.certInstance != kNoInstance) {
+      ev.certLhs = groundLhs_.lhs(ev.certInstance);
+      ev.certThreshold =
+          lambdaMeasured_ * u_.instance(ev.certInstance).profit;
+    }
+    opt_.ledger->record(ev);
+  }
+
+  /// Records an admission and maintains the certificate state: the
+  /// demand's admitted instance and the first loader of every path edge.
+  void ledgerAccept(std::int64_t tuple, InstanceId i, DemandId p) {
+    acceptedOfDemand_[static_cast<std::size_t>(p)] = i;
+    const double h = u_.instance(i).height;
+    for (const GlobalEdgeId e : u_.path(i)) {
+      if (firstLoaderOfEdge_[static_cast<std::size_t>(e)] == kNoInstance) {
+        firstLoaderOfEdge_[static_cast<std::size_t>(e)] = i;
+      }
+      ledgerEdgeLoad_[static_cast<std::size_t>(e)] += h;
+    }
+    LedgerEvent ev;
+    ev.demand = p;
+    ev.kind = LedgerEventKind::Admitted;
+    ev.instance = i;
+    ev.tuple = tuple;
+    opt_.ledger->record(ev);
+  }
+
   void runPhase2() {
     announceCrashes(scheduledSteps_, /*phase2=*/true);
     std::int64_t accepts = 0;
@@ -706,17 +794,24 @@ class ProtocolEngine {
           const DemandId p = owner(i);
           if (!aliveP2(p)) {
             obs_->onReject(t, i, RejectReason::OwnerCrashed);
+            if (ledgerOn_) ledgerReject(t, i, p, RejectReason::OwnerCrashed);
             ++rejects;
             continue;
           }
           if (demandUsed[static_cast<std::size_t>(p)] != 0) {
             obs_->onReject(t, i, RejectReason::DemandSatisfied);
+            if (ledgerOn_) {
+              ledgerReject(t, i, p, RejectReason::DemandSatisfied);
+            }
             ++rejects;
             continue;
           }
           ProcessorContext& context = contexts_[static_cast<std::size_t>(p)];
           if (!context.capacityOk(u_, i)) {
             obs_->onReject(t, i, RejectReason::CapacityExceeded);
+            if (ledgerOn_) {
+              ledgerReject(t, i, p, RejectReason::CapacityExceeded);
+            }
             ++rejects;
             continue;
           }
@@ -724,6 +819,7 @@ class ProtocolEngine {
           context.addLoad(u_, i);
           net_.broadcast({MessageKind::Accept, p, i, 0.0});
           obs_->onAccept(t, i);
+          if (ledgerOn_) ledgerAccept(t, i, p);
           ++accepts;
           acceptOrder_.push_back(i);
           profit_ += u_.instance(i).profit;
@@ -773,6 +869,13 @@ class ProtocolEngine {
   // written only by owner(i)'s context).
   std::vector<ProcessorContext> contexts_;
   std::vector<double> lhsLocal_;
+
+  // Decision provenance (enabled ledger only): global certificate state
+  // phase 2 consults to name a rejection's blocker. Empty otherwise.
+  bool ledgerOn_ = false;
+  std::vector<InstanceId> acceptedOfDemand_;
+  std::vector<InstanceId> firstLoaderOfEdge_;
+  std::vector<double> ledgerEdgeLoad_;
 
   // Ground truth for the audit and the reported dual objective.
   DualState groundDual_;

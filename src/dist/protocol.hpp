@@ -48,6 +48,7 @@ namespace treesched {
 
 class Tracer;
 class MetricsRegistry;
+class LedgerSink;
 
 /// Legacy per-layer view: new code builds a layered SchedulerConfig
 /// (policy/config.hpp) and projects with distributedOptions(); the one
@@ -88,6 +89,12 @@ struct DistributedOptions {
   /// schedule (the bit-identity gates run with live sinks attached).
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
+  /// Decision provenance ledger (obs/ledger.hpp): when set AND enabled,
+  /// the engine records dual raises, phase-2 verdicts (rejections carry
+  /// the blocking dual certificate) and crash events. Same read-only
+  /// contract as the tracer; a disabled sink costs nothing
+  /// (tests/provenance_test.cpp gates both).
+  LedgerSink* ledger = nullptr;
 };
 
 /// One phase-1 raise as executed, in raise order. Raises of one schedule

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -126,11 +127,13 @@ void AlphaSynchronizer::connectDemand(
   // Live placements host arrivals on demand: d first, then any
   // still-isolated neighbour, in list order — deterministic.
   if (placement_.live && !placement_.isPlaced(d)) {
-    placement_.placeDemand(d);
+    const std::int32_t proc = placement_.placeDemand(d);
+    if (ledgerOn_) ledgerPlacement(d, proc);
   }
   for (const std::int32_t n : neighbors) {
     if (placement_.live && !placement_.isPlaced(n)) {
-      placement_.placeDemand(n);
+      const std::int32_t proc = placement_.placeDemand(n);
+      if (ledgerOn_) ledgerPlacement(n, proc);
     }
   }
   own.assign(neighbors.begin(), neighbors.end());
@@ -318,6 +321,19 @@ void AlphaSynchronizer::attachTelemetry(Tracer* tracer,
   }
 }
 
+void AlphaSynchronizer::attachLedger(LedgerSink* ledger) {
+  ledger_ = ledger;
+  ledgerOn_ = ledger != nullptr && ledger->enabled();
+}
+
+void AlphaSynchronizer::ledgerPlacement(DemandId d, std::int32_t processor) {
+  LedgerEvent ev;
+  ev.demand = d;
+  ev.kind = LedgerEventKind::Placement;
+  ev.toProcessor = processor;
+  ledger_->record(ev);
+}
+
 void AlphaSynchronizer::publishLoadTelemetry() {
   if (loadVarianceGauge_ == nullptr || !placement_.live) {
     return;
@@ -354,6 +370,14 @@ RebalanceOutcome AlphaSynchronizer::rebalanceShards(
   touchedScratch_.clear();
   for (const ShardPlacement::Migration& move : plan.moves) {
     const auto d = static_cast<std::size_t>(move.demand);
+    if (ledgerOn_) {
+      LedgerEvent ev;
+      ev.demand = move.demand;
+      ev.kind = LedgerEventKind::Migration;
+      ev.fromProcessor = move.from;
+      ev.toProcessor = move.to;
+      ledger_->record(ev);
+    }
     for (const std::int32_t e : adjacency_[d]) {
       removePhysicalEdge(move.demand, e);
     }

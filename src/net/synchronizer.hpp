@@ -82,6 +82,11 @@ class AlphaSynchronizer : public Transport, public MutableTopology {
   /// refreshed each round) and emits a "deliver" instant per busy round.
   void attachTelemetry(Tracer* tracer, MetricsRegistry* metrics) override;
 
+  /// Records the placement (connectDemand on a live placement) and
+  /// migration (rebalanceShards) events of the decision provenance
+  /// ledger — the lifecycle steps only the wire layer can see.
+  void attachLedger(LedgerSink* ledger) override;
+
   const NetworkStats& stats() const override { return stats_; }
 
   const ShardPlacement& placement() const { return placement_; }
@@ -171,6 +176,13 @@ class AlphaSynchronizer : public Transport, public MutableTopology {
   Gauge* duplicatesGauge_ = nullptr;
   Histogram* hostedHist_ = nullptr;   ///< net.shard_hosted_demands
   Gauge* loadVarianceGauge_ = nullptr;  ///< net.shard_load_variance
+
+  // Decision provenance ledger (null or disabled when detached).
+  LedgerSink* ledger_ = nullptr;
+  bool ledgerOn_ = false;
+
+  /// Emits one Placement event for a freshly placed demand.
+  void ledgerPlacement(DemandId d, std::int32_t processor);
 
   /// Records the per-processor live loads + variance (live placements;
   /// refreshed at every rebalanceShards call — the epoch cadence).

@@ -20,6 +20,8 @@ void Transport::attachRunner(ParallelRunner* /*runner*/) {}
 void Transport::attachTelemetry(Tracer* /*tracer*/,
                                 MetricsRegistry* /*metrics*/) {}
 
+void Transport::attachLedger(LedgerSink* /*ledger*/) {}
+
 RebalanceOutcome MutableTopology::rebalanceShards(
     const ShardRebalanceConfig& /*config*/) {
   return {};

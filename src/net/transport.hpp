@@ -31,6 +31,7 @@ namespace treesched {
 class ParallelRunner;
 class Tracer;
 class MetricsRegistry;
+class LedgerSink;
 
 /// Communication accounting of one protocol run. The first block is
 /// filled by every transport; the async/lossy extensions stay zero/empty
@@ -111,6 +112,14 @@ class Transport {
   /// behaviour (the bit-identity gates run with live sinks attached).
   /// Both objects must stay alive until detached.
   virtual void attachTelemetry(Tracer* tracer, MetricsRegistry* metrics);
+
+  /// Attaches the decision provenance ledger (obs/ledger.hpp): a
+  /// transport owning live shard placement records the demand lifecycle
+  /// events it alone can see — placement on arrival, migration at
+  /// rebalance. nullptr (or a disabled sink) detaches; the default
+  /// ignores it. Same read-only, bit-identity-preserving contract as
+  /// attachTelemetry. The sink must stay alive until detached.
+  virtual void attachLedger(LedgerSink* ledger);
 
   virtual const NetworkStats& stats() const = 0;
 };

@@ -115,6 +115,19 @@ class MetricsRegistry {
   /// Human-readable snapshot table for --metrics output.
   std::string describe() const;
 
+  // Read-only iteration over the registered instruments, in name order —
+  // what the EpochSeries sink (obs/timeseries.hpp) snapshots at every
+  // epoch boundary without going through a serialized string.
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
  private:
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;

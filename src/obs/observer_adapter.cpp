@@ -30,6 +30,14 @@ TracingObserver::TracingObserver(Tracer* tracer, MetricsRegistry* metrics,
     raises_ = &metrics->counter("protocol.raises");
     accepts_ = &metrics->counter("protocol.accepts");
     rejects_ = &metrics->counter("protocol.rejects");
+    rejectsByReason_[static_cast<std::size_t>(RejectReason::OwnerCrashed)] =
+        &metrics->counter("protocol.rejects.owner_crashed");
+    rejectsByReason_[static_cast<std::size_t>(
+        RejectReason::DemandSatisfied)] =
+        &metrics->counter("protocol.rejects.demand_satisfied");
+    rejectsByReason_[static_cast<std::size_t>(
+        RejectReason::CapacityExceeded)] =
+        &metrics->counter("protocol.rejects.capacity_exceeded");
     crashes_ = &metrics->counter("protocol.crash_events");
     participants_ =
         &metrics->histogram("protocol.step_participants", kExpBuckets);
@@ -163,7 +171,10 @@ void TracingObserver::onAccept(std::int64_t tuple, InstanceId instance) {
 
 void TracingObserver::onReject(std::int64_t tuple, InstanceId instance,
                                RejectReason reason) {
-  if (rejects_ != nullptr) rejects_->add(1);
+  if (rejects_ != nullptr) {
+    rejects_->add(1);
+    rejectsByReason_[static_cast<std::size_t>(reason)]->add(1);
+  }
   if (trace_) {
     tracer_->instant("reject", "protocol", 0,
                      {{"tuple", tuple}, {"instance", instance},

@@ -15,11 +15,16 @@
 //
 // Metrics: protocol.{epochs,stages,active_steps,raises,accepts,rejects,
 // crash_events} counters plus protocol.{step_participants,mis_size,
-// luby_rounds} histograms. Instruments are resolved once, at
-// construction; per-event work is branch + add/record — no allocation
-// (the NullSink zero-allocation regression covers this path).
+// luby_rounds} histograms. Rejections additionally split per reason
+// into protocol.rejects.{owner_crashed,demand_satisfied,
+// capacity_exceeded} (the aggregate stays — the per-reason counters
+// always sum to it, cross-checked in tests/observer_test.cpp).
+// Instruments are resolved once, at construction; per-event work is
+// branch + add/record — no allocation (the NullSink zero-allocation
+// regression covers this path).
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "dist/observer.hpp"
@@ -70,6 +75,8 @@ class TracingObserver final : public ProtocolObserver {
   Counter* raises_ = nullptr;
   Counter* accepts_ = nullptr;
   Counter* rejects_ = nullptr;
+  /// Per-reason rejection counters, indexed by RejectReason.
+  std::array<Counter*, 3> rejectsByReason_ = {nullptr, nullptr, nullptr};
   Counter* crashes_ = nullptr;
   Histogram* participants_ = nullptr;
   Histogram* misSize_ = nullptr;

@@ -1,0 +1,72 @@
+#include "obs/timeseries.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace treesched {
+
+namespace {
+
+void appendNumber(std::ostringstream& os, double value) {
+  os.precision(17);
+  os << value;
+}
+
+}  // namespace
+
+EpochSeries::EpochSeries(const MetricsRegistry& metrics, std::string run)
+    : metrics_(&metrics), run_(std::move(run)) {}
+
+void EpochSeries::snapshot(std::int64_t epoch) {
+  std::ostringstream os;
+  os << "{";
+  if (!run_.empty()) os << "\"run\": \"" << run_ << "\", ";
+  os << "\"epoch\": " << epoch << ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : metrics_->counters()) {
+    const std::int64_t now = c.value();
+    std::int64_t& prev = previous_[name];
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << name << "\": " << (now - prev);
+    prev = now;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : metrics_->gauges()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << name << "\": ";
+    appendNumber(os, g.value());
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : metrics_->histograms()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << name << "\": {\"count\": " << h.count() << ", \"p50\": ";
+    appendNumber(os, h.percentile(0.5));
+    os << ", \"p90\": ";
+    appendNumber(os, h.percentile(0.9));
+    os << ", \"p99\": ";
+    appendNumber(os, h.percentile(0.99));
+    os << ", \"max\": ";
+    appendNumber(os, h.max());
+    os << "}";
+  }
+  os << "}}\n";
+  lines_ += os.str();
+  ++snapshots_;
+}
+
+void EpochSeries::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw CheckError("EpochSeries: cannot open " + path);
+  out << lines_;
+}
+
+}  // namespace treesched

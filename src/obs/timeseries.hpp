@@ -1,0 +1,52 @@
+// Per-epoch time-series sink over the MetricsRegistry.
+//
+// The registry is an end-of-run snapshot; long-run scheduling work is
+// evaluated by time-series behavior, not endpoint aggregates. An
+// EpochSeries attached to the online solver snapshots the registry at
+// every epoch boundary into JSONL rows — per-epoch counter DELTAS (what
+// happened this epoch), current gauge levels, and histogram quantiles —
+// so bench_online runs leave an epoch-by-epoch artifact next to their
+// BENCH_*.json aggregate rows.
+//
+// Read-only like every src/obs/ sink: snapshot() only reads the
+// registry, so attaching a series cannot perturb a bit-identity gate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace treesched {
+
+class MetricsRegistry;
+
+class EpochSeries {
+ public:
+  /// Snapshots `metrics` (not owned; must outlive the series). `run`
+  /// labels every row — bench_online writes one file across several
+  /// runs, each tagged with its preset/pattern identity.
+  explicit EpochSeries(const MetricsRegistry& metrics, std::string run = "");
+
+  /// Appends one JSONL row for `epoch`: counters as deltas since the
+  /// previous snapshot, gauges as levels, histograms as
+  /// count/p50/p90/p99/max.
+  void snapshot(std::int64_t epoch);
+
+  std::int64_t snapshots() const { return snapshots_; }
+
+  /// The accumulated JSONL rows (one JSON object per line).
+  const std::string& jsonl() const { return lines_; }
+
+  /// Writes jsonl() to `path`. Throws CheckError when the file cannot
+  /// be opened.
+  void write(const std::string& path) const;
+
+ private:
+  const MetricsRegistry* metrics_;
+  std::string run_;
+  std::string lines_;
+  std::map<std::string, std::int64_t> previous_;  ///< last counter values
+  std::int64_t snapshots_ = 0;
+};
+
+}  // namespace treesched

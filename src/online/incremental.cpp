@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "core/tolerances.hpp"
 #include "framework/lhs_tracker.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -63,6 +65,15 @@ IncrementalSolver::IncrementalSolver(
     activeGauge_ = &cfg_.metrics->gauge("online.active_demands");
     latencyRegHist_ = &cfg_.metrics->histogram(
         "online.admission_latency_epochs", latencyBuckets());
+  }
+  // Decision provenance: with an ENABLED ledger the solver mirrors the
+  // admission oracle into shadow certificate state and hands the sink
+  // to the transport (placement/migration events). All of it is guarded
+  // so a null or disabled ledger leaves the epoch loop on the exact
+  // seed path (the zero-allocation gate in tests/provenance_test.cpp).
+  ledgerOn_ = cfg_.ledger != nullptr && cfg_.ledger->enabled();
+  if (ledgerOn_) {
+    bus_.attachLedger(cfg_.ledger);
   }
   checkThat(u_.conflictsBuilt(), "conflicts built before online solve",
             __FILE__, __LINE__);
@@ -234,17 +245,69 @@ void IncrementalSolver::popPersistentStack() {
   // Exactly runTwoPhase's phase 2 over the merged persistent stack:
   // newest set first, members ascending, greedy feasibility-oracle
   // admission. Every member is owned by an active demand (departed
-  // demands' raises were purged).
+  // demands' raises were purged). With the ledger on, a shadow of the
+  // oracle's state (admitted instance per demand, first loader and load
+  // per edge) names every rejection's blocker; events buffer until the
+  // epoch's lambda is measured so the certificate threshold is final.
   FeasibilityOracle oracle(u_);
-  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
-    for (const InstanceId i : *it) {
+  if (ledgerOn_) {
+    acceptedOfDemand_.assign(static_cast<std::size_t>(u_.numDemands()),
+                             kNoInstance);
+    firstLoaderOfEdge_.assign(dual_.numEdges(), kNoInstance);
+    ledgerEdgeLoad_.assign(dual_.numEdges(), 0.0);
+    rejectionBuffer_.clear();
+  }
+  for (std::size_t s = stack_.size(); s-- > 0;) {
+    for (const InstanceId i : stack_[s]) {
       if (oracle.canAdd(i)) {
         oracle.add(i);
+        if (ledgerOn_) ledgerShadowAdmit(i);
+      } else if (ledgerOn_) {
+        ledgerBufferRejection(i, static_cast<std::int64_t>(s));
       }
     }
   }
   solution_ = oracle.solution();
   profit_ = oracle.profit();
+}
+
+void IncrementalSolver::ledgerShadowAdmit(InstanceId i) {
+  const InstanceRecord& rec = u_.instance(i);
+  acceptedOfDemand_[static_cast<std::size_t>(rec.demand)] = i;
+  for (const GlobalEdgeId e : u_.path(i)) {
+    if (firstLoaderOfEdge_[static_cast<std::size_t>(e)] == kNoInstance) {
+      firstLoaderOfEdge_[static_cast<std::size_t>(e)] = i;
+    }
+    ledgerEdgeLoad_[static_cast<std::size_t>(e)] += rec.height;
+  }
+}
+
+void IncrementalSolver::ledgerBufferRejection(InstanceId i,
+                                              std::int64_t stackSet) {
+  const InstanceRecord& rec = u_.instance(i);
+  LedgerEvent ev;
+  ev.demand = rec.demand;
+  ev.kind = LedgerEventKind::Rejected;
+  ev.instance = i;
+  ev.tuple = stackSet;
+  const InstanceId prior =
+      acceptedOfDemand_[static_cast<std::size_t>(rec.demand)];
+  if (prior != kNoInstance) {
+    // The oracle checks demand-satisfaction before capacity, so this is
+    // exactly why canAdd said no.
+    ev.reason = RejectReason::DemandSatisfied;
+    ev.certInstance = prior;
+  } else {
+    ev.reason = RejectReason::CapacityExceeded;
+    for (const GlobalEdgeId e : u_.path(i)) {
+      if (ledgerEdgeLoad_[static_cast<std::size_t>(e)] + rec.height >
+          1.0 + kCapacityTolerance) {
+        ev.certInstance = firstLoaderOfEdge_[static_cast<std::size_t>(e)];
+        break;
+      }
+    }
+  }
+  rejectionBuffer_.push_back(ev);
 }
 
 void IncrementalSolver::recordAdmissions(EpochOutcome& outcome) {
@@ -262,6 +325,14 @@ void IncrementalSolver::recordAdmissions(EpochOutcome& outcome) {
     if (admittedCtr_ != nullptr) {
       admittedCtr_->add(1);
       latencyRegHist_->record(static_cast<double>(latency));
+    }
+    if (ledgerOn_) {
+      LedgerEvent ev;
+      ev.demand = d;
+      ev.kind = LedgerEventKind::Admitted;
+      ev.instance = i;
+      ev.latencyEpochs = latency;
+      cfg_.ledger->record(ev);
     }
     ++outcome.newlyAdmittedDemands;
   }
@@ -304,6 +375,9 @@ EpochOutcome IncrementalSolver::applyEpoch(
   Tracer* tracer = cfg_.tracer;
   const bool trace = tracer != nullptr && tracer->enabled();
   const std::int64_t epochBegin = trace ? tracer->now() : 0;
+  // Epoch stamp first: every event below (including the rebalance
+  // block's migrations, emitted by the transport) belongs to this epoch.
+  if (ledgerOn_) cfg_.ledger->beginEpoch(epoch_);
   if (epochsCtr_ != nullptr) {
     epochsCtr_->add(1);
     arrivalsCtr_->add(static_cast<std::int64_t>(arrivals.size()));
@@ -351,6 +425,7 @@ EpochOutcome IncrementalSolver::applyEpoch(
       tracer->span("online_epoch", "online", 0, epochBegin,
                    {{"epoch", outcome.epoch}});
     }
+    if (cfg_.series != nullptr) cfg_.series->snapshot(outcome.epoch);
     ++epoch_;
     return outcome;
   }
@@ -378,6 +453,15 @@ EpochOutcome IncrementalSolver::applyEpoch(
   // communication graph.
   const std::int64_t mutateBegin = trace ? tracer->now() : 0;
   for (const DemandId d : departures) {
+    if (ledgerOn_) {
+      // Emitted before the purge so the raw-order certificate replay
+      // subtracts the demand's raises exactly where the solver does.
+      LedgerEvent ev;
+      ev.demand = d;
+      ev.kind = LedgerEventKind::Departure;
+      ev.admitted = admittedEpoch_[static_cast<std::size_t>(d)] >= 0;
+      cfg_.ledger->record(ev);
+    }
     purgeRaisesOf(d);
     deactivate(d);
   }
@@ -385,6 +469,12 @@ EpochOutcome IncrementalSolver::applyEpoch(
     compactStack();
   }
   for (const DemandId d : arrivals) {
+    if (ledgerOn_) {
+      LedgerEvent ev;
+      ev.demand = d;
+      ev.kind = LedgerEventKind::Arrival;
+      cfg_.ledger->record(ev);
+    }
     activate(d);
   }
   if (trace) {
@@ -478,6 +568,16 @@ EpochOutcome IncrementalSolver::applyEpoch(
           .push_back(static_cast<std::int32_t>(raises_.size()));
       raises_.push_back(record);
       applyRaiseSigned(record, 1.0);
+      if (ledgerOn_) {
+        LedgerEvent ev;
+        ev.demand = u_.instance(entry.instance).demand;
+        ev.kind = LedgerEventKind::DualRaise;
+        ev.instance = entry.instance;
+        ev.tuple = entry.tuple;
+        ev.alphaIncrement = entry.alphaIncrement;
+        ev.betaIncrement = entry.betaIncrement;
+        cfg_.ledger->record(ev);
+      }
     }
   }
 
@@ -510,6 +610,20 @@ EpochOutcome IncrementalSolver::applyEpoch(
   }
   lambdaMeasured_ = any ? lambda : 1.0;
   dualObjective_ = dual_.objective();
+  // Certificates finalize against THIS epoch's measured lambda: the
+  // blocker is an admitted (hence lambda-satisfied) instance, so its
+  // LHS clears lambda * profit — the dual explanation replay checks.
+  if (ledgerOn_) {
+    for (LedgerEvent& ev : rejectionBuffer_) {
+      if (ev.certInstance != kNoInstance) {
+        ev.certLhs = lhs_[static_cast<std::size_t>(ev.certInstance)];
+        ev.certThreshold =
+            lambdaMeasured_ * u_.instance(ev.certInstance).profit;
+      }
+      cfg_.ledger->record(ev);
+    }
+    rejectionBuffer_.clear();
+  }
   outcome.lambdaMeasured = lambdaMeasured_;
   outcome.dualObjective = dualObjective_;
   outcome.dualUpperBound =
@@ -526,6 +640,7 @@ EpochOutcome IncrementalSolver::applyEpoch(
                   {"affected_instances", outcome.affectedInstances},
                   {"full_resolve", outcome.fullResolve ? 1 : 0}});
   }
+  if (cfg_.series != nullptr) cfg_.series->snapshot(outcome.epoch);
   ++epoch_;
   return outcome;
 }

@@ -62,9 +62,12 @@
 #include "framework/dual_state.hpp"
 #include "framework/raise_policy.hpp"
 #include "net/transport.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 
 namespace treesched {
+
+class EpochSeries;
 
 struct OnlineSolverConfig {
   double epsilon = 0.3;
@@ -83,6 +86,22 @@ struct OnlineSolverConfig {
   /// attaching either never changes an epoch's outcome.
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
+  /// Decision provenance ledger (obs/ledger.hpp). When set AND enabled
+  /// the solver records the full per-demand lifecycle — arrival,
+  /// placement/migration (via Transport::attachLedger), every surviving
+  /// dual raise (replayed from the epoch's raise log), admission (first
+  /// only, with latency) and rejection (with the blocking dual
+  /// certificate finalized against the epoch's measured lambda), and
+  /// departure. Same read-only + disabled-path-allocation-free contract
+  /// as the tracer (tests/provenance_test.cpp gates both). Note the
+  /// ledger is NOT forwarded into the per-epoch protocol run: phase-2
+  /// verdicts there are provisional online — the persistent-stack
+  /// re-pop below is the authoritative admission.
+  LedgerSink* ledger = nullptr;
+  /// Per-epoch time-series sink (obs/timeseries.hpp): when set, the
+  /// solver snapshots `metrics` into one JSONL row at the end of every
+  /// applyEpoch call. Read-only.
+  EpochSeries* series = nullptr;
   /// Epoch-boundary hot-shard rebalancing (net/transport.hpp). When
   /// enabled, every epoch starts with a MutableTopology::rebalanceShards
   /// call (seed re-keyed per epoch); transports without a live sharded
@@ -236,6 +255,8 @@ class IncrementalSolver {
   void compactStack();
   void popPersistentStack();
   void recordAdmissions(EpochOutcome& outcome);
+  void ledgerShadowAdmit(InstanceId i);
+  void ledgerBufferRejection(InstanceId i, std::int64_t stackSet);
 
   const InstanceUniverse& u_;
   const Layering& lay_;
@@ -295,6 +316,17 @@ class IncrementalSolver {
   std::vector<DemandId> affected_;
   std::vector<InstanceId> restricted_;
   std::vector<std::int32_t> newNeighbors_;
+
+  // Decision provenance (enabled ledger only; all empty otherwise).
+  // The admission re-pop mirrors the feasibility oracle into this
+  // shadow state so a rejection can name its blocker; rejection events
+  // buffer until the epoch's lambda is measured (the certificate
+  // threshold is lambda * profit of the blocker).
+  bool ledgerOn_ = false;
+  std::vector<InstanceId> acceptedOfDemand_;
+  std::vector<InstanceId> firstLoaderOfEdge_;
+  std::vector<double> ledgerEdgeLoad_;
+  std::vector<LedgerEvent> rejectionBuffer_;
 };
 
 }  // namespace treesched

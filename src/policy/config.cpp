@@ -31,6 +31,7 @@ DistributedOptions SchedulerConfig::distributedOptions() const {
   options.observer = distributed.observer;
   options.tracer = distributed.tracer;
   options.metrics = distributed.metrics;
+  options.ledger = distributed.ledger;
   return options;
 }
 
@@ -58,6 +59,8 @@ OnlineSolverConfig SchedulerConfig::onlineSolver() const {
   config.threads = distributed.threads;
   config.tracer = distributed.tracer;
   config.metrics = distributed.metrics;
+  config.ledger = distributed.ledger;
+  config.series = online.series;
   config.rebalance = online.rebalance;
   return config;
 }
@@ -107,6 +110,7 @@ SchedulerConfig SchedulerConfig::fromDistributedOptions(
   result.distributed.observer = options.observer;
   result.distributed.tracer = options.tracer;
   result.distributed.metrics = options.metrics;
+  result.distributed.ledger = options.ledger;
   return result;
 }
 
@@ -123,6 +127,8 @@ SchedulerConfig SchedulerConfig::fromOnlineSolver(
   result.distributed.threads = config.threads;
   result.distributed.tracer = config.tracer;
   result.distributed.metrics = config.metrics;
+  result.distributed.ledger = config.ledger;
+  result.online.series = config.series;
   result.online.rebalance = config.rebalance;
   return result;
 }

@@ -67,6 +67,11 @@ struct SchedulerDistributedConfig {
   /// pool, online solver). Strictly read-only observation.
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
+  /// Decision provenance ledger (obs/ledger.hpp): per-demand lifecycle
+  /// events with dual certificates. Read-only like the rest of the
+  /// telemetry plane; null (or a NullLedger) keeps the hot loop on the
+  /// allocation-free path.
+  LedgerSink* ledger = nullptr;
 };
 
 /// Churn-engine extras of the online epoch loop.
@@ -76,6 +81,9 @@ struct SchedulerOnlineConfig {
   /// Epoch-boundary hot-shard rebalancing (sharded transports only;
   /// wire accounting, never the schedule).
   ShardRebalanceConfig rebalance;
+  /// Per-epoch MetricsRegistry snapshots (obs/timeseries.hpp); the
+  /// online solver calls snapshot() at every epoch boundary.
+  EpochSeries* series = nullptr;
 };
 
 /// The one layered config the policy registry consumes.

@@ -1,12 +1,14 @@
 // The protocol observer must see exactly the events the run reports.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <utility>
 #include <vector>
 
 #include "core/universe.hpp"
 #include "dist/protocol.hpp"
 #include "gen/scenario.hpp"
+#include "obs/metrics.hpp"
 
 namespace treesched {
 namespace {
@@ -51,8 +53,9 @@ class CountingObserver : public ProtocolObserver {
     accepts.push_back(instance);
   }
   void onReject(std::int64_t /*tuple*/, InstanceId instance,
-                RejectReason /*reason*/) override {
+                RejectReason reason) override {
     rejects.push_back(instance);
+    ++rejectsByReason[static_cast<std::size_t>(reason)];
   }
   void onCrash(DemandId processor, std::int64_t tuple) override {
     crashes.emplace_back(processor, tuple);
@@ -87,6 +90,7 @@ class CountingObserver : public ProtocolObserver {
   std::vector<InstanceId> raises;
   std::vector<InstanceId> accepts;
   std::vector<InstanceId> rejects;
+  std::array<std::int64_t, 3> rejectsByReason = {0, 0, 0};
   std::vector<std::pair<DemandId, std::int64_t>> crashes;
 };
 
@@ -196,6 +200,48 @@ TEST(Observer, RaisesAreUniqueInstances) {
   std::sort(raised.begin(), raised.end());
   EXPECT_EQ(std::adjacent_find(raised.begin(), raised.end()), raised.end())
       << "an instance is raised at most once (its constraint gets tight)";
+}
+
+TEST(Observer, PerReasonRejectCountersSumToAggregate) {
+  TreeScenarioConfig cfg;
+  cfg.seed = 66;
+  cfg.numVertices = 24;
+  cfg.numNetworks = 2;
+  cfg.demands.numDemands = 20;
+  cfg.demands.accessProbability = 0.8;
+  const TreeProblem problem = makeTreeScenario(cfg);
+
+  // Crash a few processors so all three reject reasons are reachable
+  // (OwnerCrashed needs a fault; the others occur naturally).
+  MetricsRegistry metrics;
+  CountingObserver observer;
+  DistributedOptions opt;
+  opt.observer = &observer;
+  opt.metrics = &metrics;
+  opt.crashProcessors = {0, 5};
+  opt.crashAtTuple = 3;
+  runDistributedUnitTree(problem, opt);
+
+  const std::int64_t total = metrics.counter("protocol.rejects").value();
+  const std::int64_t byReason =
+      metrics.counter("protocol.rejects.owner_crashed").value() +
+      metrics.counter("protocol.rejects.demand_satisfied").value() +
+      metrics.counter("protocol.rejects.capacity_exceeded").value();
+  EXPECT_EQ(total, byReason)
+      << "per-reason reject counters must partition the aggregate";
+  EXPECT_EQ(total, static_cast<std::int64_t>(observer.rejects.size()));
+  EXPECT_GT(total, 0) << "the scenario actually rejected something";
+  // Each per-reason counter agrees with the observer's own tally of the
+  // reasons it was handed.
+  EXPECT_EQ(metrics.counter("protocol.rejects.owner_crashed").value(),
+            observer.rejectsByReason[static_cast<std::size_t>(
+                RejectReason::OwnerCrashed)]);
+  EXPECT_EQ(metrics.counter("protocol.rejects.demand_satisfied").value(),
+            observer.rejectsByReason[static_cast<std::size_t>(
+                RejectReason::DemandSatisfied)]);
+  EXPECT_EQ(metrics.counter("protocol.rejects.capacity_exceeded").value(),
+            observer.rejectsByReason[static_cast<std::size_t>(
+                RejectReason::CapacityExceeded)]);
 }
 
 TEST(Observer, NullObserverIsFine) {

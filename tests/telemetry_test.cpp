@@ -212,6 +212,83 @@ TEST(Telemetry, HistogramPercentilesMatchSortedOracle) {
   }
 }
 
+TEST(Telemetry, JsonAndDescribeListEveryInstrumentExactlyOnce) {
+  // describe()/toJson() round-trip: every registered instrument appears
+  // exactly once in both snapshots, including names that are strict
+  // prefixes of other names (the per-reason reject counters hang off
+  // "protocol.rejects", so prefix hygiene is load-bearing).
+  MetricsRegistry metrics;
+  metrics.counter("rt.alpha").add(3);
+  metrics.counter("rt.alpha.child").add(1);
+  metrics.counter("rt.beta");
+  metrics.gauge("rt.level").set(2.5);
+  metrics.gauge("rt.level.fine").set(-1.0);
+  metrics.histogram("rt.latency", Histogram::unitBuckets(8)).record(3);
+  metrics.histogram("rt.latency.coarse", Histogram::exponentialBuckets(1, 2, 4))
+      .record(5);
+
+  const auto occurrences = [](const std::string& text,
+                              const std::string& needle) {
+    std::int64_t n = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+
+  const std::string json = metrics.toJson();
+  const std::string described = metrics.describe();
+  for (const std::string name :
+       {"rt.alpha", "rt.alpha.child", "rt.beta", "rt.level", "rt.level.fine",
+        "rt.latency", "rt.latency.coarse"}) {
+    EXPECT_EQ(occurrences(json, "\"" + name + "\""), 1) << name;
+  }
+  for (const std::string name :
+       {"rt.alpha", "rt.alpha.child", "rt.beta", "rt.level", "rt.level.fine"}) {
+    EXPECT_EQ(occurrences(described, "  " + name + " = "), 1) << name;
+  }
+  for (const std::string name : {"rt.latency", "rt.latency.coarse"}) {
+    EXPECT_EQ(occurrences(described, "  " + name + ": count="), 1) << name;
+  }
+  // The histogram summary object carries its exact count.
+  EXPECT_NE(json.find("\"rt.latency\": {\"count\": 1"), std::string::npos);
+}
+
+TEST(Telemetry, ExponentialBucketQuantilesMatchBucketMappedOracle) {
+  // Non-unit buckets: the reported percentile must equal the nearest-
+  // rank sample mapped to its bucket's inclusive upper bound (clamped
+  // to the observed max) — the strongest statement a fixed-bucket
+  // sketch can make, checked as exact equality rather than a band.
+  const std::vector<double> bounds = Histogram::exponentialBuckets(1, 3, 9);
+  Histogram hist(bounds);
+  std::vector<double> samples;
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;
+  for (int i = 0; i < 4000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    samples.push_back(static_cast<double>(x % 30000));
+  }
+  for (const double s : samples) hist.record(s);
+
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const auto bucketMapped = [&](double q) {
+    const auto rank = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::ceil(q * static_cast<double>(sorted.size()))));
+    const double s = sorted[static_cast<std::size_t>(rank - 1)];
+    const auto it = std::lower_bound(bounds.begin(), bounds.end(), s);
+    return it == bounds.end() ? sorted.back() : std::min(*it, sorted.back());
+  };
+  for (const double q :
+       {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(hist.percentile(q), bucketMapped(q)) << "q = " << q;
+  }
+  EXPECT_EQ(hist.count(), static_cast<std::int64_t>(samples.size()));
+}
+
 TEST(Telemetry, NullSinkPathAddsZeroAllocations) {
   const TreeProblem tree = testTree(31);
   DistributedOptions plain;

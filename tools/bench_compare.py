@@ -3,15 +3,19 @@
 
 Compares freshly produced ``BENCH_*.json`` reports against the committed
 snapshots in ``bench/snapshots/`` and fails when a row's throughput
-regressed by more than the threshold (default 30%). Two metrics are
+regressed by more than the threshold (default 30%). Three metrics are
 checked on every row that carries them:
 
-  * ``epochs_per_sec`` — lower is a regression,
-  * ``wall_ms``        — higher is a regression.
+  * ``epochs_per_sec``             — lower is a regression,
+  * ``wall_ms``                    — higher is a regression,
+  * ``revenue_ratio_vs_two_phase`` — lower is a regression (tournament
+    rows in ``BENCH_tournament.json``: a policy suddenly earning
+    relatively less revenue than the two-phase reference is a quality
+    regression even when throughput held steady).
 
 Rows are matched by their identity fields (preset / pattern / transport /
-demands / threads / rebalance / scheduler / phase / seed — whichever the
-row carries); duplicate identities pair up in file order. Rows flagged
+policy / demands / threads / rebalance / scheduler / phase / seed —
+whichever the row carries); duplicate identities pair up in file order. Rows flagged
 ``oversubscribed`` (more threads than cores, see bench_parallel) are
 skipped: their wall clock measures scheduler contention, not the engine.
 Baseline rows with no fresh counterpart — e.g. a CI smoke run at smaller
@@ -43,6 +47,7 @@ IDENTITY_FIELDS = (
     "preset",
     "pattern",
     "transport",
+    "policy",
     "scheduler",
     "phase",
     "kind",
@@ -56,6 +61,7 @@ IDENTITY_FIELDS = (
 METRICS = {
     "epochs_per_sec": +1,
     "wall_ms": -1,
+    "revenue_ratio_vs_two_phase": +1,
 }
 
 

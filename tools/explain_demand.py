@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Explain one demand's fate from a decision provenance ledger.
+
+Replays a ledger JSONL file (ProvenanceLedger::writeJsonl, see
+src/obs/ledger.hpp) and prints a single demand's causal story in
+chronological order: when it arrived, where it was placed and migrated,
+which dual raises it performed, and — the part the paper's analysis is
+about — the dual certificate behind every admission or rejection. A
+rejection line names the blocking instance and shows the replayed LHS
+against the lambda * profit threshold, so "why wasn't demand 17
+admitted?" has a one-command answer.
+
+Usage:
+  tools/explain_demand.py LEDGER.jsonl [--demand ID]
+
+Without --demand, picks the first demand that has a rejected event
+(they have the most interesting story), falling back to the first
+demand with any event. Exits 0 on success, 1 when the ledger is
+unreadable or the demand has no events.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def pick_demand(events):
+    for event in events:
+        if event["event"] == "rejected":
+            return event["demand"]
+    return events[0]["demand"] if events else None
+
+
+def describe(event):
+    kind = event["event"]
+    if kind == "arrival":
+        return "arrived"
+    if kind == "placement":
+        return f"placed on processor {event['processor']}"
+    if kind == "migration":
+        return (f"migrated from processor {event['from']} "
+                f"to processor {event['to']} (rebalance)")
+    if kind == "crash":
+        return f"owner crashed at tuple {event['tuple']}"
+    if kind == "dual_raise":
+        return (f"raised duals for instance {event['instance']} at tuple "
+                f"{event['tuple']} (alpha +{event['alpha']:.6g}, "
+                f"beta +{event['beta']:.6g})")
+    if kind == "admitted":
+        latency = event["latency_epochs"]
+        suffix = (f" after {latency} epoch(s) waiting"
+                  if latency > 0 else "")
+        return (f"ADMITTED with instance {event['instance']} at tuple "
+                f"{event['tuple']}{suffix}")
+    if kind == "rejected":
+        reason = event["reason"]
+        line = (f"rejected instance {event['instance']} at tuple "
+                f"{event['tuple']}: {reason.replace('_', ' ')}")
+        if "cert_instance" in event:
+            line += (f"\n      certificate: blocking instance "
+                     f"{event['cert_instance']} is lambda-satisfied "
+                     f"(lhs {event['cert_lhs']:.6g} >= threshold "
+                     f"{event['cert_threshold']:.6g})")
+        return line
+    if kind == "departure":
+        fate = "admitted" if event["admitted"] else "never admitted"
+        return f"departed ({fate})"
+    return kind
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="print one demand's story from a provenance ledger")
+    parser.add_argument("ledger", help="ledger JSONL file")
+    parser.add_argument("--demand", type=int, default=None,
+                        help="demand id (default: first rejected demand)")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        events = load(args.ledger)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"explain_demand: {args.ledger}: {error}")
+        return 1
+    demand = args.demand if args.demand is not None else pick_demand(events)
+    if demand is None:
+        print(f"explain_demand: {args.ledger}: empty ledger")
+        return 1
+
+    # The canonical file order groups a demand's events per epoch; seq
+    # restores the causal (emission) order within the run.
+    story = sorted((e for e in events if e["demand"] == demand),
+                   key=lambda e: e["seq"])
+    if not story:
+        print(f"explain_demand: demand {demand} has no events in "
+              f"{args.ledger}")
+        return 1
+
+    print(f"demand {demand}: {len(story)} events")
+    epoch = None
+    for event in story:
+        if event["epoch"] != epoch:
+            epoch = event["epoch"]
+            print(f"  epoch {epoch}:")
+        print(f"    {describe(event)}")
+    admissions = sum(e["event"] == "admitted" for e in story)
+    rejections = sum(e["event"] == "rejected" for e in story)
+    raises = sum(e["event"] == "dual_raise" for e in story)
+    print(f"  summary: {raises} dual raise(s), {admissions} admission(s), "
+          f"{rejections} rejection(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Validator for decision provenance ledgers (src/obs/ledger.hpp).
+
+ProvenanceLedger::writeJsonl emits one flat JSON object per line, in the
+canonical (epoch, demand, event kind, seq) order, so a ledger diffs
+cleanly across runs and a demand's story reads contiguously. This
+validator pins that contract:
+
+  1. Every line is a JSON object carrying epoch/demand/event/seq, the
+     event kind is in the ledger's vocabulary, and the kind-specific
+     fields are present and well-typed (a migration has from != to, a
+     dual raise has numeric alpha/beta increments, ...).
+  2. Canonical order holds: (epoch, demand, kind, seq) is
+     non-decreasing line over line, and seq never repeats.
+  3. Rejections are certified: every rejected event whose reason is not
+     owner_crashed names a blocking cert_instance whose cert_lhs clears
+     cert_threshold (the dual explanation of the pop); owner_crashed
+     rejections carry no certificate.
+  4. Terminal events are unique: within one lifecycle (the events since
+     the demand's latest arrival — or the whole file for one-shot
+     ledgers, which have no arrivals), a demand is admitted at most
+     once, and a departure flagged "admitted" follows that admission.
+
+Usage:
+  tools/ledger_validate.py LEDGER.jsonl [LEDGER2.jsonl ...]
+
+Exits 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+EVENT_KINDS = (
+    "arrival", "placement", "migration", "crash",
+    "dual_raise", "rejected", "admitted", "departure",
+)
+# Canonical salt: enumerator order of LedgerEventKind (obs/ledger.hpp).
+KIND_SALT = {kind: i for i, kind in enumerate(EVENT_KINDS)}
+REJECT_REASONS = ("owner_crashed", "demand_satisfied", "capacity_exceeded")
+CERT_TOLERANCE = 1e-9
+
+REQUIRED_BY_KIND = {
+    "arrival": (),
+    "placement": ("processor",),
+    "migration": ("from", "to"),
+    "crash": ("tuple",),
+    "dual_raise": ("instance", "tuple", "alpha", "beta"),
+    "rejected": ("instance", "tuple", "reason"),
+    "admitted": ("instance", "tuple", "latency_epochs"),
+    "departure": ("admitted",),
+}
+
+
+def fail(path, message):
+    print(f"ledger_validate: {path}: {message}")
+    return False
+
+
+def validate_event(path, lineno, event):
+    ok = True
+    for field in ("epoch", "demand", "event", "seq"):
+        if field not in event:
+            ok = fail(path, f"line {lineno}: missing field '{field}'")
+    kind = event.get("event")
+    if kind not in EVENT_KINDS:
+        return fail(path, f"line {lineno}: unknown event kind {kind!r}")
+    for field in REQUIRED_BY_KIND[kind]:
+        if field not in event:
+            ok = fail(path, f"line {lineno}: {kind} event missing "
+                            f"'{field}'")
+    if kind == "migration" and event.get("from") == event.get("to"):
+        ok = fail(path, f"line {lineno}: migration from a processor to "
+                        f"itself ({event.get('from')})")
+    if kind == "dual_raise":
+        for field in ("alpha", "beta"):
+            value = event.get(field)
+            if not isinstance(value, (int, float)):
+                ok = fail(path, f"line {lineno}: dual_raise {field} must "
+                                f"be numeric, got {value!r}")
+    if kind == "rejected":
+        reason = event.get("reason")
+        if reason not in REJECT_REASONS:
+            ok = fail(path, f"line {lineno}: unknown reject reason "
+                            f"{reason!r}")
+        elif reason == "owner_crashed":
+            if "cert_instance" in event:
+                ok = fail(path, f"line {lineno}: owner_crashed rejection "
+                                f"must not carry a certificate")
+        else:
+            if "cert_instance" not in event:
+                ok = fail(path, f"line {lineno}: {reason} rejection "
+                                f"without a cert_instance")
+            else:
+                lhs = event.get("cert_lhs")
+                threshold = event.get("cert_threshold")
+                if not isinstance(lhs, (int, float)) or \
+                        not isinstance(threshold, (int, float)):
+                    ok = fail(path, f"line {lineno}: certificate needs "
+                                    f"numeric cert_lhs/cert_threshold")
+                elif lhs < threshold - CERT_TOLERANCE:
+                    ok = fail(path, f"line {lineno}: certificate does not "
+                                    f"certify: cert_lhs {lhs} < "
+                                    f"cert_threshold {threshold}")
+    return ok
+
+
+def validate_order(path, events):
+    """Canonical (epoch, demand, kind, seq) order, unique seq."""
+    ok = True
+    previous = None
+    seen_seq = set()
+    for lineno, event in events:
+        seq = event["seq"]
+        if seq in seen_seq:
+            ok = fail(path, f"line {lineno}: duplicate seq {seq}")
+        seen_seq.add(seq)
+        key = (event["epoch"], event["demand"],
+               KIND_SALT[event["event"]], seq)
+        if previous is not None and key < previous:
+            ok = fail(path, f"line {lineno}: canonical order violated: "
+                            f"{key} after {previous}")
+        previous = key
+    return ok
+
+
+def validate_lifecycles(path, events):
+    """At most one admission per lifecycle; departures tell the truth."""
+    ok = True
+    admitted_in_lifecycle = {}  # demand -> admissions since last arrival
+    for lineno, event in events:
+        demand = event["demand"]
+        kind = event["event"]
+        if kind == "arrival":
+            admitted_in_lifecycle[demand] = 0
+        elif kind == "admitted":
+            count = admitted_in_lifecycle.get(demand, 0) + 1
+            admitted_in_lifecycle[demand] = count
+            if count > 1:
+                ok = fail(path, f"line {lineno}: demand {demand} admitted "
+                                f"{count} times in one lifecycle")
+        elif kind == "departure":
+            was_admitted = admitted_in_lifecycle.get(demand, 0) > 0
+            if bool(event.get("admitted")) != was_admitted:
+                ok = fail(path, f"line {lineno}: departure of demand "
+                                f"{demand} claims admitted="
+                                f"{event.get('admitted')} but the ledger "
+                                f"recorded {'an' if was_admitted else 'no'}"
+                                f" admission this lifecycle")
+    return ok
+
+
+def validate(path):
+    events = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as error:
+                    return fail(path, f"line {lineno}: not JSON: {error}")
+                if not isinstance(event, dict):
+                    return fail(path, f"line {lineno}: not a JSON object")
+                events.append((lineno, event))
+    except OSError as error:
+        return fail(path, f"not readable: {error}")
+    if not events:
+        return fail(path, "empty ledger (no events)")
+    ok = all(validate_event(path, lineno, e) for lineno, e in events)
+    if ok:
+        ok = validate_order(path, events)
+        ok = validate_lifecycles(path, events) and ok
+    if ok:
+        kinds = {}
+        for _, event in events:
+            kinds[event["event"]] = kinds.get(event["event"], 0) + 1
+        summary = ", ".join(f"{k}={kinds[k]}" for k in EVENT_KINDS
+                            if k in kinds)
+        print(f"ledger_validate: {path}: OK ({len(events)} events: "
+              f"{summary})")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    ok = True
+    for path in argv[1:]:
+        ok = validate(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
