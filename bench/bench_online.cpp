@@ -24,6 +24,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "decomp/layering.hpp"
 #include "framework/two_phase.hpp"
 #include "gen/scenario.hpp"
 #include "obs/timeseries.hpp"
@@ -70,6 +71,8 @@ void report(Table& table, bench::JsonReport& json, const PatternRun& run) {
       .cell(run.epochs)
       .cell(run.wallMs, 1)
       .cell(epochsPerSec, 1)
+      .cell(run.churn.universeBuildMs, 1)
+      .cell(run.churn.meanExtendUsPerArrival, 2)
       .cell(run.churn.meanResolveFraction, 3)
       .cell(run.churn.fullResolves)
       .cell(revenueRatio, 3)
@@ -90,6 +93,8 @@ void report(Table& table, bench::JsonReport& json, const PatternRun& run) {
       .field("epochs", run.epochs)
       .field("wall_ms", run.wallMs)
       .field("epochs_per_sec", epochsPerSec)
+      .field("universe_build_ms", run.churn.universeBuildMs)
+      .field("mean_extend_us_per_arrival", run.churn.meanExtendUsPerArrival)
       .field("mean_resolve_fraction", run.churn.meanResolveFraction)
       .field("full_resolves", run.churn.fullResolves)
       .field("final_profit", run.churn.finalProfit)
@@ -136,6 +141,13 @@ double scratchProfitOnSurvivors(const InstanceUniverse& universe,
       .profit;
 }
 
+DynamicUniverse makeDynamicUniverse(const TreeProblem& pool) {
+  return makeDynamicTreeUniverse(pool);
+}
+DynamicUniverse makeDynamicUniverse(const LineProblem& pool) {
+  return makeDynamicLineUniverse(pool);
+}
+
 template <typename Pool>
 PatternRun runPattern(const std::string& preset, const std::string& pattern,
                       const Pool& pool, const PreparedRun& prepared,
@@ -178,11 +190,13 @@ PatternRun runPattern(const std::string& preset, const std::string& pattern,
   run.rebalance = rebalance.enabled;
   run.demands = pool.numDemands();
 
-  // The engine (with its live transport) is rebuilt per pattern; trace
-  // generation happens outside the measured window.
+  // The engine (with its live transport and dynamic universe) is
+  // rebuilt per pattern; trace generation happens outside the measured
+  // window, the dynamic-universe shell build inside it (its own cost is
+  // reported separately as universe_build_ms).
   const auto begin = std::chrono::steady_clock::now();
-  ChurnRunResult churn = runChurnOverTrace(
-      prepared.universe, prepared.layering, pool.access, trace, config);
+  DynamicUniverse universe = makeDynamicUniverse(pool);
+  ChurnRunResult churn = runChurnOverTrace(universe, trace, config);
   const auto end = std::chrono::steady_clock::now();
 
   run.epochs = static_cast<std::int32_t>(churn.epochs.size());
@@ -248,7 +262,8 @@ int main(int argc, char** argv) {
       "per-transport epochs identical, only wire accounting moves");
 
   Table table({"preset", "pattern", "transport", "demands", "epochs",
-               "wall ms", "epochs/s", "resolve frac", "full", "rev ratio",
+               "wall ms", "epochs/s", "build ms", "ext us/arr",
+               "resolve frac", "full", "rev ratio",
                "sla mean", "sla p99", "sla max", "rounds", "wire tx",
                "migrated", "var before", "var after"});
   bench::JsonReport json(flags.getString("json"));
@@ -296,6 +311,29 @@ int main(int argc, char** argv) {
            runPattern("hotspot_tree_50k", "targeted_burst", scenario.pool,
                       prepared, scenario.arrivals, scenario.epochLength,
                       seed, threads, telemetry, seriesOut));
+  }
+  {
+    // Pool-size sweep — the dynamic universe's O(arrival) claim made
+    // visible: the same flash-crowd arrival process over pools of
+    // growing size. mean_extend_us_per_arrival must stay flat across
+    // these rows while any from-scratch rebuild would scale with the
+    // pool (universe_build_ms of the one-off shell build tracks pool
+    // size; the per-arrival column must not).
+    const struct {
+      const char* pattern;
+      std::int32_t divisor;
+    } sweep[] = {{"pool_sweep_quarter", 4},
+                 {"pool_sweep_half", 2},
+                 {"pool_sweep_full", 1}};
+    for (const auto& point : sweep) {
+      const std::int32_t poolSize = std::max(64, treeDemands / point.divisor);
+      const ChurnTreeScenario scenario = makeFlashCrowdTree50k(seed, poolSize);
+      const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
+      report(table, json,
+             runPattern("flash_crowd_50k", point.pattern, scenario.pool,
+                        prepared, scenario.arrivals, scenario.epochLength,
+                        seed, threads, telemetry, seriesOut));
+    }
   }
   {
     // Transport matrix: identical epochs (by the Transport contract),

@@ -136,9 +136,8 @@ OnlineRun runOnline(const std::string& preset,
   config.solver.metrics = &metrics;
 
   const auto begin = std::chrono::steady_clock::now();
-  const ChurnRunResult churn = runChurnWithScheduler(
-      scenario.universe, scenario.layering, scenario.access, scenario.trace,
-      config, policyId);
+  const ChurnRunResult churn =
+      runChurnWithScheduler(scenario, scenario.trace, config, policyId);
   const auto end = std::chrono::steady_clock::now();
 
   OnlineRun run;

@@ -151,13 +151,25 @@ int main(int argc, char** argv) {
   config.transport.async.link.retransmitTimeout = 16.0;
   config.transport.async.shardProcessors = std::max(2, demands / 16);
 
-  const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
-  // "two_phase" is the warm-started incremental engine; any other id
-  // runs the registry scheduler from scratch each churn epoch
-  // (policy/online_policy.hpp).
-  const ChurnRunResult result = runChurnWithScheduler(
-      prepared.universe, prepared.layering, scenario.pool.access, trace,
-      config, policy);
+  // Package the workload as a ScenarioProblem: the static pool
+  // universe/layering back the registry schedulers and the from-scratch
+  // contrast below; the shared pool handle is what the "two_phase" path
+  // grows its DynamicUniverse from.
+  PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
+  ScenarioProblem problem{std::move(prepared.universe),
+                          std::move(prepared.layering),
+                          scenario.pool.access,
+                          scenario.pool.numNetworks(),
+                          /*hasChurn=*/true,
+                          trace,
+                          scenario.epochLength,
+                          std::make_shared<const TreeProblem>(scenario.pool),
+                          nullptr};
+  // "two_phase" is the warm-started incremental engine over a dynamic
+  // universe; any other id runs the registry scheduler from scratch
+  // each churn epoch (policy/online_policy.hpp).
+  const ChurnRunResult result =
+      runChurnWithScheduler(problem, trace, config, policy);
 
   Table table({"epoch", "arr", "dep", "active", "affected", "frac", "mode",
                "profit", "dual UB", "rounds"});
@@ -184,7 +196,7 @@ int main(int argc, char** argv) {
                           ? config.solver.seed
                           : result.epochs.back().protocolSeed;
   const TwoPhaseResult fromScratch = runTwoPhaseRestricted(
-      prepared.universe, prepared.layering, scratch.framework(), survivors);
+      problem.universe, problem.layering, scratch.framework(), survivors);
 
   std::cout << "\nfinal revenue (" << policy << "): " << result.finalProfit
             << "  (from-scratch on survivors: " << fromScratch.profit

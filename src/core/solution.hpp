@@ -5,13 +5,19 @@
 //  (ii) per network edge, the selected instances through it have total
 //       height <= 1 (unit-height case: edge-disjoint paths).
 // Accessibility is enforced structurally: instances only exist for
-// accessible networks (see InstanceUniverse builders).
+// accessible networks (see InstanceUniverse builders). Everything here
+// is templated on the universe type so the same validation and oracle
+// serve the static pool and the dynamic (live-restricted) universe.
 #pragma once
 
+#include <algorithm>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/tolerances.hpp"
 #include "core/universe.hpp"
+#include "util/check.hpp"
 
 namespace treesched {
 
@@ -31,43 +37,130 @@ struct ValidationReport {
 };
 
 /// Sum of instance profits.
-double solutionProfit(const InstanceUniverse& universe, const Solution& sol);
+template <class U>
+double solutionProfit(const U& universe, const Solution& sol) {
+  double total = 0;
+  for (const InstanceId i : sol.instances) {
+    total += universe.instance(i).profit;
+  }
+  return total;
+}
 
 /// Checks feasibility; reports the first violation found.
-ValidationReport validateSolution(const InstanceUniverse& universe,
-                                  const Solution& sol);
+template <class U>
+ValidationReport validateSolution(const U& universe, const Solution& sol) {
+  ValidationReport report;
+  std::vector<bool> demandUsed(static_cast<std::size_t>(universe.numDemands()),
+                               false);
+  std::vector<double> edgeLoad(
+      static_cast<std::size_t>(universe.numGlobalEdges()), 0.0);
+  for (const InstanceId i : sol.instances) {
+    const InstanceRecord& rec = universe.instance(i);
+    if (demandUsed[static_cast<std::size_t>(rec.demand)]) {
+      report.feasible = false;
+      std::ostringstream os;
+      os << "demand " << rec.demand << " selected more than once";
+      report.firstViolation = os.str();
+      return report;
+    }
+    demandUsed[static_cast<std::size_t>(rec.demand)] = true;
+    for (const GlobalEdgeId e : universe.path(i)) {
+      edgeLoad[static_cast<std::size_t>(e)] += rec.height;
+      if (edgeLoad[static_cast<std::size_t>(e)] > 1.0 + kCapacityTolerance) {
+        report.feasible = false;
+        std::ostringstream os;
+        os << "edge " << e << " over capacity ("
+           << edgeLoad[static_cast<std::size_t>(e)] << " > 1)";
+        report.firstViolation = os.str();
+        return report;
+      }
+    }
+  }
+  return report;
+}
 
 /// Throws CheckError when infeasible — used by algorithm postconditions.
-void requireFeasible(const InstanceUniverse& universe, const Solution& sol);
+template <class U>
+void requireFeasible(const U& universe, const Solution& sol) {
+  const ValidationReport report = validateSolution(universe, sol);
+  checkThat(report.feasible, "solution feasible: " + report.firstViolation,
+            __FILE__, __LINE__);
+}
 
 /// Per-network profit split (used by the §6 wide/narrow combine step).
-std::vector<double> profitByNetwork(const InstanceUniverse& universe,
-                                    const Solution& sol);
+template <class U>
+std::vector<double> profitByNetwork(const U& universe, const Solution& sol) {
+  std::vector<double> result(static_cast<std::size_t>(universe.numNetworks()),
+                             0.0);
+  for (const InstanceId i : sol.instances) {
+    const InstanceRecord& rec = universe.instance(i);
+    result[static_cast<std::size_t>(rec.network)] += rec.profit;
+  }
+  return result;
+}
 
 /// Incremental feasibility oracle used by phase 2 of the framework and by
 /// exact solvers: maintains per-edge residual capacity and per-demand use.
-class FeasibilityOracle {
+template <class U>
+class BasicFeasibilityOracle {
  public:
-  explicit FeasibilityOracle(const InstanceUniverse& universe);
+  explicit BasicFeasibilityOracle(const U& universe)
+      : universe_(universe),
+        edgeLoad_(static_cast<std::size_t>(universe.numGlobalEdges()), 0.0),
+        demandUsed_(static_cast<std::size_t>(universe.numDemands()), false) {}
 
   /// True iff `i` can be added without violating feasibility.
-  bool canAdd(InstanceId i) const;
+  bool canAdd(InstanceId i) const {
+    const InstanceRecord& rec = universe_.instance(i);
+    if (demandUsed_[static_cast<std::size_t>(rec.demand)]) return false;
+    for (const GlobalEdgeId e : universe_.path(i)) {
+      if (edgeLoad_[static_cast<std::size_t>(e)] + rec.height >
+          1.0 + kCapacityTolerance) {
+        return false;
+      }
+    }
+    return true;
+  }
 
   /// Adds `i`; requires canAdd(i).
-  void add(InstanceId i);
+  void add(InstanceId i) {
+    checkThat(canAdd(i), "FeasibilityOracle::add requires canAdd", __FILE__,
+              __LINE__);
+    const InstanceRecord& rec = universe_.instance(i);
+    demandUsed_[static_cast<std::size_t>(rec.demand)] = true;
+    for (const GlobalEdgeId e : universe_.path(i)) {
+      edgeLoad_[static_cast<std::size_t>(e)] += rec.height;
+    }
+    solution_.instances.push_back(i);
+    profit_ += rec.profit;
+  }
 
   /// Removes a previously added instance.
-  void remove(InstanceId i);
+  void remove(InstanceId i) {
+    auto it =
+        std::find(solution_.instances.begin(), solution_.instances.end(), i);
+    checkThat(it != solution_.instances.end(),
+              "FeasibilityOracle::remove of member", __FILE__, __LINE__);
+    solution_.instances.erase(it);
+    const InstanceRecord& rec = universe_.instance(i);
+    demandUsed_[static_cast<std::size_t>(rec.demand)] = false;
+    for (const GlobalEdgeId e : universe_.path(i)) {
+      edgeLoad_[static_cast<std::size_t>(e)] -= rec.height;
+    }
+    profit_ -= rec.profit;
+  }
 
   const Solution& solution() const { return solution_; }
   double profit() const { return profit_; }
 
  private:
-  const InstanceUniverse& universe_;
-  std::vector<double> edgeLoad_;    ///< per global edge
-  std::vector<bool> demandUsed_;    ///< per demand
+  const U& universe_;
+  std::vector<double> edgeLoad_;  ///< per global edge
+  std::vector<bool> demandUsed_;  ///< per demand
   Solution solution_;
   double profit_ = 0;
 };
+
+using FeasibilityOracle = BasicFeasibilityOracle<InstanceUniverse>;
 
 }  // namespace treesched

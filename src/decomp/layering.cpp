@@ -1,6 +1,7 @@
 #include "decomp/layering.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -10,20 +11,35 @@ namespace treesched {
 namespace {
 
 /// Appends the wings of vertex y on the path u--v of `tree` (the path
-/// edges adjacent to y, §4.4) as global edge ids. y must lie on the path.
-void appendWings(const TreeNetwork& tree, const InstanceUniverse& universe,
-                 TreeId network, VertexId y, VertexId u, VertexId v,
-                 std::vector<GlobalEdgeId>& out) {
+/// edges adjacent to y, §4.4) as global edge ids with the given network
+/// base offset. y must lie on the path.
+void appendWingEdges(const TreeNetwork& tree, GlobalEdgeId base, VertexId y,
+                     VertexId u, VertexId v, std::vector<GlobalEdgeId>& out) {
   if (y != u) {
     const EdgeId e = tree.edgeBetween(y, tree.stepToward(y, u));
     checkThat(e != kNoEdge, "wing toward u exists", __FILE__, __LINE__);
-    out.push_back(universe.globalEdge(network, e));
+    out.push_back(base + e);
   }
   if (y != v) {
     const EdgeId e = tree.edgeBetween(y, tree.stepToward(y, v));
     checkThat(e != kNoEdge, "wing toward v exists", __FILE__, __LINE__);
-    out.push_back(universe.globalEdge(network, e));
+    out.push_back(base + e);
   }
+}
+
+/// appendWingEdges against a universe's global edge index.
+void appendWings(const TreeNetwork& tree, const InstanceUniverse& universe,
+                 TreeId network, VertexId y, VertexId u, VertexId v,
+                 std::vector<GlobalEdgeId>& out) {
+  appendWingEdges(tree, universe.globalEdge(network, 0), y, u, v, out);
+}
+
+double millisSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now() - start)
+                 .count()) /
+         1000.0;
 }
 
 }  // namespace
@@ -180,6 +196,166 @@ std::string checkLayering(const InstanceUniverse& universe,
     }
   }
   return {};
+}
+
+TreeInstanceLayerer::TreeInstanceLayerer(
+    std::shared_ptr<const TreeProblem> problem, DecompositionKind kind)
+    : problem_(std::move(problem)) {
+  checkThat(problem_ != nullptr, "tree problem provided", __FILE__, __LINE__);
+  const std::int32_t numNetworks = problem_->numNetworks();
+  decompositions_.reserve(static_cast<std::size_t>(numNetworks));
+  pivotSets_.reserve(static_cast<std::size_t>(numNetworks));
+  localMaxDepth_.reserve(static_cast<std::size_t>(numNetworks));
+  edgeOffset_.resize(static_cast<std::size_t>(numNetworks) + 1, 0);
+  for (TreeId t = 0; t < numNetworks; ++t) {
+    const TreeNetwork& tree = problem_->networks[static_cast<std::size_t>(t)];
+    decompositions_.push_back(buildDecomposition(tree, kind));
+    pivotSets_.push_back(computePivotSets(tree, decompositions_.back()));
+    localMaxDepth_.push_back(decompositions_.back().maxDepth());
+    numGroups_ = std::max(numGroups_, localMaxDepth_.back());
+    edgeOffset_[static_cast<std::size_t>(t) + 1] =
+        edgeOffset_[static_cast<std::size_t>(t)] + tree.numEdges();
+  }
+
+  // One-time pool pass: maxCriticalSize is measured over every instance
+  // the pool can ever contain (exactly as buildTreeLayering measures
+  // it), so the protocol's stage plan is identical whichever demands
+  // happen to be live.
+  std::vector<GlobalEdgeId> buffer;
+  for (DemandId d = 0; d < problem_->numDemands(); ++d) {
+    const Demand& dem = problem_->demands[static_cast<std::size_t>(d)];
+    for (const TreeId t : problem_->access[static_cast<std::size_t>(d)]) {
+      InstanceRecord rec;
+      rec.demand = d;
+      rec.network = t;
+      rec.u = dem.u;
+      rec.v = dem.v;
+      buffer.clear();
+      layer(rec, buffer);
+      maxCriticalSize_ = std::max(maxCriticalSize_,
+                                  static_cast<std::int32_t>(buffer.size()));
+    }
+  }
+}
+
+std::int32_t TreeInstanceLayerer::layer(
+    const InstanceRecord& rec, std::vector<GlobalEdgeId>& critical) const {
+  const auto network = static_cast<std::size_t>(rec.network);
+  const TreeNetwork& tree = problem_->networks[network];
+  const TreeDecomposition& h = decompositions_[network];
+  const GlobalEdgeId base = edgeOffset_[network];
+
+  // Group: instances captured deepest go first (§4.4); the group index
+  // depends only on mu's depth and the network's own depth range.
+  const VertexId mu = captureNode(tree, h, rec.u, rec.v);
+  const std::int32_t group =
+      localMaxDepth_[network] - h.depth[static_cast<std::size_t>(mu)];
+
+  // Critical edges pi(d): wings of mu, plus wings of the bending point
+  // of path(d) with respect to every pivot of C(mu).
+  appendWingEdges(tree, base, mu, rec.u, rec.v, critical);
+  for (const VertexId w : pivotSets_[network][static_cast<std::size_t>(mu)]) {
+    const VertexId bend = tree.meetingPoint(rec.u, rec.v, w);
+    appendWingEdges(tree, base, bend, rec.u, rec.v, critical);
+  }
+  std::sort(critical.begin(), critical.end());
+  critical.erase(std::unique(critical.begin(), critical.end()),
+                 critical.end());
+  return group;
+}
+
+LineInstanceLayerer::LineInstanceLayerer(
+    std::shared_ptr<const LineProblem> problem)
+    : problem_(std::move(problem)) {
+  checkThat(problem_ != nullptr, "line problem provided", __FILE__, __LINE__);
+  numSlots_ = problem_->numSlots;
+
+  // Pool constants: length range over demands that contribute at least
+  // one instance (an instance's length equals its demand's processing
+  // time), matching buildLineLayering's scan over the full pool.
+  bool any = false;
+  std::int32_t maxLen = 1;
+  for (DemandId d = 0; d < problem_->numDemands(); ++d) {
+    const WindowDemand& dem = problem_->demands[static_cast<std::size_t>(d)];
+    if (problem_->access[static_cast<std::size_t>(d)].empty()) continue;
+    if (dem.deadline - dem.processing + 1 < dem.release) continue;
+    if (!any) {
+      minLen_ = maxLen = dem.processing;
+      any = true;
+    } else {
+      minLen_ = std::min(minLen_, dem.processing);
+      maxLen = std::max(maxLen, dem.processing);
+    }
+  }
+  if (!any) return;  // empty pool: zero groups, layer() never called
+
+  std::int32_t g = 0;
+  while ((static_cast<std::int64_t>(minLen_) << (g + 1)) <= maxLen) ++g;
+  numGroups_ = g + 1;
+
+  std::vector<GlobalEdgeId> buffer;
+  for (DemandId d = 0; d < problem_->numDemands(); ++d) {
+    const WindowDemand& dem = problem_->demands[static_cast<std::size_t>(d)];
+    if (problem_->access[static_cast<std::size_t>(d)].empty()) continue;
+    if (dem.deadline - dem.processing + 1 < dem.release) continue;
+    InstanceRecord rec;
+    rec.demand = d;
+    rec.network = problem_->access[static_cast<std::size_t>(d)].front();
+    rec.u = dem.release;
+    rec.v = dem.release + dem.processing - 1;
+    buffer.clear();
+    layer(rec, buffer);
+    maxCriticalSize_ = std::max(maxCriticalSize_,
+                                static_cast<std::int32_t>(buffer.size()));
+  }
+}
+
+std::int32_t LineInstanceLayerer::layer(
+    const InstanceRecord& rec, std::vector<GlobalEdgeId>& critical) const {
+  // Factor-2 length buckets, shortest first: len in
+  // [2^g * Lmin, 2^(g+1) * Lmin).
+  const std::int32_t len = rec.v - rec.u + 1;
+  std::int32_t g = 0;
+  while ((static_cast<std::int64_t>(minLen_) << (g + 1)) <= len) ++g;
+
+  // pi(d) = slots {start, mid, end} of the execution segment.
+  const GlobalEdgeId base = rec.network * numSlots_;
+  const std::int32_t mid = (rec.u + rec.v) / 2;
+  critical.push_back(base + rec.u);
+  critical.push_back(base + mid);
+  critical.push_back(base + rec.v);
+  std::sort(critical.begin(), critical.end());
+  critical.erase(std::unique(critical.begin(), critical.end()),
+                 critical.end());
+  return g;
+}
+
+DynamicUniverse makeDynamicTreeUniverse(
+    std::shared_ptr<const TreeProblem> problem, DecompositionKind kind) {
+  const auto start = std::chrono::steady_clock::now();
+  auto layerer = std::make_unique<TreeInstanceLayerer>(problem, kind);
+  DynamicUniverse universe(std::move(problem), std::move(layerer));
+  universe.setBuildMs(millisSince(start));
+  return universe;
+}
+
+DynamicUniverse makeDynamicTreeUniverse(const TreeProblem& problem,
+                                        DecompositionKind kind) {
+  return makeDynamicTreeUniverse(std::make_shared<const TreeProblem>(problem),
+                                 kind);
+}
+
+DynamicUniverse makeDynamicLineUniverse(
+    std::shared_ptr<const LineProblem> problem) {
+  const auto start = std::chrono::steady_clock::now();
+  auto layerer = std::make_unique<LineInstanceLayerer>(problem);
+  DynamicUniverse universe(std::move(problem), std::move(layerer));
+  universe.setBuildMs(millisSince(start));
+  return universe;
+}
+
+DynamicUniverse makeDynamicLineUniverse(const LineProblem& problem) {
+  return makeDynamicLineUniverse(std::make_shared<const LineProblem>(problem));
 }
 
 }  // namespace treesched

@@ -17,10 +17,12 @@
 //    the decomposition implicit in Panconesi-Sozio.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/dynamic_universe.hpp"
 #include "core/universe.hpp"
 #include "decomp/tree_decomposition.hpp"
 
@@ -69,5 +71,76 @@ Layering buildLineLayering(const InstanceUniverse& universe);
 /// pairs (O(|D|^2 * pathlen); for tests). Empty string when valid.
 std::string checkLayering(const InstanceUniverse& universe,
                           const Layering& layering);
+
+/// Incremental tree layering (Lemma 4.2/4.3) for `DynamicUniverse`: the
+/// per-network decompositions and pivot sets are built once; layer()
+/// then assigns any single instance its group + critical edges from its
+/// own path alone — bit-identical to buildTreeLayering's assignment.
+/// numGroups (max decomposition depth over all networks) and
+/// maxCriticalSize (measured once over the whole pool) are pool
+/// constants, so group numbering is stable under churn.
+class TreeInstanceLayerer final : public InstanceLayerer {
+ public:
+  explicit TreeInstanceLayerer(std::shared_ptr<const TreeProblem> problem,
+                               DecompositionKind kind =
+                                   DecompositionKind::Ideal);
+
+  std::int32_t numGroups() const override { return numGroups_; }
+  std::int32_t maxCriticalSize() const override { return maxCriticalSize_; }
+  std::int32_t layer(const InstanceRecord& rec,
+                     std::vector<GlobalEdgeId>& critical) const override;
+
+  /// The persistent per-network decompositions (the distributed runtime
+  /// and tests reuse them).
+  const std::vector<TreeDecomposition>& decompositions() const {
+    return decompositions_;
+  }
+
+ private:
+  std::shared_ptr<const TreeProblem> problem_;
+  std::vector<TreeDecomposition> decompositions_;
+  std::vector<std::vector<std::vector<VertexId>>> pivotSets_;
+  std::vector<std::int32_t> localMaxDepth_;  ///< cached per network
+  std::vector<GlobalEdgeId> edgeOffset_;
+  std::int32_t numGroups_ = 0;
+  std::int32_t maxCriticalSize_ = 0;
+};
+
+/// Incremental §7 line layering for `DynamicUniverse`: factor-2 length
+/// buckets against the pool-wide minimum length (a pool constant, so
+/// groups never renumber) and the {start, mid, end} critical slots —
+/// bit-identical to buildLineLayering's assignment.
+class LineInstanceLayerer final : public InstanceLayerer {
+ public:
+  explicit LineInstanceLayerer(std::shared_ptr<const LineProblem> problem);
+
+  std::int32_t numGroups() const override { return numGroups_; }
+  std::int32_t maxCriticalSize() const override { return maxCriticalSize_; }
+  std::int32_t layer(const InstanceRecord& rec,
+                     std::vector<GlobalEdgeId>& critical) const override;
+
+ private:
+  std::shared_ptr<const LineProblem> problem_;
+  std::int32_t numSlots_ = 0;
+  std::int32_t minLen_ = 1;  ///< pool-wide minimum instance length
+  std::int32_t numGroups_ = 0;
+  std::int32_t maxCriticalSize_ = 0;
+};
+
+/// Builds a DynamicUniverse over a tree problem with its incremental
+/// layerer; stats().buildMs covers the full pool build (decompositions,
+/// pivot sets, pool indexes). The shared_ptr overloads avoid copying
+/// the problem.
+DynamicUniverse makeDynamicTreeUniverse(
+    std::shared_ptr<const TreeProblem> problem,
+    DecompositionKind kind = DecompositionKind::Ideal);
+DynamicUniverse makeDynamicTreeUniverse(
+    const TreeProblem& problem,
+    DecompositionKind kind = DecompositionKind::Ideal);
+
+/// Line counterpart of makeDynamicTreeUniverse.
+DynamicUniverse makeDynamicLineUniverse(
+    std::shared_ptr<const LineProblem> problem);
+DynamicUniverse makeDynamicLineUniverse(const LineProblem& problem);
 
 }  // namespace treesched

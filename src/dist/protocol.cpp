@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/dynamic_universe.hpp"
 #include "core/tolerances.hpp"
 #include "core/universe.hpp"
 #include "decomp/layering.hpp"
@@ -38,6 +39,10 @@ struct PendingRaise {
 /// read-only structures explicitly and writes only this processor's own
 /// slots (plus the lhs entries of its own instances), so contexts of
 /// distinct processors run concurrently with no hidden shared state.
+/// Methods are templated on the universe/layering types: over a
+/// DynamicUniverse an inactive demand has no instances, so its context
+/// is trivially empty — exactly the state its static-pool context would
+/// never touch.
 struct ProcessorContext {
   DemandId self = 0;
   double alpha = 0;  ///< alpha(self), the demand's own dual
@@ -46,7 +51,8 @@ struct ProcessorContext {
   std::vector<double> beta;  ///< per tracked edge, local view
   std::vector<double> load;  ///< per tracked edge, phase-2 accepted load
 
-  void init(const InstanceUniverse& u, DemandId p) {
+  template <class U>
+  void init(const U& u, DemandId p) {
     self = p;
     for (const InstanceId i : u.instancesOfDemand(p)) {
       for (const GlobalEdgeId e : u.path(i)) {
@@ -77,9 +83,9 @@ struct ProcessorContext {
   /// tracks — the same alpha-then-edges order as the centralized engine.
   /// `lhsLocal` is global-indexed but only this demand's entries are
   /// written.
-  void applyRaise(const InstanceUniverse& u, const Layering& lay,
-                  RaiseRule rule, const PendingRaise& raise,
-                  std::vector<double>& lhsLocal) {
+  template <class U, class L>
+  void applyRaise(const U& u, const L& lay, RaiseRule rule,
+                  const PendingRaise& raise, std::vector<double>& lhsLocal) {
     if (raise.from == self) {
       alpha += raise.alphaIncrement;
       for (const InstanceId k : u.instancesOfDemand(self)) {
@@ -102,7 +108,8 @@ struct ProcessorContext {
   /// True iff this processor can accept its own instance `i` given its
   /// locally known edge loads — the exact capacity test of the
   /// centralized FeasibilityOracle.
-  bool capacityOk(const InstanceUniverse& u, InstanceId i) const {
+  template <class U>
+  bool capacityOk(const U& u, InstanceId i) const {
     const double h = u.instance(i).height;
     for (const GlobalEdgeId e : u.path(i)) {
       const std::int32_t idx = trackedIndex(e);
@@ -116,7 +123,8 @@ struct ProcessorContext {
 
   /// Adds the load of an accepted instance on every tracked edge of its
   /// path (the accepter's own instance, or a neighbour's Accept message).
-  void addLoad(const InstanceUniverse& u, InstanceId i) {
+  template <class U>
+  void addLoad(const U& u, InstanceId i) {
     const double h = u.instance(i).height;
     for (const GlobalEdgeId e : u.path(i)) {
       const std::int32_t idx = trackedIndex(e);
@@ -132,11 +140,18 @@ struct ProcessorContext {
 /// independent per-processor decisions of a round run as parallel shard
 /// sections with merges by shard id, so results are bit-identical at any
 /// thread count.
+///
+/// Templated on the universe/layering pair so one engine serves both the
+/// static pool (InstanceUniverse + Layering) and the incrementally
+/// maintained DynamicUniverse + DynamicLayeringView. Every query the
+/// engine makes has identical semantics on the live restriction, so the
+/// instantiations are bit-identical on the same warm-start set — the
+/// dynamic_universe equivalence gate.
+template <class U, class L>
 class ProtocolEngine {
  public:
-  ProtocolEngine(const InstanceUniverse& universe, const Layering& layering,
-                 Transport& transport, const DistributedOptions& options,
-                 const WarmStart& warm)
+  ProtocolEngine(const U& universe, const L& layering, Transport& transport,
+                 const DistributedOptions& options, const WarmStart& warm)
       : u_(universe),
         lay_(layering),
         opt_(options),
@@ -847,8 +862,8 @@ class ProtocolEngine {
     obs_->onPhase2Complete(accepts, rejects);
   }
 
-  const InstanceUniverse& u_;
-  const Layering& lay_;
+  const U& u_;
+  const L& lay_;
   DistributedOptions opt_;
   TracingObserver tracing_;  ///< telemetry adapter (inactive when unused)
   NullObserver nullObserver_;
@@ -879,7 +894,7 @@ class ProtocolEngine {
 
   // Ground truth for the audit and the reported dual objective.
   DualState groundDual_;
-  LhsTracker groundLhs_;
+  BasicLhsTracker<U> groundLhs_;
 
   // Faults (uint8, not vector<bool>: read concurrently from shards).
   std::vector<std::uint8_t> crashed_;
@@ -931,7 +946,21 @@ DistributedResult runDistributedWarmStart(const InstanceUniverse& universe,
                                           Transport& transport,
                                           const DistributedOptions& options,
                                           const WarmStart& warm) {
-  ProtocolEngine engine(universe, layering, transport, options, warm);
+  ProtocolEngine<InstanceUniverse, Layering> engine(universe, layering,
+                                                    transport, options, warm);
+  return engine.run();
+}
+
+DistributedResult runDistributedWarmStart(const DynamicUniverse& universe,
+                                          Transport& transport,
+                                          const DistributedOptions& options,
+                                          const WarmStart& warm) {
+  checkThat(!warm.activeInstances.empty(),
+            "dynamic warm start names its live active set", __FILE__,
+            __LINE__);
+  const DynamicLayeringView layering = universe.layeringView();
+  ProtocolEngine<DynamicUniverse, DynamicLayeringView> engine(
+      universe, layering, transport, options, warm);
   return engine.run();
 }
 

@@ -188,6 +188,20 @@ DistributedResult runDistributedWarmStart(const InstanceUniverse& universe,
                                           const DistributedOptions& options,
                                           const WarmStart& warm);
 
+class DynamicUniverse;
+
+/// Warm-started restricted run over a DynamicUniverse: the incremental
+/// universe carries its own layering (DynamicLayeringView), so no
+/// pool-sized Layering is materialized. `warm.activeInstances` must be
+/// non-empty and name live instances only — a dynamic universe has no
+/// "every pool instance" enumeration to fall back to. Bit-identical to
+/// the static overload on the live restriction (the dynamic_universe
+/// equivalence gate).
+DistributedResult runDistributedWarmStart(const DynamicUniverse& universe,
+                                          Transport& transport,
+                                          const DistributedOptions& options,
+                                          const WarmStart& warm);
+
 /// Everything a runner needs before choosing a transport: the validated
 /// universe (conflicts built), the layering and the communication graph.
 /// Shared by the synchronous and asynchronous entry points so their

@@ -14,7 +14,11 @@ namespace treesched {
 
 class DualState {
  public:
-  explicit DualState(const InstanceUniverse& universe)
+  /// Accepts any universe shape (InstanceUniverse or DynamicUniverse):
+  /// only the demand and global-edge counts matter, and both are
+  /// pool-level constants under churn.
+  template <class U>
+  explicit DualState(const U& universe)
       : alpha_(static_cast<std::size_t>(universe.numDemands()), 0.0),
         beta_(static_cast<std::size_t>(universe.numGlobalEdges()), 0.0) {}
 

@@ -4,6 +4,9 @@
 // raised critical edge; the universe indexes both, so updating costs
 // O(|Inst(a)| + sum over raised edges of |instancesOnEdge|) instead of a
 // full rescan. Used by the two-phase engine and the sequential algorithm.
+// Templated on the universe type: over a `DynamicUniverse` the edge and
+// demand indexes enumerate live instances only, which is exactly the
+// restriction of the pool-wide update to the live id set.
 #pragma once
 
 #include <algorithm>
@@ -23,8 +26,9 @@ namespace treesched {
 // against future raise-rule changes.
 
 /// Adds `by` to the LHS of every instance of demand `d` (alpha part).
-inline void applyAlphaToLhs(const InstanceUniverse& universe, DemandId d,
-                            double by, std::vector<double>& lhs) {
+template <class U>
+void applyAlphaToLhs(const U& universe, DemandId d, double by,
+                     std::vector<double>& lhs) {
   for (const InstanceId i : universe.instancesOfDemand(d)) {
     lhs[static_cast<std::size_t>(i)] += by;
   }
@@ -32,9 +36,9 @@ inline void applyAlphaToLhs(const InstanceUniverse& universe, DemandId d,
 
 /// Adds `by` (times the Narrow-rule height factor) to the LHS of every
 /// instance on global edge `e` (beta part).
-inline void applyBetaToLhs(const InstanceUniverse& universe, RaiseRule rule,
-                           GlobalEdgeId e, double by,
-                           std::vector<double>& lhs) {
+template <class U>
+void applyBetaToLhs(const U& universe, RaiseRule rule, GlobalEdgeId e,
+                    double by, std::vector<double>& lhs) {
   for (const InstanceId i : universe.instancesOnEdge(e)) {
     const double factor =
         rule == RaiseRule::Narrow ? universe.instance(i).height : 1.0;
@@ -42,9 +46,10 @@ inline void applyBetaToLhs(const InstanceUniverse& universe, RaiseRule rule,
   }
 }
 
-class LhsTracker {
+template <class U>
+class BasicLhsTracker {
  public:
-  LhsTracker(const InstanceUniverse& universe, RaiseRule rule)
+  BasicLhsTracker(const U& universe, RaiseRule rule)
       : universe_(universe),
         rule_(rule),
         lhs_(static_cast<std::size_t>(universe.numInstances()), 0.0) {}
@@ -78,9 +83,11 @@ class LhsTracker {
   }
 
  private:
-  const InstanceUniverse& universe_;
+  const U& universe_;
   RaiseRule rule_;
   std::vector<double> lhs_;
 };
+
+using LhsTracker = BasicLhsTracker<InstanceUniverse>;
 
 }  // namespace treesched

@@ -12,21 +12,39 @@
 //   raise            delta = s / (1 + 2 h(d) |pi(d)|^2);
 //                    alpha += delta, beta(e) += 2 |pi(d)| delta for e in pi(d).
 //
-// Both make the constraint exactly tight.
+// Both make the constraint exactly tight. The functions are templated
+// on the universe type so the same single definition serves the static
+// pool (`InstanceUniverse`) and the incrementally-maintained
+// `DynamicUniverse` — a requirement of the online exactness discipline.
 #pragma once
 
 #include <span>
 
 #include "core/universe.hpp"
 #include "framework/dual_state.hpp"
+#include "util/check.hpp"
 
 namespace treesched {
 
 enum class RaiseRule { Unit, Narrow };
 
 /// LHS of the dual constraint of instance `i` under the given rule.
-double dualLhs(RaiseRule rule, const InstanceUniverse& universe,
-               const DualState& dual, InstanceId i);
+template <class U>
+double dualLhs(RaiseRule rule, const U& universe, const DualState& dual,
+               InstanceId i) {
+  const InstanceRecord& rec = universe.instance(i);
+  double betaSum = 0;
+  for (const GlobalEdgeId e : universe.path(i)) {
+    betaSum += dual.beta(e);
+  }
+  switch (rule) {
+    case RaiseRule::Unit:
+      return dual.alpha(rec.demand) + betaSum;
+    case RaiseRule::Narrow:
+      return dual.alpha(rec.demand) + rec.height * betaSum;
+  }
+  throw CheckError("unknown RaiseRule");
+}
 
 /// Amounts by which one raise of `i` changes the duals.
 struct RaiseAmounts {
@@ -36,13 +54,42 @@ struct RaiseAmounts {
 
 /// Computes the raise that tightens i's dual constraint. `critical` is
 /// pi(i); `slack` must be the current positive slack p(i) - lhs(i).
-RaiseAmounts computeRaise(RaiseRule rule, const InstanceUniverse& universe,
-                          InstanceId i, std::span<const GlobalEdgeId> critical,
-                          double slack);
+template <class U>
+RaiseAmounts computeRaise(RaiseRule rule, const U& universe, InstanceId i,
+                          std::span<const GlobalEdgeId> critical,
+                          double slack) {
+  checkThat(slack > 0, "raise requires positive slack", __FILE__, __LINE__);
+  const double piSize = static_cast<double>(critical.size());
+  RaiseAmounts amounts;
+  switch (rule) {
+    case RaiseRule::Unit: {
+      const double delta = slack / (piSize + 1.0);
+      amounts.alphaIncrement = delta;
+      amounts.betaIncrement = delta;
+      return amounts;
+    }
+    case RaiseRule::Narrow: {
+      const double h = universe.instance(i).height;
+      checkThat(isNarrow(h), "narrow rule applied to narrow instance",
+                __FILE__, __LINE__);
+      const double delta = slack / (1.0 + 2.0 * h * piSize * piSize);
+      amounts.alphaIncrement = delta;
+      amounts.betaIncrement = 2.0 * piSize * delta;
+      return amounts;
+    }
+  }
+  throw CheckError("unknown RaiseRule");
+}
 
 /// Applies the raise to the dual state.
-void applyRaise(DualState& dual, const InstanceUniverse& universe, InstanceId i,
+template <class U>
+void applyRaise(DualState& dual, const U& universe, InstanceId i,
                 std::span<const GlobalEdgeId> critical,
-                const RaiseAmounts& amounts);
+                const RaiseAmounts& amounts) {
+  dual.raiseAlpha(universe.instance(i).demand, amounts.alphaIncrement);
+  for (const GlobalEdgeId e : critical) {
+    dual.raiseBeta(e, amounts.betaIncrement);
+  }
+}
 
 }  // namespace treesched

@@ -1,6 +1,7 @@
 #include "gen/scenario.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "dist/protocol.hpp"
@@ -205,33 +206,43 @@ LossyWideAreaLineScenario makeLossyWideAreaLine(std::uint64_t seed,
 ScenarioProblem buildScenarioProblem(const std::string& name,
                                      std::uint64_t seed,
                                      std::int32_t numDemands) {
-  const auto fromTree = [](const TreeProblem& problem) {
-    PreparedRun run = prepareUnitTreeRun(problem);
-    return ScenarioProblem{std::move(run.universe), std::move(run.layering),
-                           problem.access, problem.numNetworks(),
-                           false, {}, 8.0};
+  const auto fromTree = [](TreeProblem problem) {
+    auto pool = std::make_shared<const TreeProblem>(std::move(problem));
+    PreparedRun run = prepareUnitTreeRun(*pool);
+    ScenarioProblem out{std::move(run.universe), std::move(run.layering),
+                        pool->access,            pool->numNetworks(),
+                        false,                   {},
+                        8.0,                     {},
+                        {}};
+    out.treePool = std::move(pool);
+    return out;
   };
-  const auto fromLine = [](const LineProblem& problem) {
-    PreparedRun run = prepareUnitLineRun(problem);
-    return ScenarioProblem{std::move(run.universe), std::move(run.layering),
-                           problem.access, problem.numResources,
-                           false, {}, 8.0};
+  const auto fromLine = [](LineProblem problem) {
+    auto pool = std::make_shared<const LineProblem>(std::move(problem));
+    PreparedRun run = prepareUnitLineRun(*pool);
+    ScenarioProblem out{std::move(run.universe), std::move(run.layering),
+                        pool->access,            pool->numResources,
+                        false,                   {},
+                        8.0,                     {},
+                        {}};
+    out.linePool = std::move(pool);
+    return out;
   };
   const auto scaled = [numDemands](std::int32_t presetDefault) {
     return numDemands > 0 ? numDemands : presetDefault;
   };
-  const auto fromChurnTree = [&fromTree](const ChurnTreeScenario& s) {
-    ScenarioProblem out = fromTree(s.pool);
+  const auto fromChurnTree = [&fromTree](ChurnTreeScenario s) {
+    ScenarioProblem out = fromTree(std::move(s.pool));
     out.hasChurn = true;
     out.epochLength = s.epochLength;
-    out.trace = generateChurnTrace(s.arrivals, s.pool.access);
+    out.trace = generateChurnTrace(s.arrivals, out.access);
     return out;
   };
-  const auto fromChurnLine = [&fromLine](const ChurnLineScenario& s) {
-    ScenarioProblem out = fromLine(s.pool);
+  const auto fromChurnLine = [&fromLine](ChurnLineScenario s) {
+    ScenarioProblem out = fromLine(std::move(s.pool));
     out.hasChurn = true;
     out.epochLength = s.epochLength;
-    out.trace = generateChurnTrace(s.arrivals, s.pool.access);
+    out.trace = generateChurnTrace(s.arrivals, out.access);
     return out;
   };
 

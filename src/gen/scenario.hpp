@@ -3,6 +3,7 @@
 // that every consumer sees identical workloads for a given seed.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -181,6 +182,12 @@ struct ScenarioProblem {
   bool hasChurn = false;  ///< true for the "+churn" presets
   ChurnTrace trace;       ///< empty unless hasChurn
   double epochLength = 8.0;
+  /// Pool problem handle — exactly one non-null, matching the preset
+  /// kind. Online consumers build their DynamicUniverse from it
+  /// (makeDynamicTreeUniverse / makeDynamicLineUniverse) without copying
+  /// the pool.
+  std::shared_ptr<const TreeProblem> treePool;
+  std::shared_ptr<const LineProblem> linePool;
 };
 
 /// Instantiates the preset called `name` (see scenarioPresets()) at

@@ -113,6 +113,9 @@ ShardPlacement ShardPlacement::livePool(
     placement.homeNetwork[static_cast<std::size_t>(d)] =
         homeNetworkOf(access[static_cast<std::size_t>(d)]);
   }
+  placement.weightOfDemand.assign(static_cast<std::size_t>(numDemands), 1);
+  placement.weightedLoadOfProcessor.assign(
+      static_cast<std::size_t>(numProcessors), 0);
   return placement;
 }
 
@@ -138,8 +141,8 @@ std::int32_t ShardPlacement::placeDemand(DemandId d) {
   if (p == kUnplaced) {
     p = 0;
     for (std::int32_t q = 1; q < numProcessors; ++q) {
-      if (liveOfProcessor[static_cast<std::size_t>(q)] <
-          liveOfProcessor[static_cast<std::size_t>(p)]) {
+      if (weightedLoadOfProcessor[static_cast<std::size_t>(q)] <
+          weightedLoadOfProcessor[static_cast<std::size_t>(p)]) {
         p = q;
       }
     }
@@ -150,7 +153,22 @@ std::int32_t ShardPlacement::placeDemand(DemandId d) {
   processorOfDemand[static_cast<std::size_t>(d)] = p;
   demandsOfProcessor[static_cast<std::size_t>(p)].push_back(d);
   ++liveOfProcessor[static_cast<std::size_t>(p)];
+  weightedLoadOfProcessor[static_cast<std::size_t>(p)] +=
+      weightOfDemand[static_cast<std::size_t>(d)];
   return p;
+}
+
+void ShardPlacement::setDemandWeight(DemandId d, std::int64_t weight) {
+  checkThat(live, "setDemandWeight on a live placement", __FILE__, __LINE__);
+  checkIndex(d, numDemands(), "setDemandWeight");
+  checkThat(weight >= 1, "demand weight >= 1", __FILE__, __LINE__);
+  const std::int64_t delta =
+      weight - weightOfDemand[static_cast<std::size_t>(d)];
+  weightOfDemand[static_cast<std::size_t>(d)] = weight;
+  if (isPlaced(d)) {
+    const std::int32_t p = processorOfDemand[static_cast<std::size_t>(d)];
+    weightedLoadOfProcessor[static_cast<std::size_t>(p)] += delta;
+  }
 }
 
 void ShardPlacement::removeDemand(DemandId d) {
@@ -166,6 +184,8 @@ void ShardPlacement::removeDemand(DemandId d) {
   *pos = kUnplaced;
   --liveOfProcessor[static_cast<std::size_t>(p)];
   ++tombstonesOfProcessor[static_cast<std::size_t>(p)];
+  weightedLoadOfProcessor[static_cast<std::size_t>(p)] -=
+      weightOfDemand[static_cast<std::size_t>(d)];
 
   const std::int32_t net = homeNetwork[static_cast<std::size_t>(d)];
   if (net >= 0) {
@@ -188,12 +208,12 @@ void ShardPlacement::removeDemand(DemandId d) {
 double ShardPlacement::loadVariance() const {
   if (numProcessors <= 0) return 0.0;
   double mean = 0;
-  for (const std::int32_t n : liveOfProcessor) {
+  for (const std::int64_t n : weightedLoadOfProcessor) {
     mean += static_cast<double>(n);
   }
   mean /= static_cast<double>(numProcessors);
   double variance = 0;
-  for (const std::int32_t n : liveOfProcessor) {
+  for (const std::int64_t n : weightedLoadOfProcessor) {
     const double delta = static_cast<double>(n) - mean;
     variance += delta * delta;
   }
@@ -235,13 +255,20 @@ ShardPlacement::RebalancePlan ShardPlacement::planRebalance(
     return plan;
   }
 
-  std::vector<std::int64_t> loads(liveOfProcessor.begin(),
-                                  liveOfProcessor.end());
+  std::vector<std::int64_t> loads(weightedLoadOfProcessor.begin(),
+                                  weightedLoadOfProcessor.end());
   std::int64_t total = 0;
   for (const std::int64_t n : loads) total += n;
   if (total == 0) {
     return plan;
   }
+  const auto groupWeight = [this](const MoveGroup& g) {
+    std::int64_t w = 0;
+    for (const DemandId d : g.demands) {
+      w += weightOfDemand[static_cast<std::size_t>(d)];
+    }
+    return w;
+  };
   const double mean =
       static_cast<double>(total) / static_cast<double>(numProcessors);
 
@@ -354,21 +381,19 @@ ShardPlacement::RebalancePlan ShardPlacement::planRebalance(
     }
     auto& hotGroups = groups[static_cast<std::size_t>(hot)];
 
-    // Whole-group move first: the largest group that still improves the
-    // (hot, cold) pair — strictly smaller than the gap — keeps its
-    // demands co-hosted (locality preserved). Hash tie-break on equal
-    // sizes keeps the choice deterministic yet seed-varied.
+    // Whole-group move first: the heaviest group that still improves the
+    // (hot, cold) pair — weight strictly smaller than the gap — keeps
+    // its demands co-hosted (locality preserved). Hash tie-break on
+    // equal weights keeps the choice deterministic yet seed-varied.
     std::size_t best = hotGroups.size();
     for (std::size_t g = 0; g < hotGroups.size(); ++g) {
-      const auto size =
-          static_cast<std::int64_t>(hotGroups[g].demands.size());
+      const std::int64_t size = groupWeight(hotGroups[g]);
       if (size == 0 || size >= gap) continue;
       if (best == hotGroups.size()) {
         best = g;
         continue;
       }
-      const auto bestSize =
-          static_cast<std::int64_t>(hotGroups[best].demands.size());
+      const std::int64_t bestSize = groupWeight(hotGroups[best]);
       if (size > bestSize) {
         best = g;
       } else if (size == bestSize) {
@@ -387,7 +412,7 @@ ShardPlacement::RebalancePlan ShardPlacement::planRebalance(
       for (const DemandId d : g.demands) {
         plan.moves.push_back(Migration{d, hot, cold});
       }
-      const auto size = static_cast<std::int64_t>(g.demands.size());
+      const std::int64_t size = groupWeight(g);
       loads[static_cast<std::size_t>(hot)] -= size;
       loads[static_cast<std::size_t>(cold)] += size;
       if (g.net >= 0) {
@@ -404,12 +429,13 @@ ShardPlacement::RebalancePlan ShardPlacement::planRebalance(
     }
 
     // No whole group fits: one network dominates the hot processor.
-    // Split it — move half the gap off the back of the largest group
-    // (ascending ids stay put, so repeated splits peel deterministically).
+    // Split it — peel demands off the back of the heaviest group until
+    // about half the gap's weight moved, always keeping its front
+    // demand (ascending ids stay put, so repeated splits peel
+    // deterministically).
     std::size_t largest = 0;
     for (std::size_t g = 1; g < hotGroups.size(); ++g) {
-      if (hotGroups[g].demands.size() >
-          hotGroups[largest].demands.size()) {
+      if (groupWeight(hotGroups[g]) > groupWeight(hotGroups[largest])) {
         largest = g;
       }
     }
@@ -417,18 +443,21 @@ ShardPlacement::RebalancePlan ShardPlacement::planRebalance(
       break;  // nothing movable (stale accounting cannot happen, but be safe)
     }
     MoveGroup& g = hotGroups[largest];
-    const std::int64_t k = std::max<std::int64_t>(
-        1, std::min(gap / 2,
-                    static_cast<std::int64_t>(g.demands.size()) - 1));
+    const std::int64_t targetWeight = std::max<std::int64_t>(1, gap / 2);
+    std::int64_t movedWeight = 0;
     std::vector<DemandId> moved;
-    moved.reserve(static_cast<std::size_t>(k));
-    for (std::int64_t j = 0; j < k; ++j) {
-      plan.moves.push_back(Migration{g.demands.back(), hot, cold});
-      moved.push_back(g.demands.back());
+    while (g.demands.size() > 1 && movedWeight < targetWeight) {
+      const DemandId d = g.demands.back();
+      plan.moves.push_back(Migration{d, hot, cold});
+      moved.push_back(d);
+      movedWeight += weightOfDemand[static_cast<std::size_t>(d)];
       g.demands.pop_back();
     }
-    loads[static_cast<std::size_t>(hot)] -= k;
-    loads[static_cast<std::size_t>(cold)] += k;
+    if (moved.empty()) {
+      break;  // single-demand group heavier than the gap: unsplittable
+    }
+    loads[static_cast<std::size_t>(hot)] -= movedWeight;
+    loads[static_cast<std::size_t>(cold)] += movedWeight;
     receive(cold, g.net, moved);
   }
 
@@ -456,6 +485,10 @@ void ShardPlacement::migrateDemand(DemandId d, std::int32_t to) {
   processorOfDemand[static_cast<std::size_t>(d)] = to;
   demandsOfProcessor[static_cast<std::size_t>(to)].push_back(d);
   ++liveOfProcessor[static_cast<std::size_t>(to)];
+  weightedLoadOfProcessor[static_cast<std::size_t>(from)] -=
+      weightOfDemand[static_cast<std::size_t>(d)];
+  weightedLoadOfProcessor[static_cast<std::size_t>(to)] +=
+      weightOfDemand[static_cast<std::size_t>(d)];
 
   // Same amortized compaction rule as removeDemand: a whole-network
   // migration leaves a trail of tombstones on the source.

@@ -81,9 +81,27 @@ struct ShardPlacement {
 
   /// Places an unplaced demand (live pools only) and returns its
   /// processor: the home-network anchor when one is live, else the
-  /// least-loaded processor (lowest id on ties), which then anchors the
-  /// network.
+  /// least-loaded processor by weighted load (lowest id on ties), which
+  /// then anchors the network.
   std::int32_t placeDemand(DemandId d);
+
+  /// Sets demand `d`'s load weight (live pools only; default 1). The
+  /// online solver threads each demand's live instance count through
+  /// here, so "load" means instances hosted, not demands hosted. A
+  /// weight change while `d` is placed moves its processor's weighted
+  /// load immediately. Weights must be >= 1 (a live demand always costs
+  /// at least its endpoint).
+  void setDemandWeight(DemandId d, std::int64_t weight);
+
+  std::int64_t demandWeight(DemandId d) const {
+    return weightOfDemand[static_cast<std::size_t>(d)];
+  }
+
+  /// Weighted live load hosted by processor `p` (sum of hosted demand
+  /// weights; equals liveDemandCount while every weight is 1).
+  std::int64_t weightedLoad(std::int32_t p) const {
+    return weightedLoadOfProcessor[static_cast<std::size_t>(p)];
+  }
 
   /// Tombstones a placed demand (live pools only) and releases its
   /// home-network anchor reference; compacts the processor's hosted list
@@ -124,7 +142,8 @@ struct ShardPlacement {
     double varianceAfter = 0;   ///< ... assuming the plan is applied
   };
 
-  /// Population variance of the per-processor live-demand counts.
+  /// Population variance of the per-processor weighted live loads
+  /// (demand counts while every weight is 1).
   double loadVariance() const;
 
   /// Plans migrations until no processor's live load exceeds
@@ -160,6 +179,11 @@ struct ShardPlacement {
   std::vector<std::int32_t> homeNetwork;
   std::vector<std::int32_t> liveOfProcessor;        ///< live entries per proc
   std::vector<std::int32_t> tombstonesOfProcessor;  ///< tombstones per proc
+  /// Per pool demand: placement load weight (live instance count, set by
+  /// the online solver; 1 until set). Filled by livePool().
+  std::vector<std::int64_t> weightOfDemand;
+  /// Per processor: sum of hosted live demand weights.
+  std::vector<std::int64_t> weightedLoadOfProcessor;
   /// Sticky network -> (processor, live refcount) anchors.
   struct NetworkAnchor {
     std::int32_t processor = 0;

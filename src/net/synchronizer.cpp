@@ -401,7 +401,6 @@ RebalanceOutcome AlphaSynchronizer::rebalanceShards(
     rebuildRemoteProcs(d);
   }
 
-  publishLoadTelemetry();
   if (trace_) {
     tracer_->span("rebalance", "net", 0, begin,
                   {{"demands_moved", outcome.demandsMoved},

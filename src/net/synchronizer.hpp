@@ -87,6 +87,12 @@ class AlphaSynchronizer : public Transport, public MutableTopology {
   /// ledger — the lifecycle steps only the wire layer can see.
   void attachLedger(LedgerSink* ledger) override;
 
+  /// Publishes the net.shard_hosted_demands histogram +
+  /// net.shard_load_variance gauge from the current live placement (the
+  /// online solver's once-per-epoch call; no-op without an attached
+  /// registry or on a non-live placement).
+  void recordPlacementLoad() override { publishLoadTelemetry(); }
+
   const NetworkStats& stats() const override { return stats_; }
 
   const ShardPlacement& placement() const { return placement_; }
@@ -123,10 +129,19 @@ class AlphaSynchronizer : public Transport, public MutableTopology {
   /// their neighbours) are rebuilt — the same incremental bookkeeping as
   /// connect/disconnect, so safe-marker traffic stays exact. Placement
   /// is wire accounting only: the schedule is bit-identical with or
-  /// without rebalancing (tests/rebalance_test.cpp). Publishes the
-  /// net.shard_hosted_demands histogram + net.shard_load_variance gauge
-  /// and emits a "rebalance" span when a tracer is live.
+  /// without rebalancing (tests/rebalance_test.cpp). Emits a
+  /// "rebalance" span when a tracer is live; the load telemetry itself
+  /// is published by recordPlacementLoad() once per epoch, whether or
+  /// not rebalancing runs.
   RebalanceOutcome rebalanceShards(const ShardRebalanceConfig& config) override;
+
+  /// Forwards the demand's weight (live instance count) into the live
+  /// placement's weighted-load accounting; no-op on a fixed placement.
+  void setDemandWeight(std::int32_t demand, std::int64_t weight) override {
+    if (placement_.live) {
+      placement_.setDemandWeight(demand, weight);
+    }
+  }
 
  private:
   std::int32_t processorOf(DemandId d) const {
@@ -185,7 +200,8 @@ class AlphaSynchronizer : public Transport, public MutableTopology {
   void ledgerPlacement(DemandId d, std::int32_t processor);
 
   /// Records the per-processor live loads + variance (live placements;
-  /// refreshed at every rebalanceShards call — the epoch cadence).
+  /// refreshed at every recordPlacementLoad call — the online solver's
+  /// epoch cadence, rebalancing or not).
   void publishLoadTelemetry();
   std::vector<std::int32_t> touchedScratch_;  ///< rebalance rebuild set
 };

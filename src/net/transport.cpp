@@ -22,10 +22,15 @@ void Transport::attachTelemetry(Tracer* /*tracer*/,
 
 void Transport::attachLedger(LedgerSink* /*ledger*/) {}
 
+void Transport::recordPlacementLoad() {}
+
 RebalanceOutcome MutableTopology::rebalanceShards(
     const ShardRebalanceConfig& /*config*/) {
   return {};
 }
+
+void MutableTopology::setDemandWeight(std::int32_t /*demand*/,
+                                      std::int64_t /*weight*/) {}
 
 MutableTopology* mutableTopologyOf(Transport& transport) {
   return dynamic_cast<MutableTopology*>(&transport);

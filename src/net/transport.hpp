@@ -121,6 +121,15 @@ class Transport {
   /// attachTelemetry. The sink must stay alive until detached.
   virtual void attachLedger(LedgerSink* ledger);
 
+  /// Publishes the transport's current placement load into the attached
+  /// metrics registry (net.shard_hosted_demands histogram +
+  /// net.shard_load_variance gauge on a live sharded placement). The
+  /// online solver calls this once per epoch boundary so the load
+  /// time-series exists whether or not rebalancing is enabled; the
+  /// default — and any transport with no placement — does nothing.
+  /// Read-only observation; never changes delivery behaviour.
+  virtual void recordPlacementLoad();
+
   virtual const NetworkStats& stats() const = 0;
 };
 
@@ -198,6 +207,15 @@ class MutableTopology {
   /// no sharded placement, like SimNetwork — does nothing and reports
   /// zero variances.
   virtual RebalanceOutcome rebalanceShards(const ShardRebalanceConfig& config);
+
+  /// Sets demand `demand`'s placement load weight — its live instance
+  /// count, threaded in by the online solver as the dynamic universe
+  /// grows each arrival's instances. Weighted loads feed placement
+  /// (least-loaded choice), the rebalance planner and the variance
+  /// accounting; they are wire accounting only and never change the
+  /// schedule. The default — and any transport with no placement —
+  /// ignores it.
+  virtual void setDemandWeight(std::int32_t demand, std::int64_t weight);
 };
 
 /// The mutable-topology facet of `transport`, or nullptr when the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "decomp/layering.hpp"
 #include "util/check.hpp"
 
 namespace treesched {
@@ -52,23 +53,19 @@ std::vector<EpochBatch> batchTrace(const ChurnTrace& trace,
   return batches;
 }
 
-ChurnRunResult runChurnOverTrace(
-    const InstanceUniverse& universe, const Layering& layering,
-    const std::vector<std::vector<std::int32_t>>& access,
-    const ChurnTrace& trace, const ChurnEngineConfig& config) {
-  const std::unique_ptr<Transport> transport =
-      makeLiveTransport(universe.numDemands(), access, config.transport);
-  return runChurnOverTransport(universe, layering, access, trace, config,
-                               *transport);
+ChurnRunResult runChurnOverTrace(DynamicUniverse& universe,
+                                 const ChurnTrace& trace,
+                                 const ChurnEngineConfig& config) {
+  const std::unique_ptr<Transport> transport = makeLiveTransport(
+      universe.numDemands(), universe.access(), config.transport);
+  return runChurnOverTransport(universe, trace, config, *transport);
 }
 
-ChurnRunResult runChurnOverTransport(
-    const InstanceUniverse& universe, const Layering& layering,
-    const std::vector<std::vector<std::int32_t>>& access,
-    const ChurnTrace& trace, const ChurnEngineConfig& config,
-    Transport& transport) {
-  IncrementalSolver solver(universe, layering, access, config.solver,
-                           transport);
+ChurnRunResult runChurnOverTransport(DynamicUniverse& universe,
+                                     const ChurnTrace& trace,
+                                     const ChurnEngineConfig& config,
+                                     Transport& transport) {
+  IncrementalSolver solver(universe, config.solver, transport);
   ChurnRunResult result;
   const std::vector<EpochBatch> batches =
       batchTrace(trace, config.epochLength);
@@ -101,22 +98,26 @@ ChurnRunResult runChurnOverTransport(
   result.meanResolveFraction =
       churnEpochs > 0 ? fractionSum / static_cast<double>(churnEpochs) : 0.0;
   result.sla = solver.admissionSla();
+  const UniverseStats& ustats = universe.stats();
+  result.universeBuildMs = ustats.buildMs;
+  result.meanExtendUsPerArrival =
+      ustats.arrivals > 0 ? static_cast<double>(ustats.extendUs) /
+                                static_cast<double>(ustats.arrivals)
+                          : 0.0;
   result.network = solver.transport().stats();
   return result;
 }
 
 ChurnRunResult runChurnTree(const TreeProblem& pool, const ChurnTrace& trace,
                             const ChurnEngineConfig& config) {
-  const PreparedRun prepared = prepareUnitTreeRun(pool);
-  return runChurnOverTrace(prepared.universe, prepared.layering, pool.access,
-                           trace, config);
+  DynamicUniverse universe = makeDynamicTreeUniverse(pool);
+  return runChurnOverTrace(universe, trace, config);
 }
 
 ChurnRunResult runChurnLine(const LineProblem& pool, const ChurnTrace& trace,
                             const ChurnEngineConfig& config) {
-  const PreparedRun prepared = prepareUnitLineRun(pool);
-  return runChurnOverTrace(prepared.universe, prepared.layering, pool.access,
-                           trace, config);
+  DynamicUniverse universe = makeDynamicLineUniverse(pool);
+  return runChurnOverTrace(universe, trace, config);
 }
 
 }  // namespace treesched

@@ -7,6 +7,12 @@
 // epoch over the live transport. It is the online counterpart of the
 // one-shot runDistributedUnit{Tree,Line} entry points.
 //
+// The engine runs over a DynamicUniverse (core/dynamic_universe.hpp):
+// only the per-network layering structures and pool indexes are built up
+// front; instances materialize as demands arrive and garbage-collect as
+// they depart, so per-epoch cost tracks churn and steady-state memory
+// tracks live demands — never the pool size.
+//
 // The transport is selected by ChurnEngineConfig::transport
 // (net/live_transport.hpp): the synchronous bus, the async lossy wire or
 // the sharded wire. Epoch outcomes are bit-identical across all of them
@@ -49,6 +55,13 @@ struct ChurnRunResult {
   std::int64_t totalMessages = 0;
   /// Admission-latency SLA aggregates after the last epoch.
   AdmissionSla sla;
+  // ---- Dynamic-universe maintenance cost ----
+  /// One-time pool build (layerer structures + indexes) — the only cost
+  /// that scales with pool size.
+  double universeBuildMs = 0;
+  /// Mean addDemand wall time over the run's arrivals (µs) — the
+  /// bench-tracked per-arrival extension cost, independent of pool size.
+  double meanExtendUsPerArrival = 0;
   // ---- Hot-shard rebalancing + engine scaling aggregates ----
   // All zero when rebalancing is disabled or the transport has no live
   // sharded placement; performance accounting only.
@@ -66,23 +79,21 @@ struct ChurnRunResult {
   NetworkStats network;
 };
 
-/// Runs the trace over a prepared pool (universe + layering + access),
-/// building the transport from config.transport. The pool structures
-/// must outlive the call.
-ChurnRunResult runChurnOverTrace(
-    const InstanceUniverse& universe, const Layering& layering,
-    const std::vector<std::vector<std::int32_t>>& access,
-    const ChurnTrace& trace, const ChurnEngineConfig& config);
+/// Runs the trace over a prepared dynamic universe (no live demands
+/// yet), building the transport from config.transport. The universe must
+/// outlive the call and comes back holding the final live set.
+ChurnRunResult runChurnOverTrace(DynamicUniverse& universe,
+                                 const ChurnTrace& trace,
+                                 const ChurnEngineConfig& config);
 
 /// Same, over a caller-owned live transport (must expose one isolated
 /// endpoint per pool demand and support MutableTopology).
-ChurnRunResult runChurnOverTransport(
-    const InstanceUniverse& universe, const Layering& layering,
-    const std::vector<std::vector<std::int32_t>>& access,
-    const ChurnTrace& trace, const ChurnEngineConfig& config,
-    Transport& transport);
+ChurnRunResult runChurnOverTransport(DynamicUniverse& universe,
+                                     const ChurnTrace& trace,
+                                     const ChurnEngineConfig& config,
+                                     Transport& transport);
 
-/// Convenience entry points building the pool structures first.
+/// Convenience entry points building the dynamic universe first.
 ChurnRunResult runChurnTree(const TreeProblem& pool, const ChurnTrace& trace,
                             const ChurnEngineConfig& config);
 ChurnRunResult runChurnLine(const LineProblem& pool, const ChurnTrace& trace,

@@ -39,17 +39,13 @@ std::uint64_t epochProtocolSeed(std::uint64_t solverSeed, std::int32_t epoch) {
                    static_cast<std::uint64_t>(epoch));
 }
 
-IncrementalSolver::IncrementalSolver(
-    const InstanceUniverse& universe, const Layering& layering,
-    const std::vector<std::vector<std::int32_t>>& access,
-    const OnlineSolverConfig& config, Transport& transport)
+IncrementalSolver::IncrementalSolver(DynamicUniverse& universe,
+                                     const OnlineSolverConfig& config,
+                                     Transport& transport)
     : u_(universe),
-      lay_(layering),
-      access_(access),
       cfg_(config),
       bus_(transport),
       topo_(requireMutableTopology(transport)),
-      active_(static_cast<std::size_t>(universe.numDemands()), 0),
       networkMembers_(static_cast<std::size_t>(universe.numNetworks())),
       dual_(universe),
       lhs_(static_cast<std::size_t>(universe.numInstances()), 0.0),
@@ -65,7 +61,13 @@ IncrementalSolver::IncrementalSolver(
     activeGauge_ = &cfg_.metrics->gauge("online.active_demands");
     latencyRegHist_ = &cfg_.metrics->histogram(
         "online.admission_latency_epochs", latencyBuckets());
+    instancesLiveGauge_ = &cfg_.metrics->gauge("universe.instances_live");
+    extendUsCtr_ = &cfg_.metrics->counter("universe.extend_us");
+    gcUsCtr_ = &cfg_.metrics->counter("universe.gc_us");
+    gcDemandsCtr_ = &cfg_.metrics->counter("universe.gc_demands");
+    gcInstancesCtr_ = &cfg_.metrics->counter("universe.gc_instances");
   }
+  prevStats_ = u_.stats();
   // Decision provenance: with an ENABLED ledger the solver mirrors the
   // admission oracle into shadow certificate state and hands the sink
   // to the transport (placement/migration events). All of it is guarded
@@ -75,12 +77,11 @@ IncrementalSolver::IncrementalSolver(
   if (ledgerOn_) {
     bus_.attachLedger(cfg_.ledger);
   }
-  checkThat(u_.conflictsBuilt(), "conflicts built before online solve",
-            __FILE__, __LINE__);
   checkThat(u_.numDemands() > 0, "online solver needs a demand pool",
             __FILE__, __LINE__);
-  checkThat(static_cast<std::int32_t>(access_.size()) == u_.numDemands(),
-            "one accessibility list per pool demand", __FILE__, __LINE__);
+  checkThat(u_.numLiveDemands() == 0,
+            "the dynamic universe starts empty (the solver owns the live set)",
+            __FILE__, __LINE__);
   checkThat(cfg_.stepsPerStage > 0,
             "online epochs run the fixed schedule (stepsPerStage > 0)",
             __FILE__, __LINE__);
@@ -101,20 +102,35 @@ std::uint64_t IncrementalSolver::pairKey(std::int32_t a, std::int32_t b) {
 }
 
 void IncrementalSolver::activate(DemandId d) {
-  checkThat(active_[static_cast<std::size_t>(d)] == 0,
-            "arrival of an inactive demand", __FILE__, __LINE__);
-  active_[static_cast<std::size_t>(d)] = 1;
-  ++activeDemandCount_;
-  activeInstanceCount_ +=
-      static_cast<std::int64_t>(u_.instancesOfDemand(d).size());
+  checkThat(!u_.isLive(d), "arrival of an inactive demand", __FILE__,
+            __LINE__);
+  u_.addDemand(d);
+  // Warm-start the new instances' dual-constraint LHS from the
+  // persistent duals: alpha(d) (zero unless a purge left residue) plus
+  // the surviving beta along each instance's path. The static pool path
+  // would have accumulated the same sum raise by raise, so the two
+  // differ only in floating-point association order — the replay audit
+  // (maxLhsDeviationFromReplay) bounds the residue.
+  const auto newInstances = u_.instancesOfDemand(d);
+  for (const InstanceId i : newInstances) {
+    lhs_[static_cast<std::size_t>(i)] = dualLhs(cfg_.rule, u_, dual_, i);
+  }
   // A (re-)arrival restarts the demand's SLA clock.
   arrivalEpoch_[static_cast<std::size_t>(d)] = epoch_;
   admittedEpoch_[static_cast<std::size_t>(d)] = -1;
 
+  // Thread the live instance count into the transport's shard-load
+  // accounting before placement, so the least-loaded choice below
+  // already sees the weight. Wire accounting only; a demand with an
+  // empty instance set still costs its endpoint.
+  topo_.setDemandWeight(
+      d, std::max<std::int64_t>(
+             1, static_cast<std::int64_t>(newInstances.size())));
+
   // New communication edges: one per active demand first found sharing a
   // network with d; further shared networks only bump the edge's count.
   newNeighbors_.clear();
-  for (const std::int32_t t : access_[static_cast<std::size_t>(d)]) {
+  for (const std::int32_t t : u_.access()[static_cast<std::size_t>(d)]) {
     auto& members = networkMembers_[static_cast<std::size_t>(t)];
     for (const DemandId m : members) {
       if (++sharedNetworks_[pairKey(d, m)] == 1) {
@@ -128,17 +144,13 @@ void IncrementalSolver::activate(DemandId d) {
 }
 
 void IncrementalSolver::deactivate(DemandId d) {
-  checkThat(active_[static_cast<std::size_t>(d)] != 0,
-            "departure of an active demand", __FILE__, __LINE__);
-  active_[static_cast<std::size_t>(d)] = 0;
-  --activeDemandCount_;
-  activeInstanceCount_ -=
-      static_cast<std::int64_t>(u_.instancesOfDemand(d).size());
+  checkThat(u_.isLive(d), "departure of an active demand", __FILE__,
+            __LINE__);
   if (admittedEpoch_[static_cast<std::size_t>(d)] < 0) {
     ++departedUnadmitted_;
   }
 
-  for (const std::int32_t t : access_[static_cast<std::size_t>(d)]) {
+  for (const std::int32_t t : u_.access()[static_cast<std::size_t>(d)]) {
     auto& members = networkMembers_[static_cast<std::size_t>(t)];
     const auto pos = std::lower_bound(members.begin(), members.end(), d);
     checkThat(pos != members.end() && *pos == d, "departing demand listed",
@@ -149,6 +161,15 @@ void IncrementalSolver::deactivate(DemandId d) {
     sharedNetworks_.erase(pairKey(d, m));
   }
   topo_.disconnectDemand(d);
+
+  // Zero the departing instances' pool-dense LHS entries (they still
+  // hold other demands' beta contributions on shared edges) and
+  // garbage-collect the demand's universe slab. A re-arrival
+  // reconstructs the LHS from the duals in activate().
+  for (const InstanceId i : u_.instancesOfDemand(d)) {
+    lhs_[static_cast<std::size_t>(i)] = 0.0;
+  }
+  u_.retireDemand(d);
 }
 
 void IncrementalSolver::applyRaiseSigned(const RaiseRecord& record,
@@ -162,7 +183,7 @@ void IncrementalSolver::applyRaiseSigned(const RaiseRecord& record,
   // LHS (and hence lambda) bit for bit.
   dual_.raiseAlpha(rec.demand, alphaInc);
   applyAlphaToLhs(u_, rec.demand, alphaInc, lhs_);
-  for (const GlobalEdgeId e : lay_.critical(record.instance)) {
+  for (const GlobalEdgeId e : u_.critical(record.instance)) {
     dual_.raiseBeta(e, betaInc);
     applyBetaToLhs(u_, cfg_.rule, e, betaInc, lhs_);
   }
@@ -249,7 +270,7 @@ void IncrementalSolver::popPersistentStack() {
   // oracle's state (admitted instance per demand, first loader and load
   // per edge) names every rejection's blocker; events buffer until the
   // epoch's lambda is measured so the certificate threshold is final.
-  FeasibilityOracle oracle(u_);
+  BasicFeasibilityOracle<DynamicUniverse> oracle(u_);
   if (ledgerOn_) {
     acceptedOfDemand_.assign(static_cast<std::size_t>(u_.numDemands()),
                              kNoInstance);
@@ -354,14 +375,34 @@ AdmissionSla IncrementalSolver::admissionSla() const {
 
 std::vector<InstanceId> IncrementalSolver::activeInstanceIds() const {
   std::vector<InstanceId> ids;
-  ids.reserve(static_cast<std::size_t>(activeInstanceCount_));
+  ids.reserve(static_cast<std::size_t>(u_.numLiveInstances()));
   for (DemandId d = 0; d < u_.numDemands(); ++d) {
-    if (active_[static_cast<std::size_t>(d)] == 0) continue;
+    if (!u_.isLive(d)) continue;
     const auto span = u_.instancesOfDemand(d);
     ids.insert(ids.end(), span.begin(), span.end());
   }
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+void IncrementalSolver::publishEpochTelemetry() {
+  // The protocol attaches/detaches transport telemetry around each run,
+  // so re-attach before recording the per-epoch shard load (idempotent;
+  // a transparent lookup after the first epoch). The load time-series
+  // must exist whether or not rebalancing is enabled, hence the explicit
+  // record here rather than inside rebalanceShards.
+  if (cfg_.tracer != nullptr || cfg_.metrics != nullptr) {
+    bus_.attachTelemetry(cfg_.tracer, cfg_.metrics);
+    bus_.recordPlacementLoad();
+  }
+  if (cfg_.metrics == nullptr) return;
+  const UniverseStats stats = u_.stats();
+  instancesLiveGauge_->set(static_cast<double>(u_.numLiveInstances()));
+  extendUsCtr_->add(stats.extendUs - prevStats_.extendUs);
+  gcUsCtr_->add(stats.gcUs - prevStats_.gcUs);
+  gcDemandsCtr_->add(stats.gcDemands - prevStats_.gcDemands);
+  gcInstancesCtr_->add(stats.gcInstances - prevStats_.gcInstances);
+  prevStats_ = stats;
 }
 
 EpochOutcome IncrementalSolver::applyEpoch(
@@ -391,8 +432,8 @@ EpochOutcome IncrementalSolver::applyEpoch(
   if (cfg_.rebalance.enabled) {
     // The protocol attaches/detaches transport telemetry around each run;
     // the rebalance step sits before the run, so re-attach here or the
-    // net.shard_* instruments miss every rebalance. Idempotent, and a
-    // transparent lookup after the first epoch (no allocation).
+    // rebalance span is never traced. Idempotent, and a transparent
+    // lookup after the first epoch (no allocation).
     if (cfg_.tracer != nullptr || cfg_.metrics != nullptr) {
       bus_.attachTelemetry(cfg_.tracer, cfg_.metrics);
     }
@@ -409,8 +450,8 @@ EpochOutcome IncrementalSolver::applyEpoch(
   // admission, duals and slackness carry over verbatim — no stack
   // re-pop, no lambda scan, no protocol run.
   if (arrivals.empty() && departures.empty()) {
-    outcome.activeDemands = activeDemandCount_;
-    outcome.activeInstances = activeInstanceCount_;
+    outcome.activeDemands = u_.numLiveDemands();
+    outcome.activeInstances = u_.numLiveInstances();
     outcome.solution = solution_;
     outcome.profit = profit_;
     outcome.lambdaMeasured = lambdaMeasured_;
@@ -419,8 +460,9 @@ EpochOutcome IncrementalSolver::applyEpoch(
         lambdaMeasured_ > 0 ? dualObjective_ / lambdaMeasured_
                             : std::numeric_limits<double>::infinity();
     if (activeGauge_ != nullptr) {
-      activeGauge_->set(static_cast<double>(activeDemandCount_));
+      activeGauge_->set(static_cast<double>(u_.numLiveDemands()));
     }
+    publishEpochTelemetry();
     if (trace) {
       tracer->span("online_epoch", "online", 0, epochBegin,
                    {{"epoch", outcome.epoch}});
@@ -432,15 +474,16 @@ EpochOutcome IncrementalSolver::applyEpoch(
 
   // Networks whose demand population changes this epoch — the changed
   // set that defines the affected region.
+  const auto& access = u_.access();
   changedNetworks_.clear();
   for (const DemandId d : departures) {
     checkIndex(d, u_.numDemands(), "departing demand");
-    const auto& nets = access_[static_cast<std::size_t>(d)];
+    const auto& nets = access[static_cast<std::size_t>(d)];
     changedNetworks_.insert(changedNetworks_.end(), nets.begin(), nets.end());
   }
   for (const DemandId d : arrivals) {
     checkIndex(d, u_.numDemands(), "arriving demand");
-    const auto& nets = access_[static_cast<std::size_t>(d)];
+    const auto& nets = access[static_cast<std::size_t>(d)];
     changedNetworks_.insert(changedNetworks_.end(), nets.begin(), nets.end());
   }
   std::sort(changedNetworks_.begin(), changedNetworks_.end());
@@ -448,9 +491,9 @@ EpochOutcome IncrementalSolver::applyEpoch(
       std::unique(changedNetworks_.begin(), changedNetworks_.end()),
       changedNetworks_.end());
 
-  // Departures first (their raises purge exactly; fully-purged stack
-  // sets compact away eagerly), then arrivals extend the live
-  // communication graph.
+  // Departures first (their raises purge exactly, their slabs
+  // garbage-collect; fully-purged stack sets compact away eagerly), then
+  // arrivals extend the universe and the live communication graph.
   const std::int64_t mutateBegin = trace ? tracer->now() : 0;
   for (const DemandId d : departures) {
     if (ledgerOn_) {
@@ -494,12 +537,12 @@ EpochOutcome IncrementalSolver::applyEpoch(
   affected_.erase(std::unique(affected_.begin(), affected_.end()),
                   affected_.end());
 
-  outcome.activeDemands = activeDemandCount_;
-  outcome.activeInstances = activeInstanceCount_;
+  outcome.activeDemands = u_.numLiveDemands();
+  outcome.activeInstances = u_.numLiveInstances();
   outcome.affectedDemands = static_cast<std::int32_t>(affected_.size());
   outcome.fullResolve =
-      activeDemandCount_ > 0 &&
-      static_cast<std::int32_t>(affected_.size()) == activeDemandCount_;
+      outcome.activeDemands > 0 &&
+      static_cast<std::int32_t>(affected_.size()) == outcome.activeDemands;
 
   if (outcome.fullResolve) {
     // The whole instance is affected: drop the warm state and solve from
@@ -515,9 +558,9 @@ EpochOutcome IncrementalSolver::applyEpoch(
   std::sort(restricted_.begin(), restricted_.end());
   outcome.affectedInstances = static_cast<std::int64_t>(restricted_.size());
   outcome.resolveFraction =
-      activeInstanceCount_ > 0
+      outcome.activeInstances > 0
           ? static_cast<double>(restricted_.size()) /
-                static_cast<double>(activeInstanceCount_)
+                static_cast<double>(outcome.activeInstances)
           : 0.0;
 
   if (!restricted_.empty()) {
@@ -542,7 +585,7 @@ EpochOutcome IncrementalSolver::applyEpoch(
     const std::int64_t roundsBefore = bus_.stats().rounds;
     const std::int64_t messagesBefore = bus_.stats().messages;
     const DistributedResult run =
-        runDistributedWarmStart(u_, lay_, bus_, options, warm);
+        runDistributedWarmStart(u_, bus_, options, warm);
     outcome.raises = run.raises;
     outcome.rounds = bus_.stats().rounds - roundsBefore;
     outcome.messages = bus_.stats().messages - messagesBefore;
@@ -601,7 +644,7 @@ EpochOutcome IncrementalSolver::applyEpoch(
   double lambda = std::numeric_limits<double>::infinity();
   bool any = false;
   for (DemandId d = 0; d < u_.numDemands(); ++d) {
-    if (active_[static_cast<std::size_t>(d)] == 0) continue;
+    if (!u_.isLive(d)) continue;
     for (const InstanceId i : u_.instancesOfDemand(d)) {
       any = true;
       lambda = std::min(lambda, lhs_[static_cast<std::size_t>(i)] /
@@ -632,8 +675,9 @@ EpochOutcome IncrementalSolver::applyEpoch(
           : std::numeric_limits<double>::infinity();
 
   if (activeGauge_ != nullptr) {
-    activeGauge_->set(static_cast<double>(activeDemandCount_));
+    activeGauge_->set(static_cast<double>(u_.numLiveDemands()));
   }
+  publishEpochTelemetry();
   if (trace) {
     tracer->span("online_epoch", "online", 0, epochBegin,
                  {{"epoch", outcome.epoch},
@@ -651,13 +695,13 @@ double IncrementalSolver::maxLhsDeviationFromReplay() const {
     if (!record.live) continue;
     const InstanceRecord& rec = u_.instance(record.instance);
     applyAlphaToLhs(u_, rec.demand, record.amounts.alphaIncrement, replay);
-    for (const GlobalEdgeId e : lay_.critical(record.instance)) {
+    for (const GlobalEdgeId e : u_.critical(record.instance)) {
       applyBetaToLhs(u_, cfg_.rule, e, record.amounts.betaIncrement, replay);
     }
   }
   double deviation = 0;
   for (DemandId d = 0; d < u_.numDemands(); ++d) {
-    if (active_[static_cast<std::size_t>(d)] == 0) continue;
+    if (!u_.isLive(d)) continue;
     for (const InstanceId i : u_.instancesOfDemand(d)) {
       deviation = std::max(
           deviation, std::abs(replay[static_cast<std::size_t>(i)] -

@@ -1,10 +1,18 @@
 // Warm-started incremental epoch re-solver (the online tentpole).
 //
-// The solver owns a *pool* universe (every demand that can ever exist)
-// and drives a live Transport over it. Demands arrive and depart in
-// epoch batches; each batch triggers an incremental re-solve instead of
-// a from-scratch run:
+// The solver owns a *dynamic* universe (core/dynamic_universe.hpp):
+// the pool id space is fixed, but instances, edge paths, conflicts and
+// layering are materialized only for live demands. Demands arrive and
+// depart in epoch batches; each batch triggers an incremental re-solve
+// instead of a from-scratch run:
 //
+//  * Arrival of d extends the universe in O(affected) — addDemand
+//    materializes d's instances with their pool-stable ids, layers them
+//    and splices them into the live conflict relation — and warm-starts
+//    each new instance's dual-constraint LHS from the persistent duals
+//    (alpha(d) + the surviving beta along its path). No pool-sized
+//    structure is ever built, so per-arrival cost is independent of
+//    pool size and steady-state memory tracks live demands.
 //  * The communication graph is extended incrementally — arrival of d
 //    adds node d plus edges to active demands sharing a network (via a
 //    shared-network edge count, so duplicated shared networks never
@@ -14,23 +22,30 @@
 //    only the Transport + MutableTopology contracts (net/transport.hpp):
 //    the same solver runs over the synchronous bus, the asynchronous
 //    lossy wire and the sharded wire (net/live_transport.hpp), and every
-//    epoch is bit-identical across them.
+//    epoch is bit-identical across them. Each arrival's live instance
+//    count is threaded into the transport as its placement weight
+//    (MutableTopology::setDemandWeight) so shard load means instances
+//    hosted, not demands hosted.
 //  * Departures are *purged exactly*: every surviving dual is the dual
 //    of a raise owned by a still-active demand. A departed demand's
 //    alpha/beta increments are subtracted and its instances leave the
 //    persistent phase-1 stack; tuple sets the purge empties are dropped
 //    eagerly (with the dead raise records), so the stack never
-//    accumulates fully-purged sets between full re-solves. Locality
-//    makes the purge safe: a purged beta lives on a critical edge of the
-//    departed demand, so only demands sharing one of its networks — the
-//    affected region by definition — can see their LHS move.
+//    accumulates fully-purged sets between full re-solves. The demand's
+//    universe slab is then garbage-collected (retireDemand) with the
+//    same exactness discipline — every symmetric reference removed,
+//    checked. Locality makes the purge safe: a purged beta lives on a
+//    critical edge of the departed demand, so only demands sharing one
+//    of its networks — the affected region by definition — can see
+//    their LHS move.
 //  * The distributed protocol then re-runs ONLY over the affected
 //    region (active demands whose accessible networks intersect the
 //    changed networks), warm-started from the surviving LHS
-//    (dist/protocol.hpp runDistributedWarmStart). Unaffected instances
-//    keep their lambda-satisfaction from earlier epochs, so the
-//    slackness invariant holds over the whole active set after every
-//    epoch.
+//    (dist/protocol.hpp runDistributedWarmStart over the dynamic
+//    universe — no pool-sized layering is materialized). Unaffected
+//    instances keep their lambda-satisfaction from earlier epochs, so
+//    the slackness invariant holds over the whole active set after
+//    every epoch.
 //  * Phase 2 re-pops the persistent stack (old surviving sets + the
 //    epoch's new sets) with the centralized feasibility oracle — the
 //    admission step. Because every surviving raise's instance is popped
@@ -45,9 +60,11 @@
 // Equivalence gates: when the affected region is the whole active set
 // the solver drops the warm state and the epoch is bit-identical to
 // runTwoPhaseRestricted on the surviving demand set (tests/online_test);
-// and for any fixed trace the per-epoch outcomes over the async lossy
+// for any fixed trace the per-epoch outcomes over the async lossy
 // and sharded transports are bit-identical to the synchronous bus
-// (tests/online_transport_test).
+// (tests/online_transport_test); and the dynamic universe the epochs
+// run over is bit-identical to the from-scratch build restricted to the
+// live set (tests/dynamic_universe_test).
 #pragma once
 
 #include <cstdint>
@@ -55,9 +72,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/dynamic_universe.hpp"
 #include "core/solution.hpp"
-#include "core/universe.hpp"
-#include "decomp/layering.hpp"
 #include "dist/protocol.hpp"
 #include "framework/dual_state.hpp"
 #include "framework/raise_policy.hpp"
@@ -81,9 +97,9 @@ struct OnlineSolverConfig {
   std::int32_t stepsPerStage = 2;
   std::int32_t threads = 1;
   /// Telemetry plane (src/obs/): passed through to every epoch's
-  /// protocol run and used for the solver's own online.* instruments
-  /// and epoch/mutate/admit spans. Strictly read-only observation —
-  /// attaching either never changes an epoch's outcome.
+  /// protocol run and used for the solver's own online.* and universe.*
+  /// instruments and epoch/mutate/admit spans. Strictly read-only
+  /// observation — attaching either never changes an epoch's outcome.
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
   /// Decision provenance ledger (obs/ledger.hpp). When set AND enabled
@@ -180,13 +196,12 @@ struct AdmissionSla {
 
 class IncrementalSolver {
  public:
-  /// `universe` must have conflicts built; `access` are the pool
-  /// problem's accessibility lists (one per demand, network ids);
-  /// `transport` must expose one endpoint per pool demand, all isolated,
-  /// and support MutableTopology (net/live_transport.hpp builds one).
-  /// The references must outlive the solver.
-  IncrementalSolver(const InstanceUniverse& universe, const Layering& layering,
-                    const std::vector<std::vector<std::int32_t>>& access,
+  /// `universe` must start with zero live demands (the solver owns the
+  /// live set from here on); `transport` must expose one endpoint per
+  /// pool demand, all isolated, and support MutableTopology
+  /// (net/live_transport.hpp builds one). The references must outlive
+  /// the solver.
+  IncrementalSolver(DynamicUniverse& universe,
                     const OnlineSolverConfig& config, Transport& transport);
 
   /// Admits one epoch batch: `arrivals` must be inactive pool demands,
@@ -196,15 +211,14 @@ class IncrementalSolver {
                           std::span<const DemandId> departures);
 
   std::int32_t numEpochs() const { return epoch_; }
-  std::int32_t activeDemands() const { return activeDemandCount_; }
-  bool isActive(DemandId d) const {
-    return active_[static_cast<std::size_t>(d)] != 0;
-  }
+  std::int32_t activeDemands() const { return u_.numLiveDemands(); }
+  bool isActive(DemandId d) const { return u_.isLive(d); }
   /// Active instances, ascending (rebuilt on demand).
   std::vector<InstanceId> activeInstanceIds() const;
   const Solution& solution() const { return solution_; }
   double profit() const { return profit_; }
   const Transport& transport() const { return bus_; }
+  const DynamicUniverse& universe() const { return u_; }
   double lhs(InstanceId i) const {
     return lhs_[static_cast<std::size_t>(i)];
   }
@@ -234,7 +248,8 @@ class IncrementalSolver {
 
   /// Test audit: max absolute deviation between the persistent LHS of
   /// active instances and a fresh replay of the surviving raise log
-  /// (bounds the floating-point residue of departure purges).
+  /// (bounds the floating-point residue of departure purges and of the
+  /// arrival-time LHS reconstruction from the persistent duals).
   double maxLhsDeviationFromReplay() const;
 
  private:
@@ -257,26 +272,26 @@ class IncrementalSolver {
   void recordAdmissions(EpochOutcome& outcome);
   void ledgerShadowAdmit(InstanceId i);
   void ledgerBufferRejection(InstanceId i, std::int64_t stackSet);
+  void publishEpochTelemetry();
 
-  const InstanceUniverse& u_;
-  const Layering& lay_;
-  const std::vector<std::vector<std::int32_t>>& access_;
+  DynamicUniverse& u_;  ///< live universe, mutated by the epoch batches
   OnlineSolverConfig cfg_;
 
   Transport& bus_;         ///< the live transport, persistent across epochs
   MutableTopology& topo_;  ///< its mutation facet (same object)
 
-  // Active set + incremental communication graph bookkeeping.
-  std::vector<std::uint8_t> active_;
-  std::int32_t activeDemandCount_ = 0;
-  std::int64_t activeInstanceCount_ = 0;
+  // Incremental communication-graph bookkeeping (the live set itself is
+  // the universe's).
   std::vector<std::vector<DemandId>> networkMembers_;  ///< active, sorted
   /// Shared-network count per unordered demand pair with >= 1 common
   /// active network; an edge exists while the count is positive.
   std::unordered_map<std::uint64_t, std::int32_t> sharedNetworks_;
 
   // Persistent primal-dual state: duals/LHS of the surviving raises, the
-  // surviving raise log, and the phase-1 stack across epochs.
+  // surviving raise log, and the phase-1 stack across epochs. lhs_ is
+  // pool-dense (the WarmStart::priorLhs contract); entries of non-live
+  // instances are zeroed at retirement and reconstructed from the duals
+  // at (re-)arrival.
   DualState dual_;
   std::vector<double> lhs_;
   std::vector<RaiseRecord> raises_;
@@ -310,6 +325,15 @@ class IncrementalSolver {
   Counter* admittedCtr_ = nullptr;
   Gauge* activeGauge_ = nullptr;
   Histogram* latencyRegHist_ = nullptr;
+  // Universe cost instruments (dynamic-universe maintenance telemetry).
+  Gauge* instancesLiveGauge_ = nullptr;
+  Counter* extendUsCtr_ = nullptr;
+  Counter* gcUsCtr_ = nullptr;
+  Counter* gcDemandsCtr_ = nullptr;
+  Counter* gcInstancesCtr_ = nullptr;
+  /// Universe stats at the last publish — the per-epoch deltas feed the
+  /// cumulative universe.* counters.
+  UniverseStats prevStats_;
 
   // Scratch (reused per epoch).
   std::vector<std::int32_t> changedNetworks_;

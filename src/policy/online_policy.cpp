@@ -29,14 +29,26 @@ std::vector<InstanceId> activeInstancesOf(
 
 }  // namespace
 
-ChurnRunResult runChurnWithScheduler(
-    const InstanceUniverse& universe, const Layering& layering,
-    const std::vector<std::vector<std::int32_t>>& access,
-    const ChurnTrace& trace, const ChurnEngineConfig& config,
-    const std::string& policyId) {
+ChurnRunResult runChurnWithScheduler(const ScenarioProblem& problem,
+                                     const ChurnTrace& trace,
+                                     const ChurnEngineConfig& config,
+                                     const std::string& policyId) {
   if (policyId.empty() || policyId == "two_phase") {
-    return runChurnOverTrace(universe, layering, access, trace, config);
+    // The incremental engine runs over its own dynamic universe, grown
+    // and garbage-collected along the trace; the static pool universe
+    // below is untouched.
+    checkThat(problem.treePool != nullptr || problem.linePool != nullptr,
+              "scenario problem carries its pool handle", __FILE__, __LINE__);
+    if (problem.treePool != nullptr) {
+      DynamicUniverse universe = makeDynamicTreeUniverse(problem.treePool);
+      return runChurnOverTrace(universe, trace, config);
+    }
+    DynamicUniverse universe = makeDynamicLineUniverse(problem.linePool);
+    return runChurnOverTrace(universe, trace, config);
   }
+  const InstanceUniverse& universe = problem.universe;
+  const Layering& layering = problem.layering;
+  const std::vector<std::vector<std::int32_t>>& access = problem.access;
   const SchedulerRegistry& registry = SchedulerRegistry::all();
   checkThat(registry.has(policyId), "known scheduler id for churn loop",
             __FILE__, __LINE__);

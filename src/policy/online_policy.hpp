@@ -21,21 +21,23 @@
 
 #include <string>
 
+#include "gen/scenario.hpp"
 #include "online/churn_engine.hpp"
 #include "policy/scheduler.hpp"
 
 namespace treesched {
 
 /// Runs `trace` under the scheduler behind `policyId`
-/// (SchedulerRegistry::all()). "two_phase" delegates to
-/// runChurnOverTrace; other ids run the from-scratch-per-epoch
-/// scheduler loop (their ChurnRunResult reports resolveFraction 1 on
-/// every churn epoch, and wire accounting only when the scheduler is
-/// distributed). Throws CheckError on an unknown id.
-ChurnRunResult runChurnWithScheduler(
-    const InstanceUniverse& universe, const Layering& layering,
-    const std::vector<std::vector<std::int32_t>>& access,
-    const ChurnTrace& trace, const ChurnEngineConfig& config,
-    const std::string& policyId);
+/// (SchedulerRegistry::all()). "two_phase" builds a DynamicUniverse
+/// from the problem's pool handle and delegates to runChurnOverTrace
+/// (the incremental engine); other ids run the from-scratch-per-epoch
+/// scheduler loop over the problem's static universe (their
+/// ChurnRunResult reports resolveFraction 1 on every churn epoch, and
+/// wire accounting only when the scheduler is distributed). Throws
+/// CheckError on an unknown id.
+ChurnRunResult runChurnWithScheduler(const ScenarioProblem& problem,
+                                     const ChurnTrace& trace,
+                                     const ChurnEngineConfig& config,
+                                     const std::string& policyId);
 
 }  // namespace treesched

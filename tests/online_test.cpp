@@ -90,12 +90,14 @@ std::vector<InstanceId> activeInstancesAfter(
 }
 
 /// The shared per-epoch verification: feasibility, the approximation
-/// gate against from-scratch, and bit-identity on full re-solves.
-void verifyChurnRun(const InstanceUniverse& universe, const Layering& layering,
-                    const std::vector<std::vector<std::int32_t>>& access,
-                    const ChurnTrace& trace, const ChurnEngineConfig& config) {
-  const ChurnRunResult result =
-      runChurnOverTrace(universe, layering, access, trace, config);
+/// gate against from-scratch, and bit-identity on full re-solves. The
+/// epochs run over `dynamic` (the incremental engine's own universe);
+/// the static pool `universe`/`layering` drive the from-scratch
+/// comparators.
+void verifyChurnRun(DynamicUniverse& dynamic, const InstanceUniverse& universe,
+                    const Layering& layering, const ChurnTrace& trace,
+                    const ChurnEngineConfig& config) {
+  const ChurnRunResult result = runChurnOverTrace(dynamic, trace, config);
   ASSERT_FALSE(result.epochs.empty());
 
   std::vector<std::uint8_t> mask(
@@ -174,7 +176,8 @@ TEST_P(OnlineChurnSweep, TreePoissonEpochsMatchFromScratch) {
   const ChurnTreeScenario scenario = makeFlashCrowdTree50k(seed,
                                                            kPoolDemands);
   const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
-  verifyChurnRun(prepared.universe, prepared.layering, scenario.pool.access,
+  DynamicUniverse dynamic = makeDynamicTreeUniverse(scenario.pool);
+  verifyChurnRun(dynamic, prepared.universe, prepared.layering,
                  generateChurnTrace(
                      sweepArrivals(ArrivalModel::Poisson, seed),
                      scenario.pool.numDemands()),
@@ -186,7 +189,8 @@ TEST_P(OnlineChurnSweep, TreeFlashCrowdEpochsMatchFromScratch) {
   const ChurnTreeScenario scenario = makeFlashCrowdTree50k(seed,
                                                            kPoolDemands);
   const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
-  verifyChurnRun(prepared.universe, prepared.layering, scenario.pool.access,
+  DynamicUniverse dynamic = makeDynamicTreeUniverse(scenario.pool);
+  verifyChurnRun(dynamic, prepared.universe, prepared.layering,
                  generateChurnTrace(
                      sweepArrivals(ArrivalModel::FlashCrowd, seed),
                      scenario.pool.numDemands()),
@@ -198,7 +202,8 @@ TEST_P(OnlineChurnSweep, LinePoissonEpochsMatchFromScratch) {
   const ChurnLineScenario scenario =
       makeDiurnalMetroLine100k(seed, kPoolDemands);
   const PreparedRun prepared = prepareUnitLineRun(scenario.pool);
-  verifyChurnRun(prepared.universe, prepared.layering, scenario.pool.access,
+  DynamicUniverse dynamic = makeDynamicLineUniverse(scenario.pool);
+  verifyChurnRun(dynamic, prepared.universe, prepared.layering,
                  generateChurnTrace(
                      sweepArrivals(ArrivalModel::Poisson, seed),
                      scenario.pool.numDemands()),
@@ -210,7 +215,8 @@ TEST_P(OnlineChurnSweep, LineFlashCrowdEpochsMatchFromScratch) {
   const ChurnLineScenario scenario =
       makeDiurnalMetroLine100k(seed, kPoolDemands);
   const PreparedRun prepared = prepareUnitLineRun(scenario.pool);
-  verifyChurnRun(prepared.universe, prepared.layering, scenario.pool.access,
+  DynamicUniverse dynamic = makeDynamicLineUniverse(scenario.pool);
+  verifyChurnRun(dynamic, prepared.universe, prepared.layering,
                  generateChurnTrace(
                      sweepArrivals(ArrivalModel::FlashCrowd, seed),
                      scenario.pool.numDemands()),
@@ -297,13 +303,12 @@ TEST(WarmStartProtocol, RestrictedRunMatchesRestrictedCentralized) {
 
 TEST(IncrementalSolver, LiveGraphMatchesFromScratchEveryEpoch) {
   const ChurnTreeScenario scenario = makeFlashCrowdTree50k(7, 120);
-  const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
+  DynamicUniverse dynamic = makeDynamicTreeUniverse(scenario.pool);
   OnlineSolverConfig solver;
   solver.seed = 99;
   SimNetwork bus(std::vector<std::vector<std::int32_t>>(
       static_cast<std::size_t>(scenario.pool.numDemands())));
-  IncrementalSolver engine(prepared.universe, prepared.layering,
-                           scenario.pool.access, solver, bus);
+  IncrementalSolver engine(dynamic, solver, bus);
 
   const ChurnTrace trace = generateChurnTrace(
       sweepArrivals(ArrivalModel::Poisson, 7), scenario.pool.numDemands());
@@ -342,13 +347,12 @@ TEST(IncrementalSolver, LiveGraphMatchesFromScratchEveryEpoch) {
 // active demand therefore leaves a completely empty stack.
 TEST(IncrementalSolver, StackCompactionDropsFullyPurgedSets) {
   const ChurnTreeScenario scenario = makeFlashCrowdTree50k(11, 96);
-  const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
+  DynamicUniverse dynamic = makeDynamicTreeUniverse(scenario.pool);
   OnlineSolverConfig solver;
   solver.seed = 41;
   SimNetwork bus(std::vector<std::vector<std::int32_t>>(
       static_cast<std::size_t>(scenario.pool.numDemands())));
-  IncrementalSolver engine(prepared.universe, prepared.layering,
-                           scenario.pool.access, solver, bus);
+  IncrementalSolver engine(dynamic, solver, bus);
 
   const ChurnTrace trace = generateChurnTrace(
       sweepArrivals(ArrivalModel::Poisson, 11), scenario.pool.numDemands());
@@ -376,13 +380,12 @@ TEST(IncrementalSolver, StackCompactionDropsFullyPurgedSets) {
 
 TEST(IncrementalSolver, AdmissionSlaTracksFirstAdmission) {
   const ChurnTreeScenario scenario = makeFlashCrowdTree50k(13, 64);
-  const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
+  DynamicUniverse dynamic = makeDynamicTreeUniverse(scenario.pool);
   OnlineSolverConfig solver;
   solver.seed = 57;
   SimNetwork bus(std::vector<std::vector<std::int32_t>>(
       static_cast<std::size_t>(scenario.pool.numDemands())));
-  IncrementalSolver engine(prepared.universe, prepared.layering,
-                           scenario.pool.access, solver, bus);
+  IncrementalSolver engine(dynamic, solver, bus);
 
   std::vector<DemandId> all;
   for (DemandId d = 0; d < scenario.pool.numDemands(); ++d) {
@@ -394,7 +397,7 @@ TEST(IncrementalSolver, AdmissionSlaTracksFirstAdmission) {
   // arrival epoch: latency 0.
   std::vector<DemandId> admitted;
   for (const InstanceId i : first.solution.instances) {
-    admitted.push_back(prepared.universe.instance(i).demand);
+    admitted.push_back(dynamic.instance(i).demand);
   }
   std::sort(admitted.begin(), admitted.end());
   admitted.erase(std::unique(admitted.begin(), admitted.end()),

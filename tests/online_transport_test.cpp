@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "gen/scenario.hpp"
@@ -123,14 +124,16 @@ void expectRunsIdentical(const ChurnRunResult& reference,
 
 /// The shared sweep: reference over the synchronous bus, then the async
 /// lossy wire (1 thread), the heavy-tail wire (8 threads) and the
-/// live-sharded lossy wire (8 threads) — all bit-identical.
-void verifyTransportsAgree(const InstanceUniverse& universe,
-                           const Layering& layering,
-                           const std::vector<std::vector<std::int32_t>>& access,
-                           const ChurnTrace& trace, std::uint64_t seed) {
+/// live-sharded lossy wire (8 threads) — all bit-identical. Each run
+/// grows its own dynamic universe from scratch (`makeUniverse`), so the
+/// comparison also covers the incremental build's determinism.
+void verifyTransportsAgree(
+    const std::function<DynamicUniverse()>& makeUniverse,
+    const ChurnTrace& trace, std::uint64_t seed) {
   LiveTransportConfig sync;
-  const ChurnRunResult reference = runChurnOverTrace(
-      universe, layering, access, trace, engineConfig(seed, 1, sync));
+  DynamicUniverse syncUniverse = makeUniverse();
+  const ChurnRunResult reference =
+      runChurnOverTrace(syncUniverse, trace, engineConfig(seed, 1, sync));
   ASSERT_FALSE(reference.epochs.empty());
   EXPECT_EQ(reference.network.transmissions, 0);
   ASSERT_GT(reference.totalMessages, 0);
@@ -138,8 +141,9 @@ void verifyTransportsAgree(const InstanceUniverse& universe,
   LiveTransportConfig lossy;
   lossy.kind = LiveTransportKind::Async;
   lossy.async = lossyWire(seed);
-  const ChurnRunResult overLossy = runChurnOverTrace(
-      universe, layering, access, trace, engineConfig(seed, 1, lossy));
+  DynamicUniverse lossyUniverse = makeUniverse();
+  const ChurnRunResult overLossy =
+      runChurnOverTrace(lossyUniverse, trace, engineConfig(seed, 1, lossy));
   expectRunsIdentical(reference, overLossy, "async-lossy");
   EXPECT_GT(overLossy.network.transmissions, 0);
   EXPECT_GT(overLossy.network.drops, 0);
@@ -148,8 +152,9 @@ void verifyTransportsAgree(const InstanceUniverse& universe,
   LiveTransportConfig heavy;
   heavy.kind = LiveTransportKind::Async;
   heavy.async = heavyTailWire(seed);
-  const ChurnRunResult overHeavy = runChurnOverTrace(
-      universe, layering, access, trace, engineConfig(seed, 8, heavy));
+  DynamicUniverse heavyUniverse = makeUniverse();
+  const ChurnRunResult overHeavy =
+      runChurnOverTrace(heavyUniverse, trace, engineConfig(seed, 8, heavy));
   expectRunsIdentical(reference, overHeavy, "async-heavy-tail");
   EXPECT_GT(overHeavy.network.transmissions, 0);
 
@@ -157,8 +162,9 @@ void verifyTransportsAgree(const InstanceUniverse& universe,
   sharded.kind = LiveTransportKind::Sharded;
   sharded.async = lossyWire(seed ^ 0x5a5aULL);
   sharded.async.shardProcessors = 7;
+  DynamicUniverse shardedUniverse = makeUniverse();
   const ChurnRunResult overSharded = runChurnOverTrace(
-      universe, layering, access, trace, engineConfig(seed, 8, sharded));
+      shardedUniverse, trace, engineConfig(seed, 8, sharded));
   expectRunsIdentical(reference, overSharded, "sharded");
   // Demand-level delivery is transport-invariant; only the wire moves.
   EXPECT_EQ(overSharded.network.messages, reference.network.messages);
@@ -176,13 +182,12 @@ class OnlineTransportSweep : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(OnlineTransportSweep, TreeEpochsIdenticalAcrossTransports) {
   const std::uint64_t seed = GetParam();
   const ChurnTreeScenario scenario = makeHotspotTree50k(seed, kPoolDemands);
-  const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
   for (const ArrivalModel model :
        {ArrivalModel::Poisson, ArrivalModel::FlashCrowd,
         ArrivalModel::TargetedBurst}) {
     SCOPED_TRACE(arrivalModelName(model));
     verifyTransportsAgree(
-        prepared.universe, prepared.layering, scenario.pool.access,
+        [&scenario] { return makeDynamicTreeUniverse(scenario.pool); },
         generateChurnTrace(sweepArrivals(model, seed), scenario.pool.access),
         seed);
   }
@@ -192,13 +197,12 @@ TEST_P(OnlineTransportSweep, LineEpochsIdenticalAcrossTransports) {
   const std::uint64_t seed = GetParam();
   const ChurnLineScenario scenario =
       makeDiurnalMetroLine100k(seed, kPoolDemands);
-  const PreparedRun prepared = prepareUnitLineRun(scenario.pool);
   for (const ArrivalModel model :
        {ArrivalModel::Poisson, ArrivalModel::FlashCrowd,
         ArrivalModel::TargetedBurst}) {
     SCOPED_TRACE(arrivalModelName(model));
     verifyTransportsAgree(
-        prepared.universe, prepared.layering, scenario.pool.access,
+        [&scenario] { return makeDynamicLineUniverse(scenario.pool); },
         generateChurnTrace(sweepArrivals(model, seed), scenario.pool.access),
         seed);
   }

@@ -10,6 +10,7 @@
 #include <set>
 #include <vector>
 
+#include "decomp/layering.hpp"
 #include "framework/two_phase.hpp"
 #include "gen/scenario.hpp"
 #include "online/churn_engine.hpp"
@@ -195,9 +196,8 @@ TEST(OnlinePolicy, SchedulerEpochLoopIsFeasibleAndDeterministic) {
   config.epochLength = scenario.epochLength;
   config.solver.seed = 23;
 
-  const ChurnRunResult run = runChurnWithScheduler(
-      scenario.universe, scenario.layering, scenario.access, scenario.trace,
-      config, "greedy");
+  const ChurnRunResult run =
+      runChurnWithScheduler(scenario, scenario.trace, config, "greedy");
   ASSERT_FALSE(run.epochs.empty());
   EXPECT_EQ(run.epochs.size(),
             batchTrace(scenario.trace, config.epochLength).size());
@@ -208,9 +208,8 @@ TEST(OnlinePolicy, SchedulerEpochLoopIsFeasibleAndDeterministic) {
   }
   requireFeasible(scenario.universe, run.finalSolution);
 
-  const ChurnRunResult replay = runChurnWithScheduler(
-      scenario.universe, scenario.layering, scenario.access, scenario.trace,
-      config, "greedy");
+  const ChurnRunResult replay =
+      runChurnWithScheduler(scenario, scenario.trace, config, "greedy");
   ASSERT_EQ(replay.epochs.size(), run.epochs.size());
   for (std::size_t k = 0; k < run.epochs.size(); ++k) {
     EXPECT_EQ(replay.epochs[k].solution.instances,
@@ -219,21 +218,20 @@ TEST(OnlinePolicy, SchedulerEpochLoopIsFeasibleAndDeterministic) {
   }
 
   // The "two_phase" id routes to the incremental churn engine.
-  const ChurnRunResult reference = runChurnWithScheduler(
-      scenario.universe, scenario.layering, scenario.access, scenario.trace,
-      config, "two_phase");
-  const ChurnRunResult engine = runChurnOverTrace(
-      scenario.universe, scenario.layering, scenario.access, scenario.trace,
-      config);
+  const ChurnRunResult reference =
+      runChurnWithScheduler(scenario, scenario.trace, config, "two_phase");
+  DynamicUniverse dynamic = scenario.treePool != nullptr
+                                ? makeDynamicTreeUniverse(scenario.treePool)
+                                : makeDynamicLineUniverse(scenario.linePool);
+  const ChurnRunResult engine =
+      runChurnOverTrace(dynamic, scenario.trace, config);
   ASSERT_EQ(reference.epochs.size(), engine.epochs.size());
   EXPECT_EQ(reference.finalSolution.instances,
             engine.finalSolution.instances);
   EXPECT_EQ(reference.finalProfit, engine.finalProfit);
 
   EXPECT_THROW(
-      runChurnWithScheduler(scenario.universe, scenario.layering,
-                            scenario.access, scenario.trace, config,
-                            "no_such_policy"),
+      runChurnWithScheduler(scenario, scenario.trace, config, "no_such_policy"),
       CheckError);
 }
 

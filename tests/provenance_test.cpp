@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/universe.hpp"
+#include "decomp/layering.hpp"
 #include "dist/protocol.hpp"
 #include "dist/sim_network.hpp"
 #include "framework/lhs_tracker.hpp"
@@ -356,16 +357,17 @@ TEST(Provenance, ChurnLedgerBitIdentityAcrossPatterns) {
     arrivals.horizon = 48.0;
     const auto& access =
         c.tree ? treeScenario.pool.access : lineScenario.pool.access;
-    const PreparedRun prepared =
-        c.tree ? prepareUnitTreeRun(treeScenario.pool)
-               : prepareUnitLineRun(lineScenario.pool);
+    const auto makeUniverse = [&] {
+      return c.tree ? makeDynamicTreeUniverse(treeScenario.pool)
+                    : makeDynamicLineUniverse(lineScenario.pool);
+    };
     const ChurnTrace trace = generateChurnTrace(arrivals, access);
 
     for (const std::int32_t threads : {1, 8}) {
       const ChurnEngineConfig plain = churnConfig(83, threads);
-      const std::vector<EpochFingerprint> before = fingerprintOf(
-          runChurnOverTrace(prepared.universe, prepared.layering, access,
-                            trace, plain));
+      DynamicUniverse plainUniverse = makeUniverse();
+      const std::vector<EpochFingerprint> before =
+          fingerprintOf(runChurnOverTrace(plainUniverse, trace, plain));
 
       MetricsRegistry metrics;
       ProvenanceLedger ledger(&metrics);
@@ -374,8 +376,9 @@ TEST(Provenance, ChurnLedgerBitIdentityAcrossPatterns) {
       traced.solver.metrics = &metrics;
       traced.solver.ledger = &ledger;
       traced.solver.series = &series;
-      const ChurnRunResult result = runChurnOverTrace(
-          prepared.universe, prepared.layering, access, trace, traced);
+      DynamicUniverse tracedUniverse = makeUniverse();
+      const ChurnRunResult result =
+          runChurnOverTrace(tracedUniverse, trace, traced);
 
       EXPECT_EQ(fingerprintOf(result), before)
           << c.name << " threads " << threads;
@@ -400,9 +403,8 @@ TEST(Provenance, ChurnLifecycleAndCertificateReplay) {
   ChurnEngineConfig config = churnConfig(92, 1);
   config.solver.metrics = &metrics;
   config.solver.ledger = &ledger;
-  const ChurnRunResult result = runChurnOverTrace(
-      prepared.universe, prepared.layering, scenario.pool.access, trace,
-      config);
+  DynamicUniverse universe = makeDynamicTreeUniverse(scenario.pool);
+  const ChurnRunResult result = runChurnOverTrace(universe, trace, config);
 
   // Lifecycle invariants against the solver's own SLA books: one
   // admitted event per admission the solver counted, and the monitor's
@@ -444,7 +446,6 @@ TEST(Provenance, ChurnLifecycleAndCertificateReplay) {
 
 TEST(Provenance, ShardedPlacementAndMigrationEvents) {
   const ChurnTreeScenario scenario = makeHotspotTree50k(41, 72);
-  const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
   ArrivalConfig arrivals = scenario.arrivals;
   arrivals.horizon = 48.0;
   const ChurnTrace trace =
@@ -456,16 +457,15 @@ TEST(Provenance, ShardedPlacementAndMigrationEvents) {
   config.transport.kind = LiveTransportKind::Sharded;
   config.transport.async.shardProcessors = 5;
 
-  const std::vector<EpochFingerprint> before = fingerprintOf(
-      runChurnOverTrace(prepared.universe, prepared.layering,
-                        scenario.pool.access, trace, config));
+  DynamicUniverse plainUniverse = makeDynamicTreeUniverse(scenario.pool);
+  const std::vector<EpochFingerprint> before =
+      fingerprintOf(runChurnOverTrace(plainUniverse, trace, config));
 
   ProvenanceLedger ledger;
   ChurnEngineConfig traced = config;
   traced.solver.ledger = &ledger;
-  const ChurnRunResult result = runChurnOverTrace(
-      prepared.universe, prepared.layering, scenario.pool.access, trace,
-      traced);
+  DynamicUniverse tracedUniverse = makeDynamicTreeUniverse(scenario.pool);
+  const ChurnRunResult result = runChurnOverTrace(tracedUniverse, trace, traced);
   EXPECT_EQ(fingerprintOf(result), before)
       << "the sharded wire's ledger attachment is schedule-neutral";
 
@@ -501,7 +501,6 @@ TEST(Provenance, ShardedPlacementAndMigrationEvents) {
 
 TEST(Provenance, CanonicalOrderAndJsonl) {
   const ChurnTreeScenario scenario = makeHotspotTree50k(51, 60);
-  const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
   ArrivalConfig arrivals = scenario.arrivals;
   arrivals.horizon = 32.0;
   const ChurnTrace trace =
@@ -510,8 +509,8 @@ TEST(Provenance, CanonicalOrderAndJsonl) {
   ProvenanceLedger ledger;
   ChurnEngineConfig config = churnConfig(52, 1);
   config.solver.ledger = &ledger;
-  runChurnOverTrace(prepared.universe, prepared.layering,
-                    scenario.pool.access, trace, config);
+  DynamicUniverse universe = makeDynamicTreeUniverse(scenario.pool);
+  runChurnOverTrace(universe, trace, config);
 
   // Canonical order: (epoch, demand, lifecycle kind, seq),
   // non-decreasing — every demand's story reads contiguously per epoch.
@@ -547,7 +546,6 @@ TEST(Provenance, CanonicalOrderAndJsonl) {
 
 TEST(Provenance, NullLedgerPathAddsZeroAllocations) {
   const ChurnTreeScenario scenario = makeHotspotTree50k(61, 60);
-  const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
   ArrivalConfig arrivals = scenario.arrivals;
   arrivals.horizon = 32.0;
   const ChurnTrace trace =
@@ -559,9 +557,11 @@ TEST(Provenance, NullLedgerPathAddsZeroAllocations) {
   gated.solver.ledger = &nullLedger;
 
   const auto measure = [&](const ChurnEngineConfig& config) {
+    // The universe build is outside the measured window; the build
+    // itself is deterministic, so both paths would count it equally.
+    DynamicUniverse universe = makeDynamicTreeUniverse(scenario.pool);
     const std::int64_t before = gHeapAllocs.load(std::memory_order_relaxed);
-    runChurnOverTrace(prepared.universe, prepared.layering,
-                      scenario.pool.access, trace, config);
+    runChurnOverTrace(universe, trace, config);
     return gHeapAllocs.load(std::memory_order_relaxed) - before;
   };
 

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -117,17 +118,18 @@ struct RebalanceActivity {
 };
 
 void verifyRebalancedRunsAgree(
-    const InstanceUniverse& universe, const Layering& layering,
-    const std::vector<std::vector<std::int32_t>>& access,
+    const std::function<DynamicUniverse()>& makeUniverse,
     const ChurnTrace& trace, std::uint64_t seed, RebalanceActivity& activity) {
   LiveTransportConfig sync;
+  DynamicUniverse referenceUniverse = makeUniverse();
   const ChurnRunResult reference = runChurnOverTrace(
-      universe, layering, access, trace, engineConfig(seed, 1, sync, false));
+      referenceUniverse, trace, engineConfig(seed, 1, sync, false));
   ASSERT_FALSE(reference.epochs.empty());
   ASSERT_GT(reference.totalMessages, 0);
 
+  DynamicUniverse syncThreadedUniverse = makeUniverse();
   const ChurnRunResult syncThreaded = runChurnOverTrace(
-      universe, layering, access, trace, engineConfig(seed, 8, sync, false));
+      syncThreadedUniverse, trace, engineConfig(seed, 8, sync, false));
   expectRunsIdentical(reference, syncThreaded, "sync-8-threads");
   // Rebalancing on a placement-free transport is a no-op by contract.
   EXPECT_EQ(syncThreaded.totalDemandsMigrated, 0);
@@ -135,12 +137,14 @@ void verifyRebalancedRunsAgree(
   LiveTransportConfig sharded;
   sharded.kind = LiveTransportKind::Sharded;
   sharded.async = shardedWire(seed);
+  DynamicUniverse serialUniverse = makeUniverse();
   const ChurnRunResult serial = runChurnOverTrace(
-      universe, layering, access, trace, engineConfig(seed, 1, sharded, true));
+      serialUniverse, trace, engineConfig(seed, 1, sharded, true));
   expectRunsIdentical(reference, serial, "sharded-rebalance-1-thread");
 
+  DynamicUniverse threadedUniverse = makeUniverse();
   const ChurnRunResult threaded = runChurnOverTrace(
-      universe, layering, access, trace, engineConfig(seed, 8, sharded, true));
+      threadedUniverse, trace, engineConfig(seed, 8, sharded, true));
   expectRunsIdentical(reference, threaded, "sharded-rebalance-8-threads");
 
   // The rebalancer's migration schedule is planned at the epoch
@@ -171,13 +175,12 @@ class RebalanceSweep : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(RebalanceSweep, TreeEpochsIdenticalUnderRebalancing) {
   const std::uint64_t seed = GetParam();
   const ChurnTreeScenario scenario = makeHotspotTree50k(seed, kPoolDemands);
-  const PreparedRun prepared = prepareUnitTreeRun(scenario.pool);
   RebalanceActivity activity;
   for (const ArrivalModel model :
        {ArrivalModel::Poisson, ArrivalModel::TargetedBurst}) {
     SCOPED_TRACE(arrivalModelName(model));
     verifyRebalancedRunsAgree(
-        prepared.universe, prepared.layering, scenario.pool.access,
+        [&scenario] { return makeDynamicTreeUniverse(scenario.pool); },
         generateChurnTrace(sweepArrivals(model, seed), scenario.pool.access),
         seed, activity);
   }
@@ -192,13 +195,12 @@ TEST_P(RebalanceSweep, LineEpochsIdenticalUnderRebalancing) {
   const std::uint64_t seed = GetParam();
   const ChurnLineScenario scenario =
       makeDiurnalMetroLine100k(seed, kPoolDemands);
-  const PreparedRun prepared = prepareUnitLineRun(scenario.pool);
   RebalanceActivity activity;
   for (const ArrivalModel model :
        {ArrivalModel::Poisson, ArrivalModel::TargetedBurst}) {
     SCOPED_TRACE(arrivalModelName(model));
     verifyRebalancedRunsAgree(
-        prepared.universe, prepared.layering, scenario.pool.access,
+        [&scenario] { return makeDynamicLineUniverse(scenario.pool); },
         generateChurnTrace(sweepArrivals(model, seed), scenario.pool.access),
         seed, activity);
   }

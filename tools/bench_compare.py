@@ -62,6 +62,12 @@ METRICS = {
     "epochs_per_sec": +1,
     "wall_ms": -1,
     "revenue_ratio_vs_two_phase": +1,
+    # Dynamic-universe cost split (BENCH_online.json): pool setup and
+    # amortized per-arrival extension. Both wall clocks, lower is
+    # better; the pool_sweep_* rows are what keep the per-arrival
+    # column honest as pool sizes grow.
+    "universe_build_ms": -1,
+    "mean_extend_us_per_arrival": -1,
 }
 
 
